@@ -1,0 +1,173 @@
+//! Benchmarks for the post-hoc machinery added around the paper's core:
+//! the committed-history checkers (`sereth-consistency`) and the PWV
+//! dependency scheduler (EXT-PWV). Both must stay cheap enough to run on
+//! every simulated block / audit pass, so their costs are tracked here
+//! alongside the HMS microbenches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sereth_chain::state::StateDb;
+use sereth_chain::txpool::TxPool;
+use sereth_consistency::record::{History, MarketOp, MarketSpec, TxRecord};
+use sereth_consistency::{seqcon, sss};
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::mark::{compute_mark, genesis_mark};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    buy_selector, default_contract_address, sereth_genesis_slots, set_selector,
+};
+use sereth_node::miner::{order_candidates, MinerPolicy};
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+use sereth_vm::exec::Storage as _;
+
+fn bench_spec() -> MarketSpec {
+    MarketSpec {
+        contract: default_contract_address(),
+        set_selector: set_selector(),
+        buy_selector: buy_selector(),
+        set_ok_topic: H256::from_low_u64(1),
+        buy_ok_topic: H256::from_low_u64(2),
+        genesis_mark: genesis_mark(),
+        initial_value: H256::from_low_u64(50),
+    }
+}
+
+/// A valid history of `sets` intervals with `buys_per_interval` effective
+/// buys each, plus one stale no-op buy per interval.
+fn synthetic_history(sets: usize, buys_per_interval: usize) -> History {
+    let mut tail = genesis_mark();
+    let mut records = Vec::new();
+    let mut n = 0u64;
+    let mut push = |op: MarketOp, effective: bool, sender: u64, n: &mut u64| {
+        records.push(TxRecord {
+            tx_hash: H256::keccak(&n.to_be_bytes()),
+            sender: Address::from_low_u64(sender),
+            nonce: *n,
+            block_number: 1 + *n / 50,
+            index_in_block: (*n % 50) as u32,
+            op,
+            effective,
+        });
+        *n += 1;
+    };
+    for i in 0..sets {
+        let value = H256::from_low_u64(100 + i as u64);
+        let fpv = Fpv::new(Flag::Success, tail, value);
+        tail = compute_mark(&tail, &value);
+        push(MarketOp::Set(fpv), true, 1, &mut n);
+        for b in 0..buys_per_interval {
+            push(MarketOp::Buy(Fpv::new(Flag::Success, tail, value)), true, 100 + b as u64, &mut n);
+        }
+        push(
+            MarketOp::Buy(Fpv::new(Flag::Success, H256::keccak(b"stale"), value)),
+            false,
+            200,
+            &mut n,
+        );
+    }
+    History::from_records(records)
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let spec = bench_spec();
+    let mut group = c.benchmark_group("consistency_check");
+    for &(sets, buys) in &[(100usize, 9usize), (1_000, 9), (10_000, 9)] {
+        let history = synthetic_history(sets, buys);
+        group.bench_with_input(
+            BenchmarkId::new("sss", history.len()),
+            &history,
+            |b, history| {
+                b.iter(|| {
+                    let report = sss::check(&spec, black_box(history));
+                    assert!(report.holds());
+                    report
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seqcon", history.len()),
+            &history,
+            |b, history| b.iter(|| seqcon::check(black_box(history))),
+        );
+    }
+    group.finish();
+}
+
+/// Builds a pool of `sets` chained sets plus `buys` committed-interval
+/// buys, against genesis state.
+fn pwv_fixture(sets: usize, buys: usize) -> (TxPool, StateDb, Address) {
+    let contract = default_contract_address();
+    let owner = SecretKey::from_label(1);
+    let mut state = StateDb::new();
+    for (k, v) in sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)) {
+        state.storage_set(&contract, k, v);
+    }
+    state.clear_journal();
+
+    let mut pool = TxPool::new();
+    let mut arrival = 0u64;
+    let m0 = genesis_mark();
+    for b in 0..buys {
+        let buyer = SecretKey::from_label(1_000 + b as u64);
+        let fpv = Fpv::new(Flag::Success, m0, H256::from_low_u64(50));
+        let tx = Transaction::sign(
+            TxPayload {
+                nonce: 0,
+                gas_price: 1,
+                gas_limit: 100_000,
+                to: Some(contract),
+                value: U256::ZERO,
+                input: fpv.to_calldata(buy_selector()),
+            },
+            &buyer,
+        );
+        pool.insert(tx, arrival).unwrap();
+        arrival += 1;
+    }
+    let mut prev = m0;
+    for i in 0..sets {
+        let value = H256::from_low_u64(100 + i as u64);
+        let flag = if i == 0 { Flag::Head } else { Flag::Success };
+        let fpv = Fpv::new(flag, prev, value);
+        prev = compute_mark(&prev, &value);
+        let tx = Transaction::sign(
+            TxPayload {
+                nonce: i as u64,
+                gas_price: 1,
+                gas_limit: 100_000,
+                to: Some(contract),
+                value: U256::ZERO,
+                input: fpv.to_calldata(set_selector()),
+            },
+            &owner,
+        );
+        pool.insert(tx, arrival).unwrap();
+        arrival += 1;
+    }
+    (pool, state, contract)
+}
+
+fn bench_pwv_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miner_order");
+    for &(sets, buys) in &[(10usize, 90usize), (50, 450), (100, 900)] {
+        let (pool, state, contract) = pwv_fixture(sets, buys);
+        group.bench_with_input(
+            BenchmarkId::new("pwv", sets + buys),
+            &pool,
+            |b, pool| b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Pwv)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("standard", sets + buys),
+            &pool,
+            |b, pool| {
+                b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Standard))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers, bench_pwv_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Substrate micro-benchmarks: keccak throughput, the interpreter on the
+//! Sereth contract bytecode vs the native contract, TxPool operations,
+//! and state-root computation — the building blocks whose costs bound the
+//! simulation's fidelity-per-second.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sereth_chain::state::StateDb;
+use sereth_chain::txpool::TxPool;
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::mark::genesis_mark;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::keccak::keccak256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
+};
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+use sereth_vm::exec::{CallEnv, MemStorage, Storage};
+use sereth_vm::raa::{execute_call, RaaRegistry};
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keccak256");
+    for &size in &[32usize, 136, 1_024, 16_384] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| keccak256(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contract_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sereth_set_call");
+    let contract = default_contract_address();
+    let calldata =
+        Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector());
+    for (label, form) in [("native", ContractForm::Native), ("bytecode", ContractForm::Bytecode)] {
+        let code = sereth_code(form);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut storage = MemStorage::new();
+                    for (k, v) in sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)) {
+                        storage.storage_set(&contract, k, v);
+                    }
+                    storage
+                },
+                |mut storage| {
+                    let env = CallEnv::test_env(Address::from_low_u64(2), contract, calldata.clone());
+                    execute_call(&code, env, &mut storage, 10_000_000, &RaaRegistry::new())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_txpool(c: &mut Criterion) {
+    let keys: Vec<SecretKey> = (0..64).map(SecretKey::from_label).collect();
+    let txs: Vec<Transaction> = (0..512)
+        .map(|i| {
+            Transaction::sign(
+                TxPayload {
+                    nonce: (i / 64) as u64,
+                    gas_price: 1 + (i % 7) as u64,
+                    gas_limit: 21_000,
+                    to: Some(Address::from_low_u64(1)),
+                    value: U256::ZERO,
+                    input: Bytes::new(),
+                },
+                &keys[i % 64],
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("txpool");
+    group.bench_function("insert_512", |b| {
+        b.iter_batched(
+            TxPool::new,
+            |mut pool| {
+                for (i, tx) in txs.iter().enumerate() {
+                    let _ = pool.insert(tx.clone(), i as u64);
+                }
+                pool
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut pool = TxPool::new();
+    for (i, tx) in txs.iter().enumerate() {
+        let _ = pool.insert(tx.clone(), i as u64);
+    }
+    group.bench_function("ready_by_price_512", |b| b.iter(|| black_box(&pool).ready_by_price(|_| 0)));
+    group.bench_function("pending_by_arrival_512", |b| b.iter(|| black_box(&pool).pending_by_arrival()));
+    group.finish();
+}
+
+fn bench_state_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_root");
+    for &accounts in &[16usize, 128, 1_024] {
+        let mut state = StateDb::new();
+        for i in 0..accounts {
+            let addr = Address::from_low_u64(i as u64);
+            state.set_balance(&addr, U256::from(i as u64));
+            state.storage_set(&addr, H256::from_low_u64(1), H256::from_low_u64(i as u64));
+        }
+        state.clear_journal();
+        group.bench_with_input(BenchmarkId::from_parameter(accounts), &state, |b, state| {
+            b.iter(|| black_box(state).state_root())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keccak, bench_contract_forms, bench_txpool, bench_state_root);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation studies (ABL-* rows of DESIGN.md's experiment index):
+//!
+//! 1. **committed-head extension** (the paper's §V-C future work:
+//!    "transaction efficiency could approach 100 percent if HMS were
+//!    extended to include the final values from replaying each block") —
+//!    semantic mining with and without the extension;
+//! 2. **block-interval sensitivity** (§II-D: the block interval *is* the
+//!    READ-COMMITTED latency) — η of the baseline and of HMS as the mean
+//!    interval grows;
+//! 3. **tx-interval sensitivity at high buy ratios** (§V-A: "with few
+//!    state changes transaction efficiency becomes more sensitive to the
+//!    transaction interval").
+//!
+//! ```text
+//! cargo run -p sereth-bench --bin ablations --release
+//! ```
+
+use sereth_bench::env_or;
+use sereth_core::hms::HmsConfig;
+use sereth_node::miner::MinerPolicy;
+use sereth_node::node::BlockSchedule;
+use sereth_sim::experiment::run_point;
+use sereth_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=env_or("SERETH_SEEDS", 8u64)).collect();
+    let num_buys = env_or("SERETH_BUYS", 100u64);
+
+    println!("== Ablation 1: committed-head extension (semantic mining, ratio 1:1 and 5:1) ==\n");
+    println!("| {:>6} | {:>14} | {:>8} | {:>8} |", "sets", "committed_head", "eta_mean", "eta_ci90");
+    println!("|{:-<8}|{:-<16}|{:-<10}|{:-<10}|", "", "", "", "");
+    for &num_sets in &[100u64, 20] {
+        for committed_head in [false, true] {
+            let mut config = ScenarioConfig::semantic_mining(num_buys, num_sets);
+            let hms = HmsConfig { committed_head };
+            config.hms = hms.clone();
+            config.miner_policy = MinerPolicy::Semantic(hms);
+            config.name = format!("semantic_ch{committed_head}");
+            let point = run_point(&config, &seeds);
+            println!(
+                "| {:>6} | {:>14} | {:>8.3} | {:>8.3} |",
+                num_sets,
+                if committed_head { "on" } else { "off" },
+                point.eta.mean,
+                point.eta.ci90
+            );
+        }
+    }
+
+    println!("\n== Ablation 2: block-interval sensitivity (ratio 5:1) ==\n");
+    println!("| {:>12} | {:>18} | {:>8} | {:>8} |", "interval_ms", "scenario", "eta_mean", "eta_ci90");
+    println!("|{:-<14}|{:-<20}|{:-<10}|{:-<10}|", "", "", "", "");
+    for &interval in &[5_000u64, 10_000, 15_000, 30_000, 60_000] {
+        for make in [
+            ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
+            ScenarioConfig::sereth_client,
+        ] {
+            let mut config = make(num_buys, 20);
+            config.block_schedule = BlockSchedule::Exponential { mean: interval };
+            config.drain_ms = 8 * interval;
+            // Keep per-block capacity proportional to the interval so total
+            // capacity stays comparable.
+            config.max_txs_per_block = Some(((interval / 750) as usize).max(4));
+            let point = run_point(&config, &seeds);
+            println!(
+                "| {:>12} | {:>18} | {:>8.3} | {:>8.3} |",
+                interval, point.scenario, point.eta.mean, point.eta.ci90
+            );
+        }
+    }
+
+    println!("\n== Ablation 3: tx-interval sensitivity at 20:1 (sereth_client) ==\n");
+    println!("| {:>14} | {:>8} | {:>8} |", "tx_interval_ms", "eta_mean", "eta_ci90");
+    println!("|{:-<16}|{:-<10}|{:-<10}|", "", "", "");
+    for &tx_interval in &[250u64, 500, 1_000, 2_000, 4_000] {
+        let mut config = ScenarioConfig::sereth_client(num_buys, 5);
+        config.tx_interval_ms = tx_interval;
+        let point = run_point(&config, &seeds);
+        println!("| {:>14} | {:>8.3} | {:>8.3} |", tx_interval, point.eta.mean, point.eta.ci90);
+    }
+    println!();
+}

@@ -1,0 +1,73 @@
+//! Abort-rate extension (DESIGN.md EXT-ABORT; motivated by the paper's
+//! §VI discussion of work "reducing abort rate, defined as how many times
+//! a transaction is retried before success").
+//!
+//! Each of the buyers retries a single purchase until it lands while the
+//! owner keeps repricing. READ-COMMITTED views force many dead attempts;
+//! HMS's READ-UNCOMMITTED views collapse the retry count.
+//!
+//! ```text
+//! cargo run -p sereth-bench --bin abort_rate --release
+//! ```
+
+use sereth_bench::env_or;
+use sereth_sim::scenario::{run_retry_scenario, ScenarioConfig};
+use sereth_sim::stats;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=env_or("SERETH_SEEDS", 6u64)).collect();
+    let num_sets = env_or("SERETH_SETS_ONE", 40u64);
+    let num_buyers = 12usize;
+
+    println!("== Abort rate: {num_buyers} buyers each retrying one purchase through {num_sets} reprices ==\n");
+    println!(
+        "| {:<18} | {:>10} | {:>14} | {:>10} |",
+        "scenario", "completed", "attempts/buy", "abort_rate"
+    );
+    println!("|{:-<20}|{:-<12}|{:-<16}|{:-<12}|", "", "", "", "");
+
+    let mut geth_aborts = 0.0;
+    let mut sereth_aborts = 0.0;
+    for make in [
+        ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
+        ScenarioConfig::pwv_scheduler,
+        ScenarioConfig::sereth_client,
+        ScenarioConfig::semantic_mining,
+    ] {
+        let mut config = make(100, num_sets);
+        config.num_buyers = num_buyers;
+        config.drain_ms = 10 * 15_000;
+        let mut completion = Vec::new();
+        let mut attempts = Vec::new();
+        let mut aborts = Vec::new();
+        for &seed in &seeds {
+            let (_, stats) = run_retry_scenario(&config, seed);
+            completion.push(stats.completion_rate());
+            attempts.push(stats.mean_attempts_per_success());
+            aborts.push(stats.abort_rate());
+        }
+        let abort_mean = stats::mean(&aborts);
+        println!(
+            "| {:<18} | {:>9.2} | {:>14.2} | {:>10.2} |",
+            config.name,
+            stats::mean(&completion),
+            stats::mean(&attempts),
+            abort_mean,
+        );
+        if config.name == "geth_unmodified" {
+            geth_aborts = abort_mean;
+        }
+        if config.name == "sereth_client" {
+            sereth_aborts = abort_mean;
+        }
+    }
+    println!();
+    if geth_aborts > sereth_aborts {
+        let factor = geth_aborts / sereth_aborts.max(1e-9);
+        println!(
+            "PASS: HMS cuts the abort rate (geth {geth_aborts:.2} vs sereth {sereth_aborts:.2}, x{factor:.1} fewer retries)."
+        );
+    } else {
+        println!("NOTE: abort rates unexpectedly close; inspect seeds.");
+    }
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Figure 2** of the paper: transaction efficiency η versus
+//! the READ-UNCOMMITTED/WRITE (buy:set) ratio, for the three scenarios
+//! `geth_unmodified`, `sereth_client`, and `semantic_mining`.
+//!
+//! ```text
+//! cargo run -p sereth-bench --bin fig2 --release
+//! ```
+//!
+//! Environment knobs: `SERETH_SEEDS` (count, default 10), `SERETH_BUYS`
+//! (default 100), `SERETH_SETS` (comma list, default `100,50,25,20,10,5`).
+//! Writes `fig2.csv` to the working directory.
+
+use sereth_bench::{env_list_or, env_or};
+use sereth_sim::experiment::{run_point, SweepPoint, PAPER_SET_COUNTS};
+use sereth_sim::report::{ascii_plot, csv, table};
+use sereth_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let seed_count: u64 = env_or("SERETH_SEEDS", 10u64);
+    let num_buys: u64 = env_or("SERETH_BUYS", 100u64);
+    let set_counts = env_list_or("SERETH_SETS", &PAPER_SET_COUNTS);
+    let seeds: Vec<u64> = (1..=seed_count).collect();
+
+    println!("== Figure 2: eta vs buy:set ratio ==");
+    println!("buys per point: {num_buys}; set counts: {set_counts:?}; seeds: {seed_count}\n");
+
+    let scenarios: Vec<(&str, sereth_sim::experiment::ScenarioFactory)> = vec![
+        ("geth_unmodified", ScenarioConfig::geth_unmodified),
+        ("sereth_client", ScenarioConfig::sereth_client),
+        ("semantic_mining", ScenarioConfig::semantic_mining),
+    ];
+
+    let mut all_points: Vec<SweepPoint> = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    for (name, make) in &scenarios {
+        let mut line = Vec::new();
+        for &num_sets in &set_counts {
+            let config = make(num_buys, num_sets);
+            let point = run_point(&config, &seeds);
+            eprintln!(
+                "  {name:>18} sets={num_sets:>3} ratio={:>5.1}  eta={:.3} ±{:.3}",
+                point.ratio, point.eta.mean, point.eta.ci90
+            );
+            line.push((point.ratio, point.eta.mean));
+            all_points.push(point);
+        }
+        series.push((name, line));
+    }
+
+    println!("\n{}", table(&all_points));
+    println!("{}", ascii_plot(&series, 64, 16));
+
+    // The in-text claims (TXT-5X, TXT-80 in DESIGN.md).
+    let eta_of = |scenario: &str, sets: u64| {
+        all_points
+            .iter()
+            .find(|p| p.scenario == scenario && p.num_sets == sets)
+            .map(|p| p.eta.mean)
+            .unwrap_or(0.0)
+    };
+    println!("-- in-text claims --");
+    let mut improvements = Vec::new();
+    for &sets in &set_counts {
+        let geth = eta_of("geth_unmodified", sets);
+        let sereth = eta_of("sereth_client", sets);
+        if geth > 0.0 {
+            improvements.push(sereth / geth);
+        }
+    }
+    if !improvements.is_empty() {
+        let mean_x = improvements.iter().sum::<f64>() / improvements.len() as f64;
+        println!(
+            "sereth_client vs geth_unmodified: x{mean_x:.1} mean improvement across ratios (paper: ~x5)"
+        );
+    }
+    let semantic_overall: f64 =
+        set_counts.iter().map(|&s| eta_of("semantic_mining", s)).sum::<f64>() / set_counts.len() as f64;
+    println!("semantic_mining mean eta: {semantic_overall:.2} (paper: ~0.80)");
+    let geth_low = eta_of("geth_unmodified", *set_counts.first().unwrap_or(&100));
+    let semantic_low = eta_of("semantic_mining", *set_counts.first().unwrap_or(&100));
+    println!(
+        "at 1:1 ratio: geth {geth_low:.3} -> semantic {semantic_low:.3} (paper: 'a few percent' -> 'almost 90 percent')"
+    );
+
+    let csv_text = csv(&all_points);
+    if let Err(err) = std::fs::write("fig2.csv", &csv_text) {
+        eprintln!("could not write fig2.csv: {err}");
+    } else {
+        println!("\nwrote fig2.csv ({} rows)", all_points.len());
+    }
+}

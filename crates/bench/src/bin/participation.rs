@@ -1,0 +1,73 @@
+//! Regenerates the interoperability / partial-participation discussion
+//! (TXT-INTEROP in DESIGN.md): the paper's §V-C notes that with "only a
+//! fraction of the miners … assisting, or if communication of the TxPool
+//! were impeded … there would still be benefits proportional to the
+//! participation." We sweep the fraction of Sereth-enabled nodes from 0 to
+//! all and measure η at a mid-range ratio.
+//!
+//! ```text
+//! cargo run -p sereth-bench --bin participation --release
+//! ```
+
+use sereth_bench::env_or;
+use sereth_node::node::ClientKind;
+use sereth_sim::experiment::run_point;
+use sereth_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=env_or("SERETH_SEEDS", 8u64)).collect();
+    let num_buys = env_or("SERETH_BUYS", 100u64);
+    let num_sets = env_or("SERETH_SETS_ONE", 20u64);
+    let num_nodes = 4usize;
+
+    println!("== Participation sweep: Sereth nodes among {num_nodes}, ratio {num_buys}:{num_sets} ==\n");
+    println!(
+        "| {:>12} | {:>14} | {:>8} | {:>8} |",
+        "sereth_nodes", "semantic_miner", "eta_mean", "eta_ci90"
+    );
+    println!("|{:-<14}|{:-<16}|{:-<10}|{:-<10}|", "", "", "", "");
+
+    let mut last_eta = -1.0f64;
+    let mut monotone = true;
+    for sereth_nodes in 0..=num_nodes {
+        for semantic in [false, true] {
+            // Node 0 is the miner; it only mines semantically if it is a
+            // Sereth node itself.
+            if semantic && sereth_nodes == 0 {
+                continue;
+            }
+            let mut config = if semantic {
+                ScenarioConfig::semantic_mining(num_buys, num_sets)
+            } else {
+                ScenarioConfig::sereth_client(num_buys, num_sets)
+            };
+            config.node_kinds = (0..num_nodes)
+                .map(|i| if i < sereth_nodes { ClientKind::Sereth } else { ClientKind::Geth })
+                .collect();
+            if !semantic {
+                config.miner_policy = sereth_node::miner::MinerPolicy::Standard;
+            }
+            config.name = format!("sereth{sereth_nodes}_{}", if semantic { "semantic" } else { "standard" });
+            let point = run_point(&config, &seeds);
+            println!(
+                "| {:>12} | {:>14} | {:>8.3} | {:>8.3} |",
+                sereth_nodes,
+                if semantic { "yes" } else { "no" },
+                point.eta.mean,
+                point.eta.ci90
+            );
+            if !semantic {
+                if point.eta.mean + 0.15 < last_eta {
+                    monotone = false; // allow noise, flag big inversions
+                }
+                last_eta = point.eta.mean;
+            }
+        }
+    }
+    println!();
+    if monotone {
+        println!("PASS: efficiency grows (within noise) with Sereth participation, as §V-C predicts.");
+    } else {
+        println!("NOTE: efficiency was not monotone in participation; inspect seeds/ratio.");
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates the §V sequential-history validation (TXT-SEQ in
+//! DESIGN.md): "sending a series of test transactions from the address of
+//! a single peer so that there is only one possible history … the
+//! transaction failure rate was zero and the transaction efficiency η was
+//! 1.0."
+//!
+//! ```text
+//! cargo run -p sereth-bench --bin sequential --release
+//! ```
+
+use sereth_bench::env_or;
+use sereth_sim::scenario::{run_sequential_history, ScenarioConfig};
+
+fn main() {
+    let pairs: u64 = env_or("SERETH_PAIRS", 50u64);
+    let seeds: u64 = env_or("SERETH_SEEDS", 5u64);
+
+    println!("== Sequential history: single sender, set/buy alternation ==");
+    println!("pairs: {pairs}; seeds: {seeds}\n");
+    println!("| {:<18} | {:>5} | {:>9} | {:>9} | {:>7} |", "scenario", "seed", "buys ok", "sets ok", "eta");
+    println!("|{:-<20}|{:-<7}|{:-<11}|{:-<11}|{:-<9}|", "", "", "", "", "");
+
+    let mut all_unit = true;
+    for make in [
+        ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
+        ScenarioConfig::sereth_client,
+        ScenarioConfig::semantic_mining,
+    ] {
+        let config = make(100, 5);
+        for seed in 1..=seeds {
+            let out = run_sequential_history(&config, pairs, seed);
+            let eta = out.metrics.eta_buys();
+            println!(
+                "| {:<18} | {:>5} | {:>4}/{:<4} | {:>4}/{:<4} | {:>7.3} |",
+                out.scenario,
+                seed,
+                out.metrics.buys_succeeded,
+                out.metrics.buys_submitted,
+                out.metrics.sets_succeeded,
+                out.metrics.sets_submitted,
+                eta
+            );
+            if (eta - 1.0).abs() > f64::EPSILON || out.metrics.sets_succeeded != out.metrics.sets_submitted {
+                all_unit = false;
+            }
+        }
+    }
+    println!();
+    if all_unit {
+        println!("PASS: every run had zero failures (eta = 1.0), matching the paper.");
+    } else {
+        println!("MISMATCH: some run failed transactions; the paper reports eta = 1.0.");
+        std::process::exit(1);
+    }
+}

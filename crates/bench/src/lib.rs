@@ -1,0 +1,78 @@
+//! Shared fixtures for the sereth benchmarks and experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::mark::{compute_mark, genesis_mark};
+use sereth_core::process::PendingTx;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_node::contract::{default_contract_address, set_selector};
+
+/// Builds a pool snapshot containing one honest chain of `chain_len` sets
+/// plus `noise` non-HMS transactions — the input shape for the HMS
+/// overhead benchmarks (paper §III-C: "only a small percentage of the
+/// TxPool requires processing").
+pub fn pool_with_chain(chain_len: usize, noise: usize) -> Vec<PendingTx> {
+    let mut pool = Vec::with_capacity(chain_len + noise);
+    let mut prev = genesis_mark();
+    for i in 0..chain_len {
+        let flag = if i == 0 { Flag::Head } else { Flag::Success };
+        let value = H256::from_low_u64(1_000 + i as u64);
+        let fpv = Fpv::new(flag, prev, value);
+        prev = compute_mark(&prev, &value);
+        pool.push(PendingTx {
+            hash: H256::keccak(&(i as u64).to_be_bytes()),
+            sender: Address::from_low_u64(i as u64),
+            to: Some(default_contract_address()),
+            input: fpv.to_calldata(set_selector()),
+            arrival_seq: i as u64,
+        });
+    }
+    for j in 0..noise {
+        pool.push(PendingTx {
+            hash: H256::keccak(&[0xee, j as u8, (j >> 8) as u8]),
+            sender: Address::from_low_u64(10_000 + j as u64),
+            to: Some(Address::from_low_u64(0x0dd)),
+            input: bytes::Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef, 0x01]),
+            arrival_seq: (chain_len + j) as u64,
+        });
+    }
+    pool
+}
+
+/// Parses `VAR` from the environment as a number, with a default — lets
+/// the experiment binaries scale without recompiling.
+pub fn env_or<T: std::str::FromStr>(var: &str, default: T) -> T {
+    std::env::var(var).ok().and_then(|value| value.parse().ok()).unwrap_or(default)
+}
+
+/// Parses a comma-separated list of u64 from the environment.
+pub fn env_list_or(var: &str, default: &[u64]) -> Vec<u64> {
+    std::env::var(var)
+        .ok()
+        .map(|value| value.split(',').filter_map(|part| part.trim().parse().ok()).collect())
+        .filter(|list: &Vec<u64>| !list.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sereth_core::process::process;
+
+    #[test]
+    fn pool_fixture_yields_expected_chain() {
+        let pool = pool_with_chain(10, 20);
+        assert_eq!(pool.len(), 30);
+        let nodes = process(&pool, &default_contract_address(), set_selector());
+        assert_eq!(nodes.len(), 10, "noise filtered out");
+    }
+
+    #[test]
+    fn env_helpers_fall_back() {
+        assert_eq!(env_or::<u64>("SERETH_BENCH_NO_SUCH_VAR", 7u64), 7);
+        assert_eq!(env_list_or("SERETH_BENCH_NO_SUCH_VAR", &[1, 2]), vec![1, 2]);
+    }
+}

@@ -1,0 +1,385 @@
+//! The world state: accounts, balances, contract storage — with a journal
+//! so failed transactions can be rolled back while remaining in the block
+//! (the paper's §III-A: "the transaction is included in the block, but has
+//! no effect on the system state").
+
+use std::collections::BTreeMap;
+
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::merkle::merkle_root;
+use sereth_crypto::rlp::RlpStream;
+use sereth_types::u256::U256;
+use sereth_vm::exec::{ContractCode, Storage};
+
+/// One account: an externally-owned account or a contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Account {
+    /// Number of transactions sent from this account.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Executable code, if any.
+    pub code: ContractCode,
+    /// Contract storage; zero-valued slots are kept absent so the state
+    /// commitment is canonical.
+    pub storage: BTreeMap<H256, H256>,
+}
+
+impl Account {
+    /// Commitment to this account's storage.
+    pub fn storage_root(&self) -> H256 {
+        let leaves: Vec<H256> = self
+            .storage
+            .iter()
+            .map(|(key, value)| {
+                let encoded = RlpStream::new_list(2)
+                    .append_bytes(key.as_bytes())
+                    .append_bytes(value.as_bytes())
+                    .finish();
+                H256::keccak(&encoded)
+            })
+            .collect();
+        merkle_root(&leaves)
+    }
+
+    /// Commitment to the whole account.
+    pub fn account_hash(&self, address: &Address) -> H256 {
+        let encoded = RlpStream::new_list(5)
+            .append_bytes(address.as_bytes())
+            .append_u64(self.nonce)
+            .append_bytes(&self.balance.to_be_bytes())
+            .append_bytes(self.code.code_hash().as_bytes())
+            .append_bytes(self.storage_root().as_bytes())
+            .finish();
+        H256::keccak(&encoded)
+    }
+}
+
+/// Reverting information for one state mutation.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    StorageChanged { address: Address, key: H256, prev: H256 },
+    BalanceChanged { address: Address, prev: U256 },
+    NonceChanged { address: Address, prev: u64 },
+    CodeChanged { address: Address, prev: ContractCode },
+    AccountCreated { address: Address },
+}
+
+/// A snapshot handle returned by [`StateDb::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot(usize);
+
+/// The journaled world state.
+///
+/// All mutation goes through methods that append to the journal, so any
+/// prefix of work can be undone with [`StateDb::revert_to`]. The journal is
+/// cleared wholesale with [`StateDb::clear_journal`] once a block is sealed.
+#[derive(Debug, Clone, Default)]
+pub struct StateDb {
+    accounts: BTreeMap<Address, Account>,
+    journal: Vec<JournalEntry>,
+}
+
+impl StateDb {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read-only view of an account, if it exists.
+    pub fn account(&self, address: &Address) -> Option<&Account> {
+        self.accounts.get(address)
+    }
+
+    /// The account's nonce (0 if absent).
+    pub fn nonce_of(&self, address: &Address) -> u64 {
+        self.accounts.get(address).map_or(0, |a| a.nonce)
+    }
+
+    /// The account's balance (0 if absent).
+    pub fn balance_of(&self, address: &Address) -> U256 {
+        self.accounts.get(address).map_or(U256::ZERO, |a| a.balance)
+    }
+
+    /// The account's code (empty if absent).
+    pub fn code_of(&self, address: &Address) -> ContractCode {
+        self.accounts.get(address).map_or(ContractCode::None, |a| a.code.clone())
+    }
+
+    /// Number of accounts in the state.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// `true` if no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    fn ensure_account(&mut self, address: &Address) -> &mut Account {
+        if !self.accounts.contains_key(address) {
+            self.journal.push(JournalEntry::AccountCreated { address: *address });
+            self.accounts.insert(*address, Account::default());
+        }
+        self.accounts.get_mut(address).expect("just inserted")
+    }
+
+    /// Sets the balance, journaled.
+    pub fn set_balance(&mut self, address: &Address, balance: U256) {
+        let prev = self.balance_of(address);
+        let account = self.ensure_account(address);
+        account.balance = balance;
+        self.journal.push(JournalEntry::BalanceChanged { address: *address, prev });
+    }
+
+    /// Adds to the balance, journaled.
+    pub fn credit(&mut self, address: &Address, amount: U256) {
+        let next = self.balance_of(address) + amount;
+        self.set_balance(address, next);
+    }
+
+    /// Subtracts from the balance, journaled.
+    ///
+    /// Returns `false` (and changes nothing) when funds are insufficient.
+    pub fn debit(&mut self, address: &Address, amount: U256) -> bool {
+        let current = self.balance_of(address);
+        match current.checked_sub(amount) {
+            Some(next) => {
+                self.set_balance(address, next);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the nonce, journaled.
+    pub fn set_nonce(&mut self, address: &Address, nonce: u64) {
+        let prev = self.nonce_of(address);
+        let account = self.ensure_account(address);
+        account.nonce = nonce;
+        self.journal.push(JournalEntry::NonceChanged { address: *address, prev });
+    }
+
+    /// Installs contract code, journaled.
+    pub fn set_code(&mut self, address: &Address, code: ContractCode) {
+        let prev = self.code_of(address);
+        let account = self.ensure_account(address);
+        account.code = code;
+        self.journal.push(JournalEntry::CodeChanged { address: *address, prev });
+    }
+
+    /// Takes a snapshot to which the state can later be reverted.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.journal.len())
+    }
+
+    /// Undoes every mutation recorded after `snapshot`.
+    pub fn revert_to(&mut self, snapshot: Snapshot) {
+        while self.journal.len() > snapshot.0 {
+            match self.journal.pop().expect("length checked") {
+                JournalEntry::StorageChanged { address, key, prev } => {
+                    let account = self.accounts.get_mut(&address).expect("journaled account exists");
+                    if prev.is_zero() {
+                        account.storage.remove(&key);
+                    } else {
+                        account.storage.insert(key, prev);
+                    }
+                }
+                JournalEntry::BalanceChanged { address, prev } => {
+                    self.accounts.get_mut(&address).expect("journaled account exists").balance = prev;
+                }
+                JournalEntry::NonceChanged { address, prev } => {
+                    self.accounts.get_mut(&address).expect("journaled account exists").nonce = prev;
+                }
+                JournalEntry::CodeChanged { address, prev } => {
+                    self.accounts.get_mut(&address).expect("journaled account exists").code = prev;
+                }
+                JournalEntry::AccountCreated { address } => {
+                    self.accounts.remove(&address);
+                }
+            }
+        }
+    }
+
+    /// Drops the journal; prior snapshots become unusable. Call after a
+    /// block is sealed.
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Deterministic commitment to the entire state: a Merkle root over the
+    /// sorted account hashes (see `DESIGN.md` §7 for the trie substitution).
+    pub fn state_root(&self) -> H256 {
+        let leaves: Vec<H256> =
+            self.accounts.iter().map(|(address, account)| account.account_hash(address)).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Iterates accounts in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+}
+
+impl Storage for StateDb {
+    fn storage_get(&self, address: &Address, key: &H256) -> H256 {
+        self.accounts
+            .get(address)
+            .and_then(|account| account.storage.get(key))
+            .copied()
+            .unwrap_or(H256::ZERO)
+    }
+
+    fn storage_set(&mut self, address: &Address, key: H256, value: H256) {
+        let prev = self.storage_get(address, &key);
+        if prev == value {
+            return;
+        }
+        let account = self.ensure_account(address);
+        if value.is_zero() {
+            account.storage.remove(&key);
+        } else {
+            account.storage.insert(key, value);
+        }
+        self.journal.push(JournalEntry::StorageChanged { address: *address, key, prev });
+    }
+
+    fn code_get(&self, address: &Address) -> ContractCode {
+        self.code_of(address)
+    }
+
+    fn balance_get(&self, address: &Address) -> U256 {
+        self.balance_of(address)
+    }
+
+    fn transfer(&mut self, from: &Address, to: &Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        if !self.debit(from, value) {
+            return false;
+        }
+        self.credit(to, value);
+        true
+    }
+
+    fn checkpoint(&self) -> usize {
+        self.journal.len()
+    }
+
+    fn revert_checkpoint(&mut self, checkpoint: usize) {
+        self.revert_to(Snapshot(checkpoint));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    #[test]
+    fn balances_default_to_zero() {
+        let state = StateDb::new();
+        assert_eq!(state.balance_of(&addr(1)), U256::ZERO);
+        assert_eq!(state.nonce_of(&addr(1)), 0);
+    }
+
+    #[test]
+    fn credit_and_debit() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(100u64));
+        assert!(state.debit(&addr(1), U256::from(30u64)));
+        assert_eq!(state.balance_of(&addr(1)), U256::from(70u64));
+        assert!(!state.debit(&addr(1), U256::from(1000u64)));
+        assert_eq!(state.balance_of(&addr(1)), U256::from(70u64));
+    }
+
+    #[test]
+    fn revert_restores_everything() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(10u64));
+        state.clear_journal();
+        let root_before = state.state_root();
+
+        let snapshot = state.snapshot();
+        state.credit(&addr(1), U256::from(5u64));
+        state.set_nonce(&addr(1), 3);
+        state.storage_set(&addr(2), H256::from_low_u64(1), H256::from_low_u64(9));
+        state.set_code(&addr(3), ContractCode::Bytecode(bytes::Bytes::from_static(&[0x00])));
+        assert_ne!(state.state_root(), root_before);
+
+        state.revert_to(snapshot);
+        assert_eq!(state.state_root(), root_before);
+        assert_eq!(state.balance_of(&addr(1)), U256::from(10u64));
+        assert_eq!(state.nonce_of(&addr(1)), 0);
+        assert!(state.account(&addr(2)).is_none(), "created account removed on revert");
+        assert!(state.account(&addr(3)).is_none());
+    }
+
+    #[test]
+    fn nested_snapshots_revert_in_order() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(1u64));
+        let outer = state.snapshot();
+        state.credit(&addr(1), U256::from(1u64));
+        let inner = state.snapshot();
+        state.credit(&addr(1), U256::from(1u64));
+        assert_eq!(state.balance_of(&addr(1)), U256::from(3u64));
+        state.revert_to(inner);
+        assert_eq!(state.balance_of(&addr(1)), U256::from(2u64));
+        state.revert_to(outer);
+        assert_eq!(state.balance_of(&addr(1)), U256::from(1u64));
+    }
+
+    #[test]
+    fn zero_storage_writes_do_not_bloat_state() {
+        let mut state = StateDb::new();
+        state.storage_set(&addr(1), H256::from_low_u64(1), H256::from_low_u64(5));
+        state.storage_set(&addr(1), H256::from_low_u64(1), H256::ZERO);
+        assert_eq!(state.account(&addr(1)).unwrap().storage.len(), 0);
+    }
+
+    #[test]
+    fn writing_same_value_is_a_noop_for_the_journal() {
+        let mut state = StateDb::new();
+        state.storage_set(&addr(1), H256::from_low_u64(1), H256::from_low_u64(5));
+        let snapshot = state.snapshot();
+        state.storage_set(&addr(1), H256::from_low_u64(1), H256::from_low_u64(5));
+        state.revert_to(snapshot);
+        assert_eq!(state.storage_get(&addr(1), &H256::from_low_u64(1)), H256::from_low_u64(5));
+    }
+
+    #[test]
+    fn state_root_is_order_independent_but_content_sensitive() {
+        let mut a = StateDb::new();
+        a.credit(&addr(1), U256::from(1u64));
+        a.credit(&addr(2), U256::from(2u64));
+        let mut b = StateDb::new();
+        b.credit(&addr(2), U256::from(2u64));
+        b.credit(&addr(1), U256::from(1u64));
+        assert_eq!(a.state_root(), b.state_root());
+
+        b.credit(&addr(3), U256::from(3u64));
+        assert_ne!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn state_root_reflects_storage() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(1u64));
+        let before = state.state_root();
+        state.storage_set(&addr(1), H256::from_low_u64(7), H256::from_low_u64(8));
+        assert_ne!(state.state_root(), before);
+    }
+
+    #[test]
+    fn storage_is_per_account() {
+        let mut state = StateDb::new();
+        state.storage_set(&addr(1), H256::from_low_u64(1), H256::from_low_u64(5));
+        assert_eq!(state.storage_get(&addr(2), &H256::from_low_u64(1)), H256::ZERO);
+    }
+}

@@ -1,0 +1,407 @@
+//! The chain store: block storage, canonical-chain tracking, and
+//! longest-chain fork choice.
+
+use std::collections::HashMap;
+
+use sereth_crypto::hash::H256;
+use sereth_types::block::Block;
+use sereth_types::receipt::Receipt;
+
+use crate::genesis::Genesis;
+use crate::state::StateDb;
+use crate::validation::{validate_block, ValidationError};
+
+/// A block retained with its replay artifacts.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// The block itself.
+    pub block: Block,
+    /// Receipts from validation replay.
+    pub receipts: Vec<Receipt>,
+    /// State after the block.
+    pub post_state: StateDb,
+}
+
+/// What happened when a block was imported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportOutcome {
+    /// The block extended the canonical head.
+    ExtendedCanonical,
+    /// The block joined a side chain that is not (yet) canonical.
+    SideChain,
+    /// The block caused a reorganisation; the previous head was replaced.
+    Reorged {
+        /// Canonical blocks discarded by the reorg.
+        reverted: usize,
+    },
+    /// The block was already known.
+    AlreadyKnown,
+}
+
+/// Errors from [`ChainStore::import`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The parent block is unknown (the substrate does not buffer orphans;
+    /// gossip re-delivery handles them in the simulator).
+    UnknownParent,
+    /// The block failed replay validation.
+    Invalid(ValidationError),
+}
+
+impl core::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownParent => write!(f, "unknown parent block"),
+            Self::Invalid(err) => write!(f, "invalid block: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Block storage with longest-chain fork choice (ties favour the incumbent,
+/// then the lower hash, so every node resolves ties identically).
+#[derive(Debug, Clone)]
+pub struct ChainStore {
+    blocks: HashMap<H256, StoredBlock>,
+    canonical: Vec<H256>,
+    head: H256,
+}
+
+impl ChainStore {
+    /// Creates a store rooted at `genesis`.
+    pub fn new(genesis: Genesis) -> Self {
+        let hash = genesis.block.hash();
+        let stored = StoredBlock { block: genesis.block, receipts: vec![], post_state: genesis.state };
+        let mut blocks = HashMap::new();
+        blocks.insert(hash, stored);
+        Self { blocks, canonical: vec![hash], head: hash }
+    }
+
+    /// Hash of the canonical head.
+    pub fn head_hash(&self) -> H256 {
+        self.head
+    }
+
+    /// The canonical head block.
+    pub fn head_block(&self) -> &Block {
+        &self.blocks[&self.head].block
+    }
+
+    /// State at the canonical head.
+    pub fn head_state(&self) -> &StateDb {
+        &self.blocks[&self.head].post_state
+    }
+
+    /// Height of the canonical head.
+    pub fn head_number(&self) -> u64 {
+        self.head_block().number()
+    }
+
+    /// Looks up any stored block by hash.
+    pub fn get(&self, hash: &H256) -> Option<&StoredBlock> {
+        self.blocks.get(hash)
+    }
+
+    /// The canonical block at `number`, if within the chain.
+    pub fn canonical_block(&self, number: u64) -> Option<&StoredBlock> {
+        self.canonical.get(number as usize).map(|hash| &self.blocks[hash])
+    }
+
+    /// `true` if `hash` is on the canonical chain.
+    pub fn is_canonical(&self, hash: &H256) -> bool {
+        self.blocks
+            .get(hash)
+            .is_some_and(|stored| self.canonical.get(stored.block.number() as usize) == Some(hash))
+    }
+
+    /// Finds the *canonical* receipt of a transaction, with the block it
+    /// committed in — the `eth_getTransactionReceipt` analogue. Returns
+    /// `None` while the transaction is pending (or only on side chains).
+    pub fn find_receipt(&self, tx_hash: &H256) -> Option<(&StoredBlock, &Receipt)> {
+        // Pool sizes and chain lengths in the simulation make a linear
+        // scan over canonical blocks perfectly adequate; an index would
+        // need reorg-aware maintenance for no measurable gain here.
+        for block_hash in self.canonical.iter().rev() {
+            let stored = &self.blocks[block_hash];
+            if let Some(receipt) = stored.receipts.iter().find(|r| &r.tx_hash == tx_hash) {
+                return Some((stored, receipt));
+            }
+        }
+        None
+    }
+
+    /// All canonical logs whose first topic equals `topic`, oldest first,
+    /// with their block numbers — the `eth_getLogs` analogue the metrics
+    /// and clients use to observe contract-level success events.
+    pub fn logs_with_topic(&self, topic: &H256) -> Vec<(u64, sereth_types::receipt::Log)> {
+        let mut out = Vec::new();
+        for block_hash in &self.canonical {
+            let stored = &self.blocks[block_hash];
+            for receipt in &stored.receipts {
+                for log in &receipt.logs {
+                    if log.topics.first() == Some(topic) {
+                        out.push((stored.block.number(), log.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stored blocks (canonical and side-chain).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if only genesis is stored.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() <= 1
+    }
+
+    /// Validates and stores `block`, running fork choice.
+    ///
+    /// # Errors
+    ///
+    /// See [`ImportError`].
+    pub fn import(&mut self, block: Block) -> Result<ImportOutcome, ImportError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Ok(ImportOutcome::AlreadyKnown);
+        }
+        let parent = self.blocks.get(&block.header.parent_hash).ok_or(ImportError::UnknownParent)?;
+        let (receipts, post_state) =
+            validate_block(&parent.block.header, &parent.post_state, &block).map_err(ImportError::Invalid)?;
+
+        let number = block.number();
+        self.blocks.insert(hash, StoredBlock { block, receipts, post_state });
+
+        // Fork choice: strictly longer chains win; equal length keeps the
+        // incumbent unless the challenger has a lower hash *and* the
+        // incumbent is not an ancestor-extension (deterministic but
+        // incumbent-sticky, like observed miner behaviour).
+        let head_number = self.head_number();
+        if number > head_number {
+            let outcome = if self.canonical.get(number as usize - 1) == Some(&self.blocks[&hash].block.header.parent_hash)
+            {
+                ImportOutcome::ExtendedCanonical
+            } else {
+                let reverted = self.rebuild_canonical(hash);
+                ImportOutcome::Reorged { reverted }
+            };
+            if outcome == ImportOutcome::ExtendedCanonical {
+                self.canonical.push(hash);
+                self.head = hash;
+            }
+            return Ok(outcome);
+        }
+        Ok(ImportOutcome::SideChain)
+    }
+
+    /// Rewrites the canonical vector to end at `new_head`, returning how
+    /// many previously-canonical blocks were displaced.
+    fn rebuild_canonical(&mut self, new_head: H256) -> usize {
+        let mut path = Vec::new();
+        let mut cursor = new_head;
+        loop {
+            path.push(cursor);
+            let stored = &self.blocks[&cursor];
+            if stored.block.number() == 0 {
+                break;
+            }
+            cursor = stored.block.header.parent_hash;
+        }
+        path.reverse();
+        let displaced = self
+            .canonical
+            .iter()
+            .zip(path.iter())
+            .skip_while(|(old, new)| old == new)
+            .count()
+            .max(self.canonical.len().saturating_sub(path.len()));
+        self.canonical = path;
+        self.head = new_head;
+        displaced
+    }
+
+    /// Iterates canonical blocks from genesis to head.
+    pub fn canonical_chain(&self) -> impl Iterator<Item = &StoredBlock> + '_ {
+        self.canonical.iter().map(move |hash| &self.blocks[hash])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_block, BlockLimits};
+    use crate::genesis::GenesisBuilder;
+    use bytes::Bytes;
+    use sereth_crypto::address::Address;
+    use sereth_crypto::sig::SecretKey;
+    use sereth_types::transaction::{Transaction, TxPayload};
+    use sereth_types::u256::U256;
+
+    fn genesis(key: &SecretKey) -> Genesis {
+        GenesisBuilder::new().fund(key.address(), U256::from(100_000_000u64)).build()
+    }
+
+    fn transfer(key: &SecretKey, nonce: u64, value: u64) -> Transaction {
+        Transaction::sign(
+            TxPayload {
+                nonce,
+                gas_price: 1,
+                gas_limit: 21_000,
+                to: Some(Address::from_low_u64(7)),
+                value: U256::from(value),
+                input: Bytes::new(),
+            },
+            key,
+        )
+    }
+
+    fn extend(store: &ChainStore, txs: Vec<Transaction>, miner: u64, ts: u64) -> Block {
+        let parent = store.head_block().header.clone();
+        build_block(
+            &parent,
+            store.head_state(),
+            txs,
+            Address::from_low_u64(miner),
+            ts,
+            &BlockLimits::default(),
+        )
+        .block
+    }
+
+    #[test]
+    fn imports_extend_canonical_chain() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let b1 = extend(&store, vec![transfer(&key, 0, 5)], 1, 15_000);
+        assert_eq!(store.import(b1.clone()).unwrap(), ImportOutcome::ExtendedCanonical);
+        assert_eq!(store.head_number(), 1);
+        let b2 = extend(&store, vec![transfer(&key, 1, 5)], 1, 30_000);
+        assert_eq!(store.import(b2).unwrap(), ImportOutcome::ExtendedCanonical);
+        assert_eq!(store.head_number(), 2);
+        assert_eq!(store.canonical_chain().count(), 3);
+        assert!(store.is_canonical(&b1.hash()));
+    }
+
+    #[test]
+    fn duplicate_import_is_already_known() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let b1 = extend(&store, vec![], 1, 15_000);
+        store.import(b1.clone()).unwrap();
+        assert_eq!(store.import(b1).unwrap(), ImportOutcome::AlreadyKnown);
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let mut b1 = extend(&store, vec![], 1, 15_000);
+        b1.header.parent_hash = H256::keccak(b"nowhere");
+        assert_eq!(store.import(b1).unwrap_err(), ImportError::UnknownParent);
+    }
+
+    #[test]
+    fn invalid_block_rejected() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let mut b1 = extend(&store, vec![transfer(&key, 0, 5)], 1, 15_000);
+        b1.header.state_root = H256::keccak(b"lies");
+        assert!(matches!(store.import(b1).unwrap_err(), ImportError::Invalid(_)));
+        assert_eq!(store.head_number(), 0, "head unchanged after rejection");
+    }
+
+    #[test]
+    fn equal_length_fork_stays_with_incumbent() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let b1a = extend(&store, vec![], 1, 15_000);
+        let b1b = extend(&store, vec![], 2, 16_000); // same parent, different miner
+        store.import(b1a.clone()).unwrap();
+        assert_eq!(store.import(b1b).unwrap(), ImportOutcome::SideChain);
+        assert_eq!(store.head_hash(), b1a.hash());
+    }
+
+    #[test]
+    fn longer_side_chain_triggers_reorg() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        // Canonical: g -> a1.
+        let a1 = extend(&store, vec![transfer(&key, 0, 1)], 1, 15_000);
+        store.import(a1.clone()).unwrap();
+        // Side chain from genesis: g -> b1 -> b2 (longer).
+        let g = store.canonical_block(0).unwrap().block.header.clone();
+        let g_state = store.canonical_block(0).unwrap().post_state.clone();
+        let b1 = build_block(&g, &g_state, vec![], Address::from_low_u64(2), 16_000, &BlockLimits::default());
+        store.import(b1.block.clone()).unwrap();
+        let b2 = build_block(
+            &b1.block.header,
+            &b1.post_state,
+            vec![transfer(&key, 0, 2)],
+            Address::from_low_u64(2),
+            31_000,
+            &BlockLimits::default(),
+        );
+        let outcome = store.import(b2.block.clone()).unwrap();
+        assert!(matches!(outcome, ImportOutcome::Reorged { .. }));
+        assert_eq!(store.head_hash(), b2.block.hash());
+        assert!(!store.is_canonical(&a1.hash()));
+        assert!(store.is_canonical(&b1.block.hash()));
+        assert_eq!(store.head_number(), 2);
+    }
+
+    #[test]
+    fn find_receipt_locates_canonical_transactions() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let tx = transfer(&key, 0, 9);
+        let b1 = extend(&store, vec![tx.clone()], 1, 15_000);
+        store.import(b1.clone()).unwrap();
+        let (stored, receipt) = store.find_receipt(&tx.hash()).expect("committed");
+        assert_eq!(stored.block.hash(), b1.hash());
+        assert_eq!(receipt.tx_hash, tx.hash());
+        assert!(store.find_receipt(&H256::keccak(b"unknown")).is_none());
+    }
+
+    #[test]
+    fn find_receipt_ignores_side_chains() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let tx = transfer(&key, 0, 5);
+        // Canonical: empty block. Side chain: the tx.
+        let empty = extend(&store, vec![], 1, 15_000);
+        store.import(empty).unwrap();
+        let g = store.canonical_block(0).unwrap();
+        let side = build_block(
+            &g.block.header.clone(),
+            &g.post_state.clone(),
+            vec![tx.clone()],
+            Address::from_low_u64(2),
+            16_000,
+            &BlockLimits::default(),
+        );
+        assert_eq!(store.import(side.block).unwrap(), ImportOutcome::SideChain);
+        assert!(store.find_receipt(&tx.hash()).is_none(), "side-chain receipts are not canonical");
+    }
+
+    #[test]
+    fn logs_with_topic_walks_the_canonical_chain() {
+        let key = SecretKey::from_label(1);
+        let store = ChainStore::new(genesis(&key));
+        // Transfers emit no logs; the query returns empty rather than
+        // erroring on log-free chains.
+        assert!(store.logs_with_topic(&H256::keccak(b"SetOk(bytes32)")).is_empty());
+    }
+
+    #[test]
+    fn head_state_reflects_transactions() {
+        let key = SecretKey::from_label(1);
+        let mut store = ChainStore::new(genesis(&key));
+        let b1 = extend(&store, vec![transfer(&key, 0, 123)], 1, 15_000);
+        store.import(b1).unwrap();
+        assert_eq!(store.head_state().balance_of(&Address::from_low_u64(7)), U256::from(123u64));
+    }
+}

@@ -1,0 +1,391 @@
+//! The pending-transaction pool (TxPool).
+//!
+//! "Hash-Mark-Set takes advantage of an underutilized communication channel
+//! among the peers on a blockchain, the transaction pool" (paper §III-C).
+//! The pool keeps per-sender nonce-ordered queues (miners must respect nonce
+//! order, §II-C) and tracks arrival order, which defines the *real time
+//! order* of the concurrent history (§II-B) that HMS snapshots.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_types::transaction::Transaction;
+use sereth_types::SimTime;
+
+/// Why the pool declined a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The exact transaction is already pooled.
+    Duplicate,
+    /// Another transaction with the same sender and nonce is pooled at an
+    /// equal-or-better price; Ethereum requires a price bump to replace.
+    ReplacementUnderpriced,
+    /// The pool is full and the transaction's price does not beat the
+    /// cheapest pooled transaction.
+    PoolFull,
+    /// The transaction's nonce is already below the sender's account nonce.
+    Stale,
+}
+
+impl core::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Duplicate => write!(f, "transaction already pooled"),
+            Self::ReplacementUnderpriced => write!(f, "replacement transaction underpriced"),
+            Self::PoolFull => write!(f, "pool is full"),
+            Self::Stale => write!(f, "transaction nonce already consumed"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A pooled transaction together with its arrival bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PoolEntry {
+    /// The transaction itself.
+    pub tx: Transaction,
+    /// Global arrival sequence number (defines real-time order).
+    pub arrival_seq: u64,
+    /// Simulated arrival time.
+    pub arrival_time: SimTime,
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum number of pooled transactions.
+    pub capacity: usize,
+    /// Percentage price bump required to replace a same-nonce transaction.
+    pub replace_bump_pct: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { capacity: 4096, replace_bump_pct: 10 }
+    }
+}
+
+/// The pending transaction pool.
+#[derive(Debug, Clone, Default)]
+pub struct TxPool {
+    config: PoolConfig,
+    by_sender: HashMap<Address, BTreeMap<u64, PoolEntry>>,
+    by_hash: HashMap<H256, (Address, u64)>,
+    arrival_counter: u64,
+}
+
+impl TxPool {
+    /// An empty pool with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pool with the given configuration.
+    pub fn with_config(config: PoolConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.by_hash.len()
+    }
+
+    /// `true` if nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.by_hash.is_empty()
+    }
+
+    /// `true` if the pool holds the given transaction hash.
+    pub fn contains(&self, hash: &H256) -> bool {
+        self.by_hash.contains_key(hash)
+    }
+
+    /// Inserts `tx`, arriving at `now`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PoolError`] for the admission rules.
+    pub fn insert(&mut self, tx: Transaction, now: SimTime) -> Result<(), PoolError> {
+        if self.by_hash.contains_key(&tx.hash()) {
+            return Err(PoolError::Duplicate);
+        }
+        let sender = tx.sender();
+        let nonce = tx.nonce();
+
+        if let Some(existing) = self.by_sender.get(&sender).and_then(|queue| queue.get(&nonce)) {
+            let required = existing.tx.gas_price().saturating_mul(100 + self.config.replace_bump_pct) / 100;
+            if tx.gas_price() < required.max(existing.tx.gas_price() + 1) {
+                return Err(PoolError::ReplacementUnderpriced);
+            }
+            let old_hash = existing.tx.hash();
+            self.by_hash.remove(&old_hash);
+        } else if self.by_hash.len() >= self.config.capacity {
+            // Evict the globally cheapest transaction if the newcomer pays
+            // more; otherwise refuse.
+            let cheapest = self
+                .by_hash
+                .keys()
+                .filter_map(|hash| self.entry_by_hash(hash))
+                .min_by_key(|entry| (entry.tx.gas_price(), u64::MAX - entry.arrival_seq))
+                .map(|entry| entry.tx.hash());
+            match cheapest {
+                Some(hash)
+                    if self
+                        .entry_by_hash(&hash)
+                        .is_some_and(|cheap| cheap.tx.gas_price() < tx.gas_price()) =>
+                {
+                    self.remove(&hash);
+                }
+                _ => return Err(PoolError::PoolFull),
+            }
+        }
+
+        let entry = PoolEntry { arrival_seq: self.arrival_counter, arrival_time: now, tx };
+        self.arrival_counter += 1;
+        self.by_hash.insert(entry.tx.hash(), (sender, nonce));
+        self.by_sender.entry(sender).or_default().insert(nonce, entry);
+        Ok(())
+    }
+
+    fn entry_by_hash(&self, hash: &H256) -> Option<&PoolEntry> {
+        let (sender, nonce) = self.by_hash.get(hash)?;
+        self.by_sender.get(sender)?.get(nonce)
+    }
+
+    /// Removes a transaction by hash, returning it if present.
+    pub fn remove(&mut self, hash: &H256) -> Option<Transaction> {
+        let (sender, nonce) = self.by_hash.remove(hash)?;
+        let queue = self.by_sender.get_mut(&sender)?;
+        let entry = queue.remove(&nonce);
+        if queue.is_empty() {
+            self.by_sender.remove(&sender);
+        }
+        entry.map(|e| e.tx)
+    }
+
+    /// Drops every pooled transaction that appears in `block_txs`, and any
+    /// pooled transaction whose nonce is now stale for its sender. Called
+    /// when a block is imported — this is why, right after publication, the
+    /// pool "no longer contains marked transactions" (paper §V-C).
+    pub fn remove_committed<'a>(&mut self, block_txs: impl IntoIterator<Item = &'a Transaction>) {
+        for tx in block_txs {
+            self.remove(&tx.hash());
+            // Same-sender same-nonce alternatives are now unincludable.
+            let sender = tx.sender();
+            if let Some(queue) = self.by_sender.get_mut(&sender) {
+                let stale: Vec<u64> = queue.range(..=tx.nonce()).map(|(n, _)| *n).collect();
+                for nonce in stale {
+                    if let Some(entry) = queue.remove(&nonce) {
+                        self.by_hash.remove(&entry.tx.hash());
+                    }
+                }
+                if queue.is_empty() {
+                    self.by_sender.remove(&sender);
+                }
+            }
+        }
+    }
+
+    /// Every pooled transaction in arrival order — the concurrent history
+    /// snapshot that Hash-Mark-Set's `PROCESS` filters (paper Alg. 2).
+    pub fn pending_by_arrival(&self) -> Vec<PoolEntry> {
+        let mut entries: Vec<PoolEntry> =
+            self.by_sender.values().flat_map(|queue| queue.values().cloned()).collect();
+        entries.sort_by_key(|entry| entry.arrival_seq);
+        entries
+    }
+
+    /// Drops every pooled transaction whose nonce is below its sender's
+    /// current account nonce (e.g. after a reorg or a block built
+    /// elsewhere). `nonce_of` supplies the account nonce per sender.
+    pub fn prune_stale(&mut self, nonce_of: impl Fn(&Address) -> u64) {
+        let stale: Vec<H256> = self
+            .by_sender
+            .iter()
+            .flat_map(|(sender, queue)| {
+                let floor = nonce_of(sender);
+                queue
+                    .range(..floor)
+                    .map(|(_, entry)| entry.tx.hash())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for hash in stale {
+            self.remove(&hash);
+        }
+    }
+
+    /// Executable transactions ordered the way a fee-maximising miner picks
+    /// them: highest gas price first, arrival order breaking ties, while
+    /// never emitting a sender's nonce `n + 1` before `n` (paper §II-C).
+    ///
+    /// `base_nonce` supplies each sender's current account nonce; senders
+    /// whose next pooled nonce is ahead of their account nonce (a gap) are
+    /// held back entirely.
+    pub fn ready_by_price(&self, base_nonce: impl Fn(&Address) -> u64) -> Vec<Transaction> {
+        // Iterate per-sender queues with a simple repeated-selection loop.
+        // Pool sizes in the simulation are a few thousand at most.
+        let mut cursors: HashMap<Address, u64> = HashMap::new();
+        for sender in self.by_sender.keys() {
+            cursors.insert(*sender, base_nonce(sender));
+        }
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<&PoolEntry> = None;
+            for (sender, queue) in &self.by_sender {
+                let next_nonce = cursors[sender];
+                if let Some(entry) = queue.get(&next_nonce) {
+                    let better = match best {
+                        None => true,
+                        Some(current) => (entry.tx.gas_price(), current.arrival_seq)
+                            > (current.tx.gas_price(), entry.arrival_seq),
+                    };
+                    if better {
+                        best = Some(entry);
+                    }
+                }
+            }
+            match best {
+                Some(entry) => {
+                    out.push(entry.tx.clone());
+                    *cursors.get_mut(&entry.tx.sender()).expect("cursor exists") += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use sereth_crypto::sig::SecretKey;
+    use sereth_types::transaction::TxPayload;
+    use sereth_types::u256::U256;
+
+    fn tx(key: &SecretKey, nonce: u64, gas_price: u64) -> Transaction {
+        Transaction::sign(
+            TxPayload {
+                nonce,
+                gas_price,
+                gas_limit: 21_000,
+                to: Some(Address::from_low_u64(1)),
+                value: U256::ZERO,
+                input: Bytes::new(),
+            },
+            key,
+        )
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        pool.insert(tx(&key, 0, 10), 0).unwrap();
+        pool.insert(tx(&key, 1, 10), 1).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        let t = tx(&key, 0, 10);
+        pool.insert(t.clone(), 0).unwrap();
+        assert_eq!(pool.insert(t, 1), Err(PoolError::Duplicate));
+    }
+
+    #[test]
+    fn replacement_requires_price_bump() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        pool.insert(tx(&key, 0, 100), 0).unwrap();
+        // The identical transaction is a duplicate, not a replacement.
+        assert_eq!(pool.insert(tx(&key, 0, 100), 1), Err(PoolError::Duplicate));
+        // +5% is below the 10% bump: refused.
+        assert_eq!(pool.insert(tx(&key, 0, 105), 2), Err(PoolError::ReplacementUnderpriced));
+        // +10%: accepted, replacing the old one.
+        pool.insert(tx(&key, 0, 110), 3).unwrap();
+        assert_eq!(pool.len(), 1);
+        let pending = pool.pending_by_arrival();
+        assert_eq!(pending[0].tx.gas_price(), 110);
+    }
+
+    #[test]
+    fn capacity_evicts_cheapest_when_newcomer_pays_more() {
+        let mut pool = TxPool::with_config(PoolConfig { capacity: 2, replace_bump_pct: 10 });
+        let a = SecretKey::from_label(1);
+        let b = SecretKey::from_label(2);
+        let c = SecretKey::from_label(3);
+        pool.insert(tx(&a, 0, 5), 0).unwrap();
+        pool.insert(tx(&b, 0, 50), 1).unwrap();
+        // Cheaper than everything pooled: refused.
+        assert_eq!(pool.insert(tx(&c, 0, 1), 2), Err(PoolError::PoolFull));
+        // Richer than the cheapest: evicts it.
+        pool.insert(tx(&c, 0, 20), 3).unwrap();
+        assert_eq!(pool.len(), 2);
+        let prices: Vec<u64> = pool.pending_by_arrival().iter().map(|e| e.tx.gas_price()).collect();
+        assert!(prices.contains(&50) && prices.contains(&20));
+    }
+
+    #[test]
+    fn pending_by_arrival_preserves_real_time_order() {
+        let mut pool = TxPool::new();
+        let a = SecretKey::from_label(1);
+        let b = SecretKey::from_label(2);
+        pool.insert(tx(&b, 0, 1), 10).unwrap();
+        pool.insert(tx(&a, 0, 99), 20).unwrap();
+        pool.insert(tx(&b, 1, 1), 30).unwrap();
+        let order: Vec<u64> = pool.pending_by_arrival().iter().map(|e| e.arrival_time).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ready_by_price_orders_by_fee_with_nonce_constraint() {
+        let mut pool = TxPool::new();
+        let rich = SecretKey::from_label(1);
+        let poor = SecretKey::from_label(2);
+        // rich sends nonce 0 at low price, nonce 1 at high price; the high
+        // price tx must still come after its predecessor.
+        pool.insert(tx(&rich, 0, 10), 0).unwrap();
+        pool.insert(tx(&rich, 1, 500), 1).unwrap();
+        pool.insert(tx(&poor, 0, 100), 2).unwrap();
+        let ready = pool.ready_by_price(|_| 0);
+        let prices: Vec<u64> = ready.iter().map(Transaction::gas_price).collect();
+        assert_eq!(prices, vec![100, 10, 500]);
+    }
+
+    #[test]
+    fn ready_by_price_holds_back_nonce_gaps() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        pool.insert(tx(&key, 1, 100), 0).unwrap(); // gap: nonce 0 missing
+        assert!(pool.ready_by_price(|_| 0).is_empty());
+        pool.insert(tx(&key, 0, 1), 1).unwrap();
+        assert_eq!(pool.ready_by_price(|_| 0).len(), 2);
+    }
+
+    #[test]
+    fn remove_committed_clears_included_and_stale() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        let committed = tx(&key, 1, 10);
+        pool.insert(tx(&key, 0, 10), 0).unwrap(); // stale once nonce 1 commits
+        pool.insert(committed.clone(), 1).unwrap();
+        pool.insert(tx(&key, 2, 10), 2).unwrap(); // still valid
+        pool.remove_committed([&committed]);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.pending_by_arrival()[0].tx.nonce(), 2);
+    }
+
+    #[test]
+    fn remove_unknown_hash_is_none() {
+        let mut pool = TxPool::new();
+        assert!(pool.remove(&H256::keccak(b"nothing")).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Fork-choice properties of the chain store: import-order invariance for
+//! strictly-longest chains, and safety of the canonical index under
+//! arbitrary interleavings.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sereth_chain::builder::{build_block, BlockLimits};
+use sereth_chain::genesis::{Genesis, GenesisBuilder};
+use sereth_chain::store::ChainStore;
+use sereth_crypto::address::Address;
+use sereth_crypto::sig::SecretKey;
+use sereth_types::block::Block;
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+
+fn genesis(key: &SecretKey) -> Genesis {
+    GenesisBuilder::new().fund(key.address(), U256::from(1_000_000_000u64)).build()
+}
+
+fn transfer(key: &SecretKey, nonce: u64, value: u64) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 1,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64(7)),
+            value: U256::from(value),
+            input: Bytes::new(),
+        },
+        key,
+    )
+}
+
+/// Builds a branch of `len` blocks from genesis; `salt` differentiates
+/// branches via the miner address and transfer values.
+fn branch(genesis: &Genesis, key: &SecretKey, len: usize, salt: u64) -> Vec<Block> {
+    let mut blocks = Vec::with_capacity(len);
+    let mut parent = genesis.block.header.clone();
+    let mut state = genesis.state.clone();
+    for i in 0..len {
+        let built = build_block(
+            &parent,
+            &state,
+            vec![transfer(key, i as u64, salt + i as u64 + 1)],
+            Address::from_low_u64(0xaaa0 + salt),
+            (i as u64 + 1) * 10_000 + salt,
+            &BlockLimits::default(),
+        );
+        parent = built.block.header.clone();
+        state = built.post_state;
+        blocks.push(built.block);
+    }
+    blocks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two branches of different lengths: whichever import interleaving is
+    /// used (parents before children within each branch), every store ends
+    /// at the head of the strictly longer branch.
+    #[test]
+    fn longest_chain_wins_regardless_of_import_order(
+        short_len in 1usize..5,
+        extra in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let key = SecretKey::from_label(1);
+        let genesis = genesis(&key);
+        let long_len = short_len + extra;
+        let short = branch(&genesis, &key, short_len, 1);
+        let long = branch(&genesis, &key, long_len, 2);
+        let expected_head = long.last().unwrap().hash();
+
+        // Interleave the two branches with a seed-driven shuffle that
+        // preserves intra-branch order (parents first).
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        let mut cursors = [0usize; 2];
+        let branches = [&short, &long];
+        let mut rng_state = seed;
+        while cursors[0] < short.len() || cursors[1] < long.len() {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = if cursors[0] >= short.len() {
+                1
+            } else if cursors[1] >= long.len() {
+                0
+            } else {
+                ((rng_state >> 33) % 2) as usize
+            };
+            order.push((pick, cursors[pick]));
+            cursors[pick] += 1;
+        }
+
+        let mut store = ChainStore::new(genesis.clone());
+        for (which, index) in order {
+            store.import(branches[which][index].clone()).unwrap();
+        }
+        prop_assert_eq!(store.head_hash(), expected_head);
+        prop_assert_eq!(store.head_number(), long_len as u64);
+        // The canonical chain is exactly the long branch.
+        let canonical: Vec<_> = store.canonical_chain().map(|b| b.block.hash()).collect();
+        prop_assert_eq!(canonical.len(), long_len + 1);
+        for (i, block) in long.iter().enumerate() {
+            prop_assert_eq!(canonical[i + 1], block.hash());
+        }
+        // And the short branch is retained as side blocks.
+        prop_assert_eq!(store.len(), 1 + short_len + long_len);
+        for block in &short {
+            prop_assert!(store.get(&block.hash()).is_some());
+            prop_assert!(!store.is_canonical(&block.hash()));
+        }
+    }
+
+    /// Canonical state roots always match the canonical head's header, no
+    /// matter how imports interleave.
+    #[test]
+    fn head_state_is_consistent_after_any_interleaving(len_a in 1usize..4, len_b in 1usize..4) {
+        let key = SecretKey::from_label(1);
+        let genesis = genesis(&key);
+        let a = branch(&genesis, &key, len_a, 1);
+        let b = branch(&genesis, &key, len_b, 2);
+        let mut store = ChainStore::new(genesis);
+        for block in a.iter().chain(b.iter()) {
+            store.import(block.clone()).unwrap();
+        }
+        let head = store.head_block().header.clone();
+        prop_assert_eq!(store.head_state().state_root(), head.state_root);
+    }
+}

@@ -1,0 +1,61 @@
+//! Correctness-condition checkers for committed Sereth histories.
+//!
+//! The paper argues two correctness claims that this crate turns into
+//! machine-checkable predicates over *committed chains*:
+//!
+//! * **Sequential consistency** (§IV): "miners are required to preserve
+//!   the nonce order when committing a transaction from a given thread to
+//!   a block … the blockchain is inherently sequentially consistent."
+//!   [`seqcon::check`] verifies that every sender's transactions appear in
+//!   block order consistent with their program (nonce) order.
+//!
+//! * **Selective Strict Serialization** (§VI): the paper closes its
+//!   related-work discussion of Spear et al.'s SSS with "further work
+//!   might show that SSS is a correctness condition suitable for HMS."
+//!   This crate *is* that further work, executed: [`sss::check`] verifies
+//!   that the **sets are strictly serialized** — each effective set chains
+//!   exactly onto the tail of the committed mark chain — while the
+//!   **buys are marked to the serialized history** — each effective buy's
+//!   `(prev_mark, value)` pins it inside exactly one inter-set interval,
+//!   and every no-op buy was genuinely stale. Within an interval, buys may
+//!   interleave arbitrarily; across intervals they may not.
+//!
+//! The checkers work from calldata and receipts alone — they re-derive
+//! what the contract *must* have done and compare against what the chain
+//! *says* happened, so they are an independent oracle: a violation means
+//! either the chain, the contract, or the miner broke the condition.
+//!
+//! # Examples
+//!
+//! ```
+//! use sereth_consistency::record::{History, MarketOp, MarketSpec, TxRecord};
+//! use sereth_consistency::{seqcon, sss};
+//! use sereth_core::fpv::{Flag, Fpv};
+//! use sereth_core::mark::{compute_mark, genesis_mark};
+//! use sereth_crypto::{Address, H256};
+//!
+//! let spec = MarketSpec::example();
+//! let value = H256::from_low_u64(60);
+//! let history = History::from_records(vec![TxRecord {
+//!     tx_hash: H256::from_low_u64(1),
+//!     sender: Address::from_low_u64(1),
+//!     nonce: 0,
+//!     block_number: 1,
+//!     index_in_block: 0,
+//!     op: MarketOp::Set(Fpv::new(Flag::Head, genesis_mark(), value)),
+//!     effective: true,
+//! }]);
+//! assert!(seqcon::check(&history).is_empty());
+//! assert!(sss::check(&spec, &history).violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod seqcon;
+pub mod sss;
+
+pub use record::{History, MarketOp, MarketSpec, TxRecord};
+pub use seqcon::SeqConViolation;
+pub use sss::{SssReport, SssViolation};

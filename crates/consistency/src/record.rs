@@ -1,0 +1,208 @@
+//! Committed-history extraction: turning blocks + receipts into the
+//! market-operation records the checkers consume.
+
+use sereth_core::fpv::Fpv;
+use sereth_core::mark::genesis_mark;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_types::block::Block;
+use sereth_types::receipt::Receipt;
+
+/// Everything the checkers need to know about one deployed Sereth market.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarketSpec {
+    /// The market contract's address.
+    pub contract: Address,
+    /// Selector of the `set` function.
+    pub set_selector: [u8; 4],
+    /// Selector of the `buy` function.
+    pub buy_selector: [u8; 4],
+    /// Log topic the contract emits for an effective `set`.
+    pub set_ok_topic: H256,
+    /// Log topic the contract emits for an effective `buy`.
+    pub buy_ok_topic: H256,
+    /// The mark the contract holds at genesis.
+    pub genesis_mark: H256,
+    /// The value (price) the contract holds at genesis.
+    pub initial_value: H256,
+}
+
+impl MarketSpec {
+    /// A spec with placeholder selectors/topics, for documentation
+    /// examples and checker unit tests that build [`TxRecord`]s directly
+    /// (the record-level checkers never consult selectors or topics).
+    pub fn example() -> Self {
+        Self {
+            contract: Address::from_low_u64(0xc0ffee),
+            set_selector: [1, 2, 3, 4],
+            buy_selector: [5, 6, 7, 8],
+            set_ok_topic: H256::from_low_u64(1),
+            buy_ok_topic: H256::from_low_u64(2),
+            genesis_mark: genesis_mark(),
+            initial_value: H256::from_low_u64(50),
+        }
+    }
+}
+
+/// The market-relevant interpretation of one committed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarketOp {
+    /// A `set` invocation with the decoded FPV.
+    Set(Fpv),
+    /// A `buy` invocation with the decoded FPV (an *offer*).
+    Buy(Fpv),
+}
+
+/// One committed market transaction, in block order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxRecord {
+    /// Transaction hash.
+    pub tx_hash: H256,
+    /// Sender address (the paper's "thread").
+    pub sender: Address,
+    /// Sender nonce — the program-order index within the thread.
+    pub nonce: u64,
+    /// Block the transaction committed in.
+    pub block_number: u64,
+    /// Position within that block.
+    pub index_in_block: u32,
+    /// What the transaction asked the market to do.
+    pub op: MarketOp,
+    /// `true` if the chain says the operation changed state (the
+    /// contract emitted its success event). Ineffective transactions
+    /// still occupy block space — the paper's "failed" transactions
+    /// (§II-D, §III-A).
+    pub effective: bool,
+}
+
+/// A committed history: market operations in commit (block) order.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    records: Vec<TxRecord>,
+}
+
+impl History {
+    /// Builds a history from records already in commit order.
+    pub fn from_records(records: Vec<TxRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Extracts the market history from a canonical chain.
+    ///
+    /// Transactions not addressed to `spec.contract`, or whose selector is
+    /// neither `set` nor `buy`, or whose calldata does not decode as an
+    /// FPV, are skipped — they are foreign traffic the checkers have
+    /// nothing to say about.
+    pub fn from_blocks<'a>(
+        spec: &MarketSpec,
+        blocks: impl IntoIterator<Item = (&'a Block, &'a [Receipt])>,
+    ) -> Self {
+        let mut records = Vec::new();
+        for (block, receipts) in blocks {
+            for (index, tx) in block.transactions.iter().enumerate() {
+                if tx.to() != Some(spec.contract) {
+                    continue;
+                }
+                let input = tx.input();
+                if input.len() < 4 {
+                    continue;
+                }
+                let selector: [u8; 4] = input[..4].try_into().expect("length checked");
+                let (op, ok_topic) = if selector == spec.set_selector {
+                    let Some(fpv) = Fpv::from_calldata(input) else { continue };
+                    (MarketOp::Set(fpv), spec.set_ok_topic)
+                } else if selector == spec.buy_selector {
+                    let Some(fpv) = Fpv::from_calldata(input) else { continue };
+                    (MarketOp::Buy(fpv), spec.buy_ok_topic)
+                } else {
+                    continue;
+                };
+                let effective = receipts
+                    .iter()
+                    .find(|receipt| receipt.tx_hash == tx.hash())
+                    .is_some_and(|receipt| receipt.has_event(ok_topic));
+                records.push(TxRecord {
+                    tx_hash: tx.hash(),
+                    sender: tx.sender(),
+                    nonce: tx.nonce(),
+                    block_number: block.header.number,
+                    index_in_block: index as u32,
+                    op,
+                    effective,
+                });
+            }
+        }
+        Self { records }
+    }
+
+    /// The records in commit order.
+    pub fn records(&self) -> &[TxRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no market transactions committed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Counts `(effective sets, no-op sets, effective buys, no-op buys)`.
+    pub fn tallies(&self) -> (usize, usize, usize, usize) {
+        let mut sets_ok = 0;
+        let mut sets_noop = 0;
+        let mut buys_ok = 0;
+        let mut buys_noop = 0;
+        for record in &self.records {
+            match (&record.op, record.effective) {
+                (MarketOp::Set(_), true) => sets_ok += 1,
+                (MarketOp::Set(_), false) => sets_noop += 1,
+                (MarketOp::Buy(_), true) => buys_ok += 1,
+                (MarketOp::Buy(_), false) => buys_noop += 1,
+            }
+        }
+        (sets_ok, sets_noop, buys_ok, buys_noop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sereth_core::fpv::Flag;
+
+    fn record(nonce: u64, effective: bool) -> TxRecord {
+        TxRecord {
+            tx_hash: H256::from_low_u64(nonce + 100),
+            sender: Address::from_low_u64(1),
+            nonce,
+            block_number: 1,
+            index_in_block: nonce as u32,
+            op: MarketOp::Set(Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(5))),
+            effective,
+        }
+    }
+
+    #[test]
+    fn tallies_count_by_kind_and_effect() {
+        let mut records = vec![record(0, true), record(1, false)];
+        records.push(TxRecord {
+            op: MarketOp::Buy(Fpv::new(Flag::Success, genesis_mark(), H256::from_low_u64(5))),
+            effective: true,
+            ..record(2, true)
+        });
+        let history = History::from_records(records);
+        assert_eq!(history.tallies(), (1, 1, 1, 0));
+        assert_eq!(history.len(), 3);
+        assert!(!history.is_empty());
+    }
+
+    #[test]
+    fn empty_history_reports_empty() {
+        let history = History::default();
+        assert!(history.is_empty());
+        assert_eq!(history.tallies(), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Mark computation and the AMV tuple.
+//!
+//! "We define a transaction's mark such that given `Txn1` which follows
+//! `Txn0`, `Txn1.mark = Keccak256(Txn0.mark, Txn1.val)`. This creates a
+//! sequentially consistent ordering between any number of transactions in
+//! what we call a *series*." (paper §III-C)
+
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::keccak::keccak256_concat;
+
+/// Computes a transaction's mark from its predecessor's mark and its value.
+///
+/// Because every mark commits (via Keccak-256) to the entire chain of
+/// values before it, "multiple state changes sequenced in the atomic block
+/// update are preserved" — this is also what defeats the lost-update and
+/// frontrunning problems (paper §V-B).
+///
+/// # Examples
+///
+/// ```
+/// use sereth_core::mark::compute_mark;
+/// use sereth_crypto::hash::H256;
+///
+/// let genesis = H256::keccak(b"genesis");
+/// let m1 = compute_mark(&genesis, &H256::from_low_u64(5));
+/// let m2 = compute_mark(&m1, &H256::from_low_u64(7));
+/// assert_ne!(m1, m2);
+/// // Same value re-set in a different interval gets a different mark:
+/// let m3 = compute_mark(&m2, &H256::from_low_u64(5));
+/// assert_ne!(m1, m3);
+/// ```
+pub fn compute_mark(prev_mark: &H256, value: &H256) -> H256 {
+    H256::new(keccak256_concat(prev_mark.as_bytes(), value.as_bytes()))
+}
+
+/// The derived `(address, mark, value)` tuple of a Sereth transaction
+/// (paper §III-C: "together, these elements are referred to as a
+/// transaction's AMV").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Amv {
+    /// The transaction sender.
+    pub address: Address,
+    /// The computed mark.
+    pub mark: H256,
+    /// The value carried.
+    pub value: H256,
+}
+
+impl Amv {
+    /// Derives the AMV of a transaction given its sender and FPV contents.
+    pub fn derive(address: Address, prev_mark: &H256, value: H256) -> Self {
+        Self { address, mark: compute_mark(prev_mark, &value), value }
+    }
+}
+
+/// The mark stored in a freshly deployed Sereth contract, before any `set`
+/// has run. Every node derives the same constant.
+pub fn genesis_mark() -> H256 {
+    H256::keccak(b"sereth/genesis-mark/v1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_depends_on_both_inputs() {
+        let base = genesis_mark();
+        let a = compute_mark(&base, &H256::from_low_u64(1));
+        let b = compute_mark(&base, &H256::from_low_u64(2));
+        let c = compute_mark(&H256::keccak(b"other"), &H256::from_low_u64(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chains_are_injective_in_practice() {
+        // set(5), set(7), set(5): the two 5-intervals have distinct marks —
+        // the property behind the paper's lost-update discussion (§V-B).
+        let m0 = genesis_mark();
+        let five = H256::from_low_u64(5);
+        let seven = H256::from_low_u64(7);
+        let m1 = compute_mark(&m0, &five);
+        let m2 = compute_mark(&m1, &seven);
+        let m3 = compute_mark(&m2, &five);
+        assert_ne!(m1, m3, "same value, different interval, different mark");
+    }
+
+    #[test]
+    fn amv_derivation_matches_compute_mark() {
+        let sender = Address::from_low_u64(9);
+        let prev = genesis_mark();
+        let value = H256::from_low_u64(42);
+        let amv = Amv::derive(sender, &prev, value);
+        assert_eq!(amv.mark, compute_mark(&prev, &value));
+        assert_eq!(amv.address, sender);
+        assert_eq!(amv.value, value);
+    }
+
+    #[test]
+    fn genesis_mark_is_stable() {
+        assert_eq!(genesis_mark(), genesis_mark());
+        assert!(!genesis_mark().is_zero());
+    }
+}

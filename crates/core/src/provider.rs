@@ -1,0 +1,208 @@
+//! The Hash-Mark-Set RAA provider: wires Algorithm 1 into the VM's
+//! Runtime Argument Augmentation hook (paper Fig. 1, activities R1–R3).
+//!
+//! When a Sereth client issues a read-only `get`/`mark` call, the
+//! interpreter hands the call to this provider, which snapshots the node's
+//! TxPool and committed contract state through [`HmsDataSource`], runs
+//! [`hash_mark_set`], and writes the resulting view into the call's
+//! argument words. The contract then merely returns its (augmented)
+//! arguments — exactly Listing 1's `pure` functions.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sereth_crypto::hash::H256;
+use sereth_vm::abi::{self, Selector};
+use sereth_vm::raa::{RaaProvider, RaaRequest};
+
+use crate::hms::{hash_mark_set, HmsConfig, HmsOutcome};
+use crate::process::PendingTx;
+
+/// Read access to the live node data Hash-Mark-Set needs. `sereth-node`
+/// implements this over its pool and chain; tests use fixtures.
+pub trait HmsDataSource: Send + Sync {
+    /// Snapshot of the pending pool in arrival order.
+    fn pending(&self) -> Vec<PendingTx>;
+
+    /// The committed `(mark, value)` of `contract`'s managed state
+    /// variable, read from the canonical head's storage. Taking the
+    /// contract as a parameter lets one provider serve several independent
+    /// Sereth markets.
+    fn committed(&self, contract: &sereth_crypto::address::Address) -> (H256, H256);
+}
+
+/// The RAA provider that serves READ-UNCOMMITTED views.
+pub struct HmsRaaProvider {
+    source: Arc<dyn HmsDataSource>,
+    set_selector: Selector,
+    config: HmsConfig,
+}
+
+impl HmsRaaProvider {
+    /// Builds a provider over `source`. `set_selector` identifies Sereth
+    /// `set` transactions in the pool (Algorithm 2's SIGNATURE filter).
+    pub fn new(source: Arc<dyn HmsDataSource>, set_selector: Selector, config: HmsConfig) -> Self {
+        Self { source, set_selector, config }
+    }
+
+    /// Runs Algorithm 1 against the current source state for `contract`.
+    pub fn run(&self, contract: &sereth_crypto::address::Address) -> HmsOutcome {
+        hash_mark_set(
+            &self.source.pending(),
+            contract,
+            self.set_selector,
+            self.source.committed(contract),
+            &self.config,
+        )
+    }
+}
+
+impl RaaProvider for HmsRaaProvider {
+    fn augment(&self, request: &RaaRequest<'_>) -> Option<Bytes> {
+        let outcome = self.run(&request.contract);
+        let words = outcome.view.to_words();
+        // Write the view into the three argument words (Fig. 1, R3).
+        let with_hint = abi::replace_arg_word(request.calldata, 0, words[0])?;
+        let with_mark = abi::replace_arg_word(&with_hint, 1, words[1])?;
+        abi::replace_arg_word(&with_mark, 2, words[2])
+    }
+}
+
+impl core::fmt::Debug for HmsRaaProvider {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HmsRaaProvider")
+            .field("set_selector", &self.set_selector)
+            .field("committed_head", &self.config.committed_head)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpv::{Flag, Fpv, SPECIAL_VALUE};
+    use crate::mark::{compute_mark, genesis_mark};
+    use sereth_crypto::address::Address;
+    use std::sync::Mutex;
+
+    struct FixtureSource {
+        pool: Mutex<Vec<PendingTx>>,
+        committed: (H256, H256),
+    }
+
+    impl HmsDataSource for FixtureSource {
+        fn pending(&self) -> Vec<PendingTx> {
+            self.pool.lock().unwrap().clone()
+        }
+
+        fn committed(&self, _contract: &Address) -> (H256, H256) {
+            self.committed
+        }
+    }
+
+    fn set_sel() -> Selector {
+        abi::selector("set(bytes32[3])")
+    }
+
+    fn get_sel() -> Selector {
+        abi::selector("get(bytes32[3])")
+    }
+
+    fn set_tx(seq: u64, flag: Flag, prev: H256, value: u64) -> PendingTx {
+        PendingTx {
+            hash: H256::keccak(&seq.to_be_bytes()),
+            sender: Address::from_low_u64(seq),
+            to: Some(Address::from_low_u64(7)),
+            input: Fpv::new(flag, prev, H256::from_low_u64(value)).to_calldata(set_sel()),
+            arrival_seq: seq,
+        }
+    }
+
+    fn provider_with(pool: Vec<PendingTx>) -> HmsRaaProvider {
+        let source = Arc::new(FixtureSource {
+            pool: Mutex::new(pool),
+            committed: (genesis_mark(), H256::from_low_u64(50)),
+        });
+        HmsRaaProvider::new(source, set_sel(), HmsConfig::default())
+    }
+
+    fn raa_call(provider: &HmsRaaProvider) -> [H256; 3] {
+        let calldata = abi::encode_call(get_sel(), &[H256::ZERO, H256::ZERO, H256::ZERO]);
+        let request = RaaRequest {
+            contract: Address::from_low_u64(7),
+            selector: get_sel(),
+            calldata: &calldata,
+            caller: Address::from_low_u64(1),
+        };
+        let augmented = provider.augment(&request).expect("three words present");
+        [
+            abi::arg_word(&augmented, 0).unwrap(),
+            abi::arg_word(&augmented, 1).unwrap(),
+            abi::arg_word(&augmented, 2).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn empty_pool_serves_special_value_and_committed_state() {
+        let provider = provider_with(vec![]);
+        let [hint, mark, value] = raa_call(&provider);
+        assert_eq!(hint, SPECIAL_VALUE);
+        assert_eq!(mark, genesis_mark());
+        assert_eq!(value, H256::from_low_u64(50));
+    }
+
+    #[test]
+    fn pending_series_serves_tail_view() {
+        let s1 = set_tx(0, Flag::Head, genesis_mark(), 60);
+        let m1 = compute_mark(&genesis_mark(), &H256::from_low_u64(60));
+        let s2 = set_tx(1, Flag::Success, m1, 70);
+        let m2 = compute_mark(&m1, &H256::from_low_u64(70));
+        let provider = provider_with(vec![s1, s2]);
+        let [hint, mark, value] = raa_call(&provider);
+        assert_eq!(hint, Flag::Success.to_word());
+        assert_eq!(mark, m2);
+        assert_eq!(value, H256::from_low_u64(70));
+    }
+
+    #[test]
+    fn augment_preserves_selector_and_length() {
+        let provider = provider_with(vec![]);
+        let calldata = abi::encode_call(get_sel(), &[H256::ZERO, H256::ZERO, H256::ZERO]);
+        let request = RaaRequest {
+            contract: Address::from_low_u64(7),
+            selector: get_sel(),
+            calldata: &calldata,
+            caller: Address::from_low_u64(1),
+        };
+        let augmented = provider.augment(&request).unwrap();
+        assert_eq!(augmented.len(), calldata.len());
+        assert_eq!(&augmented[..4], &calldata[..4]);
+    }
+
+    #[test]
+    fn augment_fails_gracefully_on_short_calldata() {
+        let provider = provider_with(vec![]);
+        let calldata = abi::encode_call(get_sel(), &[H256::ZERO]); // only one word
+        let request = RaaRequest {
+            contract: Address::from_low_u64(7),
+            selector: get_sel(),
+            calldata: &calldata,
+            caller: Address::from_low_u64(1),
+        };
+        assert!(provider.augment(&request).is_none());
+    }
+
+    #[test]
+    fn provider_observes_live_pool_changes() {
+        let source = Arc::new(FixtureSource {
+            pool: Mutex::new(vec![]),
+            committed: (genesis_mark(), H256::from_low_u64(50)),
+        });
+        let provider = HmsRaaProvider::new(source.clone(), set_sel(), HmsConfig::default());
+        assert_eq!(raa_call(&provider)[0], SPECIAL_VALUE);
+        source.pool.lock().unwrap().push(set_tx(0, Flag::Head, genesis_mark(), 99));
+        let [hint, _, value] = raa_call(&provider);
+        assert_eq!(hint, Flag::Success.to_word());
+        assert_eq!(value, H256::from_low_u64(99));
+    }
+}

@@ -1,0 +1,72 @@
+//! Account addresses and contract-address derivation.
+
+use crate::hash::{H160, H256};
+use crate::keccak::Keccak256;
+
+/// A 160-bit account address.
+///
+/// Externally-owned account addresses are derived from a public key
+/// ([`crate::sig::PublicKey::address`]); contract addresses are derived from
+/// the creator and its nonce via [`contract_address`], mirroring Ethereum's
+/// `keccak(rlp([sender, nonce]))[12..]` rule.
+pub type Address = H160;
+
+/// Derives the address of a contract created by `creator` at `nonce`.
+///
+/// # Examples
+///
+/// ```
+/// use sereth_crypto::address::{contract_address, Address};
+///
+/// let creator = Address::from_low_u64(7);
+/// let a = contract_address(&creator, 0);
+/// let b = contract_address(&creator, 1);
+/// assert_ne!(a, b, "distinct nonces yield distinct contracts");
+/// ```
+pub fn contract_address(creator: &Address, nonce: u64) -> Address {
+    let payload = crate::rlp::RlpStream::new_list(2)
+        .append_bytes(creator.as_bytes())
+        .append_u64(nonce)
+        .finish();
+    let digest = H256::keccak(&payload);
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&digest.as_bytes()[12..]);
+    Address::new(out)
+}
+
+/// Derives the address controlled by a public key: the low 20 bytes of the
+/// key's Keccak-256 digest, exactly as Ethereum does.
+pub fn address_of_pubkey(pubkey: &H256) -> Address {
+    let mut hasher = Keccak256::new();
+    hasher.update(pubkey.as_bytes());
+    let digest = hasher.finalize();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&digest[12..]);
+    Address::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_addresses_depend_on_creator_and_nonce() {
+        let a = Address::from_low_u64(1);
+        let b = Address::from_low_u64(2);
+        assert_ne!(contract_address(&a, 0), contract_address(&b, 0));
+        assert_ne!(contract_address(&a, 0), contract_address(&a, 1));
+    }
+
+    #[test]
+    fn contract_address_is_deterministic() {
+        let a = Address::from_low_u64(42);
+        assert_eq!(contract_address(&a, 3), contract_address(&a, 3));
+    }
+
+    #[test]
+    fn pubkey_addresses_are_distinct() {
+        let k1 = H256::from_low_u64(1);
+        let k2 = H256::from_low_u64(2);
+        assert_ne!(address_of_pubkey(&k1), address_of_pubkey(&k2));
+    }
+}

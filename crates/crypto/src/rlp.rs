@@ -1,0 +1,369 @@
+//! Recursive Length Prefix (RLP) encoding and decoding.
+//!
+//! RLP is Ethereum's canonical serialization for transactions and blocks.
+//! We implement the subset the substrate needs — byte strings, unsigned
+//! integers (minimal big-endian, no leading zeros), and lists — with strict
+//! canonical-form checks on decode so that replay validation cannot be
+//! confused by non-canonical encodings.
+
+use core::fmt;
+
+/// Error returned by [`RlpReader`] when input is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlpError {
+    /// Input ended before the announced payload.
+    UnexpectedEof,
+    /// A string used a long form when the short form was required.
+    NonCanonical,
+    /// Expected a string item but found a list (or vice versa).
+    WrongKind {
+        /// `true` if a list was expected.
+        expected_list: bool,
+    },
+    /// An integer had leading zero bytes or overflowed the target width.
+    BadInteger,
+    /// Trailing bytes remained after the outermost item.
+    TrailingBytes,
+}
+
+impl fmt::Display for RlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of rlp input"),
+            Self::NonCanonical => write!(f, "non-canonical rlp encoding"),
+            Self::WrongKind { expected_list: true } => write!(f, "expected rlp list"),
+            Self::WrongKind { expected_list: false } => write!(f, "expected rlp string"),
+            Self::BadInteger => write!(f, "non-canonical rlp integer"),
+            Self::TrailingBytes => write!(f, "trailing bytes after rlp item"),
+        }
+    }
+}
+
+impl std::error::Error for RlpError {}
+
+/// Incremental RLP encoder.
+///
+/// # Examples
+///
+/// ```
+/// use sereth_crypto::rlp::RlpStream;
+///
+/// let encoded = RlpStream::new_list(2)
+///     .append_bytes(b"cat")
+///     .append_bytes(b"dog")
+///     .finish();
+/// assert_eq!(encoded, vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlpStream {
+    payload: Vec<u8>,
+    expected_items: usize,
+    appended: usize,
+    /// `None` for a bare (non-list) stream.
+    is_list: bool,
+}
+
+impl RlpStream {
+    /// Starts a list encoder that expects exactly `items` appends.
+    pub fn new_list(items: usize) -> Self {
+        Self { payload: Vec::new(), expected_items: items, appended: 0, is_list: true }
+    }
+
+    /// Starts a bare encoder for a single string item.
+    pub fn new() -> Self {
+        Self { payload: Vec::new(), expected_items: 1, appended: 0, is_list: false }
+    }
+
+    /// Appends a byte-string item.
+    pub fn append_bytes(mut self, bytes: &[u8]) -> Self {
+        encode_bytes(bytes, &mut self.payload);
+        self.appended += 1;
+        self
+    }
+
+    /// Appends an unsigned integer in minimal big-endian form.
+    pub fn append_u64(self, value: u64) -> Self {
+        let be = value.to_be_bytes();
+        let first = be.iter().position(|&b| b != 0).unwrap_or(8);
+        self.append_bytes(&be[first..])
+    }
+
+    /// Appends raw, already-RLP-encoded bytes (e.g. a nested list).
+    pub fn append_raw(mut self, raw: &[u8]) -> Self {
+        self.payload.extend_from_slice(raw);
+        self.appended += 1;
+        self
+    }
+
+    /// Finishes the stream and returns the encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of appended items differs from the count given
+    /// to [`RlpStream::new_list`]; that is always a programming error.
+    pub fn finish(self) -> Vec<u8> {
+        assert_eq!(
+            self.appended, self.expected_items,
+            "rlp list arity mismatch: declared {} items, appended {}",
+            self.expected_items, self.appended
+        );
+        if !self.is_list {
+            return self.payload;
+        }
+        let mut out = Vec::with_capacity(self.payload.len() + 9);
+        encode_length(self.payload.len(), 0xc0, &mut out);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+impl Default for RlpStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn encode_length(len: usize, offset: u8, out: &mut Vec<u8>) {
+    if len < 56 {
+        out.push(offset + len as u8);
+    } else {
+        let be = (len as u64).to_be_bytes();
+        let first = be.iter().position(|&b| b != 0).unwrap_or(7);
+        let len_bytes = &be[first..];
+        out.push(offset + 55 + len_bytes.len() as u8);
+        out.extend_from_slice(len_bytes);
+    }
+}
+
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    if bytes.len() == 1 && bytes[0] < 0x80 {
+        out.push(bytes[0]);
+    } else {
+        encode_length(bytes.len(), 0x80, out);
+        out.extend_from_slice(bytes);
+    }
+}
+
+/// Encodes a single byte string as a standalone RLP item.
+pub fn encode_item(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + 9);
+    encode_bytes(bytes, &mut out);
+    out
+}
+
+/// Cursor-based RLP decoder with canonical-form enforcement.
+#[derive(Debug, Clone)]
+pub struct RlpReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RlpReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    /// Returns `true` if the cursor has consumed all input.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RlpError> {
+        if self.pos + n > self.input.len() {
+            return Err(RlpError::UnexpectedEof);
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn read_length(&mut self, prefix: u8, offset: u8) -> Result<usize, RlpError> {
+        let code = prefix - offset;
+        if code < 56 {
+            return Ok(code as usize);
+        }
+        let len_of_len = (code - 55) as usize;
+        let len_bytes = self.take(len_of_len)?;
+        if len_bytes.first() == Some(&0) {
+            return Err(RlpError::NonCanonical);
+        }
+        let mut len = 0usize;
+        for &b in len_bytes {
+            len = len.checked_mul(256).and_then(|l| l.checked_add(b as usize)).ok_or(RlpError::NonCanonical)?;
+        }
+        if len < 56 {
+            return Err(RlpError::NonCanonical);
+        }
+        Ok(len)
+    }
+
+    /// Reads the next item as a byte string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on EOF, on encountering a list, or on non-canonical encodings
+    /// (e.g. a single byte `< 0x80` wrapped in a string header).
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], RlpError> {
+        let prefix = *self.take(1)?.first().ok_or(RlpError::UnexpectedEof)?;
+        match prefix {
+            0x00..=0x7f => Ok(&self.input[self.pos - 1..self.pos]),
+            0x80..=0xbf => {
+                let len = self.read_length(prefix, 0x80)?;
+                let data = self.take(len)?;
+                if len == 1 && data[0] < 0x80 {
+                    return Err(RlpError::NonCanonical);
+                }
+                Ok(data)
+            }
+            _ => Err(RlpError::WrongKind { expected_list: false }),
+        }
+    }
+
+    /// Reads the next item as a `u64` in canonical minimal big-endian form.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the integer has leading zeros or exceeds 8 bytes.
+    pub fn read_u64(&mut self) -> Result<u64, RlpError> {
+        let bytes = self.read_bytes()?;
+        if bytes.len() > 8 || (bytes.len() > 1 && bytes[0] == 0) || (bytes.len() == 1 && bytes[0] == 0) {
+            // Canonical zero is the empty string.
+            return Err(RlpError::BadInteger);
+        }
+        let mut value = 0u64;
+        for &b in bytes {
+            value = (value << 8) | b as u64;
+        }
+        Ok(value)
+    }
+
+    /// Enters the next item, which must be a list, returning a reader over
+    /// its payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on EOF or if the item is a string.
+    pub fn read_list(&mut self) -> Result<RlpReader<'a>, RlpError> {
+        let prefix = *self.take(1)?.first().ok_or(RlpError::UnexpectedEof)?;
+        if !(0xc0..=0xff).contains(&prefix) {
+            return Err(RlpError::WrongKind { expected_list: true });
+        }
+        let len = self.read_length(prefix, 0xc0)?;
+        let payload = self.take(len)?;
+        Ok(RlpReader::new(payload))
+    }
+
+    /// Asserts that the reader consumed everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlpError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> Result<(), RlpError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(RlpError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples_from_the_spec() {
+        // "dog"
+        assert_eq!(encode_item(b"dog"), vec![0x83, b'd', b'o', b'g']);
+        // empty string
+        assert_eq!(encode_item(b""), vec![0x80]);
+        // single byte below 0x80 encodes as itself
+        assert_eq!(encode_item(&[0x0f]), vec![0x0f]);
+        // 0x80 needs a header
+        assert_eq!(encode_item(&[0x80]), vec![0x81, 0x80]);
+        // empty list
+        assert_eq!(RlpStream::new_list(0).finish(), vec![0xc0]);
+    }
+
+    #[test]
+    fn long_string_uses_length_of_length() {
+        let data = vec![b'x'; 60];
+        let encoded = encode_item(&data);
+        assert_eq!(encoded[0], 0xb8);
+        assert_eq!(encoded[1], 60);
+        assert_eq!(&encoded[2..], &data[..]);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for value in [0u64, 1, 0x7f, 0x80, 0xff, 0x100, u64::MAX] {
+            let encoded = RlpStream::new_list(1).append_u64(value).finish();
+            let mut outer = RlpReader::new(&encoded);
+            let mut list = outer.read_list().unwrap();
+            assert_eq!(list.read_u64().unwrap(), value, "value {value}");
+            list.finish().unwrap();
+            outer.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_through_list() {
+        let encoded = RlpStream::new_list(3)
+            .append_bytes(b"")
+            .append_bytes(b"a")
+            .append_bytes(&[0xffu8; 100])
+            .finish();
+        let mut outer = RlpReader::new(&encoded);
+        let mut list = outer.read_list().unwrap();
+        assert_eq!(list.read_bytes().unwrap(), b"");
+        assert_eq!(list.read_bytes().unwrap(), b"a");
+        assert_eq!(list.read_bytes().unwrap(), &[0xffu8; 100][..]);
+        list.finish().unwrap();
+        outer.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_canonical_single_byte() {
+        // 0x81 0x05 is the non-canonical form of 0x05.
+        let mut reader = RlpReader::new(&[0x81, 0x05]);
+        assert_eq!(reader.read_bytes().unwrap_err(), RlpError::NonCanonical);
+    }
+
+    #[test]
+    fn rejects_leading_zero_integer() {
+        let encoded = RlpStream::new_list(1).append_bytes(&[0x00, 0x01]).finish();
+        let mut outer = RlpReader::new(&encoded);
+        let mut list = outer.read_list().unwrap();
+        assert_eq!(list.read_u64().unwrap_err(), RlpError::BadInteger);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut reader = RlpReader::new(&[0x83, b'd', b'o']);
+        assert_eq!(reader.read_bytes().unwrap_err(), RlpError::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let reader = RlpReader::new(&[0x80]);
+        assert_eq!(reader.finish().unwrap_err(), RlpError::TrailingBytes);
+    }
+
+    #[test]
+    fn wrong_kind_is_reported() {
+        let list = RlpStream::new_list(0).finish();
+        let mut reader = RlpReader::new(&list);
+        assert_eq!(reader.read_bytes().unwrap_err(), RlpError::WrongKind { expected_list: false });
+
+        let string = encode_item(b"hi");
+        let mut reader = RlpReader::new(&string);
+        assert_eq!(reader.read_list().unwrap_err(), RlpError::WrongKind { expected_list: true });
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = RlpStream::new_list(2).append_u64(1).finish();
+    }
+}

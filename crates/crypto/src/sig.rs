@@ -1,0 +1,198 @@
+//! Simulated transaction signatures.
+//!
+//! The paper relies on signatures for exactly two behaviours:
+//!
+//! 1. **sender binding** — a transaction is attributable to an address, and
+//!    per-address nonce order must be respected by miners (§II-C);
+//! 2. **tamper evidence** — RAA must not modify the arguments of a *signed*
+//!    transaction, because peers replaying the block would reject it
+//!    (§III-D: "the modified transactions would still be mined, but would
+//!    not be accepted by peers").
+//!
+//! Real Ethereum uses secp256k1 ECDSA. Building an elliptic-curve library is
+//! out of scope and unnecessary for those two behaviours, so this module
+//! substitutes a keccak-based scheme (documented in `DESIGN.md` §7): the
+//! signature binds a public key and a payload digest with a MAC-style tag.
+//! The scheme provides *binding* — any mutation of the signed payload is
+//! detected by [`Signature::verify`] — but **not cryptographic
+//! unforgeability**, which none of the reproduced experiments require.
+
+use core::fmt;
+
+use crate::address::{address_of_pubkey, Address};
+use crate::hash::H256;
+use crate::keccak::Keccak256;
+
+const PK_DOMAIN: &[u8] = b"sereth/sim-pubkey/v1";
+const SIG_DOMAIN: &[u8] = b"sereth/sim-signature/v1";
+
+/// A simulated signing key.
+///
+/// Holding a `SecretKey` is the *capability* to sign for its address; nodes
+/// and miners never hold foreign secret keys, which is what makes the RAA
+/// tamper experiment meaningful.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    seed: H256,
+    public: PublicKey,
+}
+
+impl SecretKey {
+    /// Derives a key pair deterministically from a 32-byte seed.
+    pub fn from_seed(seed: H256) -> Self {
+        let mut hasher = Keccak256::new();
+        hasher.update(PK_DOMAIN);
+        hasher.update(seed.as_bytes());
+        let public = PublicKey(H256::new(hasher.finalize()));
+        Self { seed, public }
+    }
+
+    /// Convenience constructor for tests and workloads: derives a key pair
+    /// from a small integer label.
+    pub fn from_label(label: u64) -> Self {
+        Self::from_seed(H256::from_low_u64(label))
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The address controlled by this key.
+    pub fn address(&self) -> Address {
+        self.public.address()
+    }
+
+    /// Signs a 32-byte payload digest.
+    pub fn sign(&self, payload_digest: H256) -> Signature {
+        let mut hasher = Keccak256::new();
+        hasher.update(SIG_DOMAIN);
+        hasher.update(self.seed.as_bytes());
+        hasher.update(payload_digest.as_bytes());
+        Signature {
+            pubkey: self.public.clone(),
+            signed_digest: payload_digest,
+            tag: H256::new(hasher.finalize()),
+        }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the seed.
+        f.debug_struct("SecretKey").field("address", &self.address()).finish()
+    }
+}
+
+/// A simulated public key (32 bytes, derived from the seed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey(H256);
+
+impl PublicKey {
+    /// The raw key bytes.
+    pub fn as_h256(&self) -> &H256 {
+        &self.0
+    }
+
+    /// The address controlled by this key (low 20 bytes of its keccak).
+    pub fn address(&self) -> Address {
+        address_of_pubkey(&self.0)
+    }
+}
+
+/// A signature over a payload digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    pubkey: PublicKey,
+    signed_digest: H256,
+    tag: H256,
+}
+
+impl Signature {
+    /// The signer's public key.
+    pub fn pubkey(&self) -> &PublicKey {
+        &self.pubkey
+    }
+
+    /// The payload digest the signer attested to.
+    pub fn signed_digest(&self) -> H256 {
+        self.signed_digest
+    }
+
+    /// The MAC-style tag.
+    pub fn tag(&self) -> H256 {
+        self.tag
+    }
+
+    /// Recovers the signer address, Ethereum `ecrecover`-style.
+    pub fn recover(&self) -> Address {
+        self.pubkey.address()
+    }
+
+    /// Verifies that this signature attests to `payload_digest` on behalf of
+    /// `expected_sender`.
+    ///
+    /// Returns `false` when the payload was mutated after signing (the
+    /// digest no longer matches) or when the signature belongs to a
+    /// different address. This is the check block validators run during
+    /// transaction replay.
+    pub fn verify(&self, expected_sender: &Address, payload_digest: H256) -> bool {
+        self.signed_digest == payload_digest && &self.pubkey.address() == expected_sender && !self.tag.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_verify_round_trip() {
+        let key = SecretKey::from_label(7);
+        let digest = H256::keccak(b"payload");
+        let sig = key.sign(digest);
+        assert!(sig.verify(&key.address(), digest));
+        assert_eq!(sig.recover(), key.address());
+    }
+
+    #[test]
+    fn verify_rejects_mutated_payload() {
+        let key = SecretKey::from_label(7);
+        let sig = key.sign(H256::keccak(b"original"));
+        assert!(!sig.verify(&key.address(), H256::keccak(b"tampered")));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_sender() {
+        let key = SecretKey::from_label(1);
+        let other = SecretKey::from_label(2);
+        let digest = H256::keccak(b"payload");
+        let sig = key.sign(digest);
+        assert!(!sig.verify(&other.address(), digest));
+    }
+
+    #[test]
+    fn distinct_labels_give_distinct_addresses() {
+        let mut addresses: Vec<Address> = (0..64).map(|i| SecretKey::from_label(i).address()).collect();
+        addresses.sort();
+        addresses.dedup();
+        assert_eq!(addresses.len(), 64);
+    }
+
+    #[test]
+    fn signatures_differ_per_payload_and_key() {
+        let key = SecretKey::from_label(3);
+        let s1 = key.sign(H256::keccak(b"a"));
+        let s2 = key.sign(H256::keccak(b"b"));
+        assert_ne!(s1.tag(), s2.tag());
+        let other = SecretKey::from_label(4).sign(H256::keccak(b"a"));
+        assert_ne!(s1.tag(), other.tag());
+    }
+
+    #[test]
+    fn debug_never_leaks_seed() {
+        let key = SecretKey::from_label(9);
+        let printed = format!("{key:?}");
+        assert!(printed.contains("address"));
+        assert!(!printed.contains(&key.seed.to_hex()[2..10]));
+    }
+}

@@ -1,0 +1,22 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! Substitutes for the paper's AWS EC2 testbed (see `DESIGN.md` §7): actors
+//! (nodes, clients, workload drivers) exchange messages over links with
+//! sampled latency, optional loss/duplication, and configurable topology.
+//! Every run is a pure function of its seed, so the experiment harness can
+//! sweep seeds to reproduce Figure 2's confidence bands.
+//!
+//! * [`sim`] — the event queue, [`sim::Actor`] trait, and [`sim::Context`];
+//! * [`latency`] — delay distributions and fault injection;
+//! * [`topology`] — complete/ring/star/random peer wirings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod sim;
+pub mod topology;
+
+pub use latency::{FaultModel, LatencyModel};
+pub use sim::{Actor, Context, NetworkConfig, Simulation};
+pub use topology::{ActorId, Topology, TopologyKind};

@@ -1,0 +1,456 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Actors exchange messages through a simulated network with per-link
+//! latency and fault injection; every run is a pure function of its seed,
+//! which is what lets the experiment harness attach confidence intervals
+//! to Figure 2 by sweeping seeds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sereth_types::SimTime;
+
+use crate::latency::{FaultModel, LatencyModel};
+use crate::topology::{ActorId, Topology, TopologyKind};
+
+/// One behavioural unit: a node, a client driver, a workload generator.
+pub trait Actor<M> {
+    /// Handles a delivered message or timer.
+    fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
+}
+
+/// What the simulator hands an actor while it runs.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    topology: &'a Topology,
+    latency: &'a LatencyModel,
+    faults: &'a FaultModel,
+    rng: &'a mut SmallRng,
+    outbox: Vec<(SimTime, ActorId, M)>,
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The executing actor's id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Network neighbors of the executing actor.
+    pub fn neighbors(&self) -> &[ActorId] {
+        self.topology.neighbors_of(self.self_id)
+    }
+
+    /// The deterministic RNG (actors must take all randomness from here).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` over the network: latency is sampled, and the
+    /// fault model may drop, duplicate, or partition it away.
+    pub fn send_to(&mut self, to: ActorId, msg: M) {
+        if self.faults.severs(self.now, self.self_id, to) {
+            return;
+        }
+        if self.faults.should_drop(self.rng) {
+            return;
+        }
+        let delay = self.latency.sample(self.rng);
+        self.outbox.push((self.now + delay, to, msg.clone()));
+        if self.faults.should_duplicate(self.rng) {
+            let delay = self.latency.sample(self.rng);
+            self.outbox.push((self.now + delay, to, msg));
+        }
+    }
+
+    /// Broadcasts `msg` to every neighbor (flood gossip's one hop).
+    pub fn broadcast(&mut self, msg: M) {
+        let neighbors: Vec<ActorId> = self.neighbors().to_vec();
+        for peer in neighbors {
+            self.send_to(peer, msg.clone());
+        }
+    }
+
+    /// Schedules `msg` back to the executing actor after exactly `delay`
+    /// milliseconds — a reliable local timer (no loss, no jitter).
+    pub fn wake_self(&mut self, delay: SimTime, msg: M) {
+        self.outbox.push((self.now + delay, self.self_id, msg));
+    }
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    target: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Network-wide configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Peer wiring.
+    pub topology: TopologyKind,
+    /// Per-message delay distribution.
+    pub latency: LatencyModel,
+    /// Loss and duplication.
+    pub faults: FaultModel,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self { topology: TopologyKind::Complete, latency: LatencyModel::default(), faults: FaultModel::none() }
+    }
+}
+
+/// The simulation: actors, an event queue, and a seeded RNG.
+pub struct Simulation<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    topology: Topology,
+    latency: LatencyModel,
+    faults: FaultModel,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    now: SimTime,
+    seq: u64,
+    rng: SmallRng,
+    events_processed: u64,
+}
+
+impl<M: Clone> Simulation<M> {
+    /// Builds a simulation over `actors` with the given network `config`
+    /// and RNG `seed`. Identical seeds and actors produce identical runs.
+    pub fn new(actors: Vec<Box<dyn Actor<M>>>, config: &NetworkConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topology = Topology::build(&config.topology, actors.len(), &mut rng);
+        Self {
+            actors,
+            topology,
+            latency: config.latency.clone(),
+            faults: config.faults.clone(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            rng,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Injects an event from outside the simulation (e.g. the initial
+    /// timers that bootstrap miners and workload drivers).
+    pub fn schedule(&mut self, time: SimTime, target: ActorId, msg: M) {
+        let event = QueuedEvent { time, seq: self.seq, target, msg };
+        self.seq += 1;
+        self.queue.push(Reverse(event));
+    }
+
+    /// Delivers the next event, if any. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else { return false };
+        debug_assert!(event.time >= self.now, "time must not run backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+
+        let mut ctx = Context {
+            now: self.now,
+            self_id: event.target,
+            topology: &self.topology,
+            latency: &self.latency,
+            faults: &self.faults,
+            rng: &mut self.rng,
+            outbox: Vec::new(),
+        };
+        self.actors[event.target].on_message(event.msg, &mut ctx);
+        let outbox = ctx.outbox;
+        for (time, target, msg) in outbox {
+            let event = QueuedEvent { time, seq: self.seq, target, msg };
+            self.seq += 1;
+            self.queue.push(Reverse(event));
+        }
+        true
+    }
+
+    /// Runs until the queue drains or simulated time exceeds `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.time > end {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(end);
+    }
+
+    /// Immutable access to an actor (for post-run inspection).
+    pub fn actor(&self, id: ActorId) -> &dyn Actor<M> {
+        self.actors[id].as_ref()
+    }
+
+    /// Mutable access to an actor (for wiring before the run).
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut (dyn Actor<M> + 'static) {
+        self.actors[id].as_mut()
+    }
+
+    /// Consumes the simulation, returning its actors for inspection.
+    pub fn into_actors(self) -> Vec<Box<dyn Actor<M>>> {
+        self.actors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u32),
+        Tick,
+    }
+
+    /// Records everything it receives; replies to pings once.
+    struct Recorder {
+        received: Vec<(SimTime, TestMsg)>,
+        reply_to: Option<ActorId>,
+    }
+
+    impl Actor<TestMsg> for Recorder {
+        fn on_message(&mut self, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            self.received.push((ctx.now(), msg.clone()));
+            if let (TestMsg::Ping(n), Some(peer)) = (&msg, self.reply_to) {
+                if *n < 3 {
+                    ctx.send_to(peer, TestMsg::Ping(n + 1));
+                }
+            }
+        }
+    }
+
+    fn recorder_sim(latency: LatencyModel, seed: u64) -> Simulation<TestMsg> {
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Recorder { received: vec![], reply_to: Some(1) }),
+            Box::new(Recorder { received: vec![], reply_to: Some(0) }),
+        ];
+        let config = NetworkConfig {
+            topology: TopologyKind::Complete,
+            latency,
+            faults: FaultModel::none(),
+        };
+        Simulation::new(actors, &config, seed)
+    }
+
+    #[test]
+    fn ping_pong_converges_with_constant_latency() {
+        let mut sim = recorder_sim(LatencyModel::Constant(10), 1);
+        sim.schedule(0, 0, TestMsg::Ping(0));
+        sim.run_until(1_000);
+        // Ping(0) at t=0 to actor 0; replies bounce 0→1→0→1 with 10ms
+        // latency: 4 deliveries total (n = 0..3).
+        assert_eq!(sim.events_processed(), 4);
+        assert_eq!(sim.now(), 1_000);
+    }
+
+    #[test]
+    fn timers_fire_exactly() {
+        struct Timer {
+            fired_at: Vec<SimTime>,
+        }
+        impl Actor<TestMsg> for Timer {
+            fn on_message(&mut self, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                if msg == TestMsg::Tick {
+                    self.fired_at.push(ctx.now());
+                    if self.fired_at.len() < 3 {
+                        ctx.wake_self(100, TestMsg::Tick);
+                    }
+                }
+            }
+        }
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![Box::new(Timer { fired_at: vec![] })];
+        let mut sim = Simulation::new(actors, &NetworkConfig::default(), 1);
+        sim.schedule(50, 0, TestMsg::Tick);
+        sim.run_until(10_000);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_histories() {
+        let run = |seed: u64| {
+            let mut sim = recorder_sim(LatencyModel::Uniform { min: 5, max: 500 }, seed);
+            sim.schedule(0, 0, TestMsg::Ping(0));
+            sim.run_until(5_000);
+            (sim.events_processed(), sim.now())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ_in_timing() {
+        // Smoke test that the rng actually feeds latency: with a wide
+        // uniform range two seeds are overwhelmingly unlikely to match
+        // event-for-event; we just check the sim runs for both.
+        let mut a = recorder_sim(LatencyModel::Uniform { min: 5, max: 500 }, 1);
+        a.schedule(0, 0, TestMsg::Ping(0));
+        a.run_until(5_000);
+        let mut b = recorder_sim(LatencyModel::Uniform { min: 5, max: 500 }, 2);
+        b.schedule(0, 0, TestMsg::Ping(0));
+        b.run_until(5_000);
+        assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Recorder { received: vec![], reply_to: Some(1) }),
+            Box::new(Recorder { received: vec![], reply_to: None }),
+        ];
+        let config = NetworkConfig {
+            topology: TopologyKind::Complete,
+            latency: LatencyModel::Constant(1),
+            faults: FaultModel { drop_probability: 1.0, duplicate_probability: 0.0, ..FaultModel::none() },
+        };
+        let mut sim = Simulation::new(actors, &config, 1);
+        // The externally-scheduled event arrives (it bypasses the network);
+        // the actor's reply is dropped.
+        sim.schedule(0, 0, TestMsg::Ping(0));
+        sim.run_until(1_000);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Recorder { received: vec![], reply_to: Some(1) }),
+            Box::new(Recorder { received: vec![], reply_to: None }),
+        ];
+        let config = NetworkConfig {
+            topology: TopologyKind::Complete,
+            latency: LatencyModel::Constant(1),
+            faults: FaultModel { drop_probability: 0.0, duplicate_probability: 1.0, ..FaultModel::none() },
+        };
+        let mut sim = Simulation::new(actors, &config, 1);
+        sim.schedule(0, 0, TestMsg::Ping(5)); // n >= 3: recorder won't re-reply
+        sim.run_until(1_000);
+        // 1 external + 2 duplicated deliveries of the reply… but Ping(5)
+        // doesn't trigger a reply; so just the external one.
+        assert_eq!(sim.events_processed(), 1);
+
+        // Now with a replying ping: reply is duplicated.
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Recorder { received: vec![], reply_to: Some(1) }),
+            Box::new(Recorder { received: vec![], reply_to: None }),
+        ];
+        let mut sim = Simulation::new(actors, &config, 1);
+        sim.schedule(0, 0, TestMsg::Ping(0));
+        sim.run_until(1_000);
+        assert_eq!(sim.events_processed(), 3, "external + duplicated reply");
+    }
+
+    #[test]
+    fn partitioned_links_drop_messages_until_heal() {
+        use crate::latency::Partition;
+
+        /// Pings its peer every 100 ms forever.
+        struct Pinger {
+            peer: ActorId,
+        }
+        impl Actor<TestMsg> for Pinger {
+            fn on_message(&mut self, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                if msg == TestMsg::Tick {
+                    ctx.send_to(self.peer, TestMsg::Ping(0));
+                    if ctx.now() < 1_000 {
+                        ctx.wake_self(100, TestMsg::Tick);
+                    }
+                }
+            }
+        }
+        /// Appends delivery times to a shared buffer.
+        struct SharedRecorder {
+            deliveries: std::sync::Arc<std::sync::Mutex<Vec<SimTime>>>,
+        }
+        impl Actor<TestMsg> for SharedRecorder {
+            fn on_message(&mut self, _msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.deliveries.lock().unwrap().push(ctx.now());
+            }
+        }
+
+        let deliveries = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Pinger { peer: 1 }),
+            Box::new(SharedRecorder { deliveries: deliveries.clone() }),
+        ];
+        let config = NetworkConfig {
+            topology: TopologyKind::Complete,
+            latency: LatencyModel::Constant(1),
+            faults: FaultModel {
+                partitions: vec![Partition { island: vec![1], from_ms: 250, until_ms: 650 }],
+                ..FaultModel::none()
+            },
+        };
+        let mut sim = Simulation::new(actors, &config, 1);
+        sim.schedule(100, 0, TestMsg::Tick);
+        sim.run_until(2_000);
+        // Ticks at 100..=1000 send 10 pings; those sent at 300..600 (4 of
+        // them) are severed. Timers keep firing — the partition affects
+        // only cross-cut traffic.
+        let times = deliveries.lock().unwrap().clone();
+        assert_eq!(times, vec![101, 201, 701, 801, 901, 1001]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![Box::new(Recorder { received: vec![], reply_to: None })];
+        let mut sim = Simulation::new(actors, &NetworkConfig::default(), 1);
+        sim.run_until(9_999);
+        assert_eq!(sim.now(), 9_999);
+        assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn events_beyond_horizon_stay_queued() {
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![Box::new(Recorder { received: vec![], reply_to: None })];
+        let mut sim = Simulation::new(actors, &NetworkConfig::default(), 1);
+        sim.schedule(5_000, 0, TestMsg::Tick);
+        sim.run_until(1_000);
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_until(6_000);
+        assert_eq!(sim.events_processed(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! The message vocabulary of the simulated network.
+
+use sereth_crypto::hash::H256;
+use sereth_net::topology::ActorId;
+use sereth_types::block::Block;
+use sereth_types::transaction::Transaction;
+
+/// Everything that flows between actors (network messages and timers).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A transaction submitted by a locally-attached client (RPC analogue).
+    SubmitTx(Transaction),
+    /// Gossip: a pending transaction.
+    NewTransaction(Transaction),
+    /// Gossip: a freshly sealed block.
+    NewBlock(Block),
+    /// Sync: ask peers for a block by hash. Sent when a gossiped block's
+    /// parent is unknown (e.g. after a partition heals); the orphan walk
+    /// requests one ancestor per round trip until the branches reconnect.
+    GetBlock {
+        /// The wanted block.
+        hash: H256,
+        /// Who is asking (the reply goes straight back).
+        requester: ActorId,
+    },
+    /// Timer: a mining node should attempt to seal a block now.
+    MineTick,
+    /// Timer: a workload driver should perform its next submission.
+    /// Carries the driver-local step index.
+    WorkloadTick(u64),
+}

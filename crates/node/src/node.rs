@@ -1,0 +1,640 @@
+//! A full network node: chain store, transaction pool, RAA registry, and
+//! the actor that speaks the gossip protocol.
+//!
+//! A node is either a standard **Geth** client or a modified **Sereth**
+//! client (paper §III-B). The only difference — faithfully to the paper —
+//! is that the Sereth client compiles in the RAA data service: its RAA
+//! registry carries the [`HmsRaaProvider`], so read-only `get`/`mark`
+//! calls against the Sereth contract return READ-UNCOMMITTED views.
+//! "Deployment of Sereth in the wild would not require a fork" (§V):
+//! both kinds interoperate on one network here too, which
+//! `tests/interop.rs` exercises.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+use sereth_chain::builder::{build_block, BlockLimits};
+use sereth_chain::executor::{call_readonly, BlockEnv};
+use sereth_chain::genesis::Genesis;
+use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
+use sereth_chain::txpool::TxPool;
+use sereth_core::hms::HmsConfig;
+use sereth_core::process::PendingTx;
+use sereth_core::provider::{HmsDataSource, HmsRaaProvider};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_net::sim::{Actor, Context};
+use sereth_net::topology::ActorId;
+use sereth_types::block::Block;
+use sereth_types::transaction::Transaction;
+use sereth_types::SimTime;
+use sereth_vm::abi;
+use sereth_vm::raa::RaaRegistry;
+
+use crate::contract::{get_selector, mark_selector, set_selector};
+use crate::messages::Msg;
+use crate::miner::{committed_amv, order_candidates, MinerPolicy};
+
+/// Standard vs. modified client (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Unmodified client: state reads are READ-COMMITTED.
+    Geth,
+    /// HMS-enabled client: RAA serves READ-UNCOMMITTED views.
+    Sereth,
+}
+
+/// When blocks are produced.
+#[derive(Debug, Clone)]
+pub enum BlockSchedule {
+    /// A block every `interval` milliseconds.
+    Fixed(SimTime),
+    /// Exponentially distributed inter-block times with the given mean —
+    /// memoryless, like proof-of-work.
+    Exponential {
+        /// Mean interval in milliseconds.
+        mean: SimTime,
+    },
+}
+
+impl BlockSchedule {
+    /// Samples the next inter-block delay.
+    pub fn next_delay<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match self {
+            Self::Fixed(interval) => (*interval).max(1),
+            Self::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((-(u.ln()) * *mean as f64) as SimTime).clamp(1, mean.saturating_mul(20))
+            }
+        }
+    }
+}
+
+/// Mining configuration for a node.
+#[derive(Debug, Clone)]
+pub struct MinerSetup {
+    /// Ordering policy.
+    pub policy: MinerPolicy,
+    /// Production schedule.
+    pub schedule: BlockSchedule,
+    /// Address credited with fees.
+    pub coinbase: Address,
+}
+
+/// Per-node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Client kind (decides whether RAA/HMS is compiled in).
+    pub kind: ClientKind,
+    /// Address of the Sereth contract under management.
+    pub contract: Address,
+    /// Mining setup, if this node mines.
+    pub miner: Option<MinerSetup>,
+    /// Block capacity limits.
+    pub limits: BlockLimits,
+    /// HMS extensions (committed-head).
+    pub hms: HmsConfig,
+}
+
+/// The lock-protected node state.
+pub struct NodeInner {
+    /// Chain store (canonical chain + side chains).
+    pub chain: ChainStore,
+    /// Pending transaction pool.
+    pub pool: TxPool,
+    /// RAA registry (holds the HMS provider on Sereth nodes).
+    pub raa: RaaRegistry,
+    /// Static configuration.
+    pub config: NodeConfig,
+    /// Blocks whose parents have not arrived yet.
+    orphans: Vec<Block>,
+    /// Gossip dedup for transactions.
+    seen_txs: std::collections::HashSet<H256>,
+}
+
+/// Outcome of [`NodeHandle::receive_block`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReceipt {
+    /// Newly imported (possibly with previously-orphaned descendants);
+    /// forward to peers.
+    Imported,
+    /// Already known; do not forward again.
+    Known,
+    /// Parent unknown; stashed for retry, not forwarded yet.
+    Orphaned,
+    /// Validation failed; dropped.
+    Rejected,
+}
+
+/// A shareable handle to one node. Clients attached to the node (the
+/// paper's smart-contract users) query through this handle — the analogue
+/// of local RPC against one's own client process.
+#[derive(Clone)]
+pub struct NodeHandle(Arc<Mutex<NodeInner>>);
+
+/// [`HmsDataSource`] over a node, held weakly by the RAA provider to avoid
+/// a reference cycle.
+struct NodeSource(Weak<Mutex<NodeInner>>);
+
+impl HmsDataSource for NodeSource {
+    fn pending(&self) -> Vec<PendingTx> {
+        let Some(node) = self.0.upgrade() else { return Vec::new() };
+        let inner = node.lock();
+        crate::miner::pending_view(&inner.pool)
+    }
+
+    fn committed(&self, contract: &Address) -> (H256, H256) {
+        let Some(node) = self.0.upgrade() else { return (H256::ZERO, H256::ZERO) };
+        let inner = node.lock();
+        committed_amv(inner.chain.head_state(), contract)
+    }
+}
+
+impl NodeHandle {
+    /// Builds a node from `genesis` with the given configuration. Sereth
+    /// nodes get the HMS RAA provider installed for the contract's
+    /// `get`/`mark` selectors.
+    pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
+        let inner = NodeInner {
+            chain: ChainStore::new(genesis),
+            pool: TxPool::new(),
+            raa: RaaRegistry::new(),
+            config,
+            orphans: Vec::new(),
+            seen_txs: std::collections::HashSet::new(),
+        };
+        let handle = Self(Arc::new(Mutex::new(inner)));
+        {
+            let mut inner = handle.0.lock();
+            if inner.config.kind == ClientKind::Sereth {
+                let source = NodeSource(Arc::downgrade(&handle.0));
+                let provider =
+                    HmsRaaProvider::new(Arc::new(source), set_selector(), inner.config.hms.clone());
+                let contract = inner.config.contract;
+                inner.raa.enable(contract, get_selector());
+                inner.raa.enable(contract, mark_selector());
+                inner.raa.set_provider(Arc::new(provider));
+            }
+        }
+        handle
+    }
+
+    /// The node's client kind.
+    pub fn kind(&self) -> ClientKind {
+        self.0.lock().config.kind
+    }
+
+    /// Canonical head height.
+    pub fn head_number(&self) -> u64 {
+        self.0.lock().chain.head_number()
+    }
+
+    /// Number of pooled transactions.
+    pub fn pool_len(&self) -> usize {
+        self.0.lock().pool.len()
+    }
+
+    /// `true` if the pool currently holds `hash`.
+    pub fn pool_contains(&self, hash: &H256) -> bool {
+        self.0.lock().pool.contains(hash)
+    }
+
+    /// The committed `(mark, value)` of the managed contract — what a
+    /// standard Geth client sees (READ-COMMITTED).
+    pub fn committed_amv(&self) -> (H256, H256) {
+        let inner = self.0.lock();
+        committed_amv(inner.chain.head_state(), &inner.config.contract)
+    }
+
+    /// Account nonce at the canonical head.
+    pub fn account_nonce(&self, address: &Address) -> u64 {
+        self.0.lock().chain.head_state().nonce_of(address)
+    }
+
+    /// Issues the two read-only calls `mark(...)` and `get(...)` against
+    /// the contract, with RAA applied when this node is a Sereth client
+    /// (paper Fig. 1). Returns `(mark, value)`.
+    ///
+    /// On a Geth node the calls execute without augmentation and echo the
+    /// zero arguments — callers should use [`NodeHandle::committed_amv`]
+    /// instead, exactly as unmodified clients must.
+    pub fn query_view(&self, caller: Address) -> Option<(H256, H256)> {
+        let (state, raa, contract, env) = {
+            let inner = self.0.lock();
+            let head = inner.chain.head_block().header.clone();
+            (
+                inner.chain.head_state().clone(),
+                inner.raa.clone(),
+                inner.config.contract,
+                BlockEnv {
+                    number: head.number,
+                    timestamp_ms: head.timestamp_ms,
+                    gas_limit: head.gas_limit,
+                    miner: head.miner,
+                },
+            )
+        };
+        // The lock is released: the provider re-locks the node inside
+        // `augment` without deadlocking.
+        let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
+        let mark_out =
+            call_readonly(&state, caller, contract, abi::encode_call(mark_selector(), &zero), &env, &raa);
+        let mark = abi::decode_word(&mark_out.return_data)?;
+        let get_out =
+            call_readonly(&state, caller, contract, abi::encode_call(get_selector(), &zero), &env, &raa);
+        let value = abi::decode_word(&get_out.return_data)?;
+        Some((mark, value))
+    }
+
+    /// Accepts a transaction from gossip or local submission. Returns
+    /// `true` when newly accepted (the caller should gossip it onward).
+    pub fn receive_tx(&self, tx: Transaction, now: SimTime) -> bool {
+        let mut inner = self.0.lock();
+        if !inner.seen_txs.insert(tx.hash()) {
+            return false;
+        }
+        if !tx.verify_signature() {
+            return false;
+        }
+        if tx.nonce() < inner.chain.head_state().nonce_of(&tx.sender()) {
+            return false; // stale
+        }
+        inner.pool.insert(tx, now).is_ok()
+    }
+
+    /// Accepts a block from gossip, importing it and any orphans it
+    /// unblocks.
+    pub fn receive_block(&self, block: Block) -> BlockReceipt {
+        let mut inner = self.0.lock();
+        if inner.chain.get(&block.hash()).is_some() {
+            return BlockReceipt::Known;
+        }
+        match inner.chain.import(block.clone()) {
+            Ok(ImportOutcome::AlreadyKnown) => BlockReceipt::Known,
+            Ok(_) => {
+                Self::after_import(&mut inner, &block);
+                Self::retry_orphans(&mut inner);
+                BlockReceipt::Imported
+            }
+            Err(ImportError::UnknownParent) => {
+                if inner.orphans.len() < 1024 {
+                    inner.orphans.push(block);
+                }
+                BlockReceipt::Orphaned
+            }
+            Err(ImportError::Invalid(_)) => BlockReceipt::Rejected,
+        }
+    }
+
+    fn after_import(inner: &mut NodeInner, block: &Block) {
+        let NodeInner { chain, pool, .. } = inner;
+        pool.remove_committed(block.transactions.iter());
+        let head_state = chain.head_state();
+        pool.prune_stale(|sender| head_state.nonce_of(sender));
+    }
+
+    fn retry_orphans(inner: &mut NodeInner) {
+        loop {
+            let mut progressed = false;
+            let mut remaining = Vec::new();
+            let orphans = std::mem::take(&mut inner.orphans);
+            for block in orphans {
+                if inner.chain.get(&block.hash()).is_some() {
+                    continue;
+                }
+                match inner.chain.import(block.clone()) {
+                    Ok(ImportOutcome::AlreadyKnown) => {}
+                    Ok(_) => {
+                        Self::after_import(inner, &block);
+                        progressed = true;
+                    }
+                    Err(ImportError::UnknownParent) => remaining.push(block),
+                    Err(ImportError::Invalid(_)) => {}
+                }
+            }
+            inner.orphans = remaining;
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Seals a block at `now` (miner nodes only) and imports it locally.
+    pub fn mine(&self, now: SimTime) -> Option<Block> {
+        let mut inner = self.0.lock();
+        let setup = inner.config.miner.clone()?;
+        let parent = inner.chain.head_block().header.clone();
+        let NodeInner { chain, pool, config, .. } = &mut *inner;
+        let state = chain.head_state();
+        let candidates = order_candidates(pool, state, &config.contract, &setup.policy);
+        let timestamp = now.max(parent.timestamp_ms + 1);
+        let built = build_block(&parent, state, candidates, setup.coinbase, timestamp, &config.limits);
+        let block = built.block.clone();
+        match inner.chain.import(block.clone()) {
+            Ok(ImportOutcome::AlreadyKnown) | Ok(_) => {
+                Self::after_import(&mut inner, &block);
+                Some(block)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Looks up a block by hash (canonical or side-chain), for sync
+    /// replies.
+    pub fn block_by_hash(&self, hash: &H256) -> Option<Block> {
+        self.0.lock().chain.get(hash).map(|stored| stored.block.clone())
+    }
+
+    /// Runs `f` with the locked inner state (post-run inspection).
+    pub fn with_inner<T>(&self, f: impl FnOnce(&NodeInner) -> T) -> T {
+        f(&self.0.lock())
+    }
+
+    /// Runs `f` with mutable access to the inner state — for wiring beyond
+    /// the standard configuration, e.g. enabling RAA for additional
+    /// contracts (one HMS provider can serve many markets).
+    pub fn with_inner_mut<T>(&self, f: impl FnOnce(&mut NodeInner) -> T) -> T {
+        f(&mut self.0.lock())
+    }
+
+    /// Where a submitted transaction stands from this node's view — what a
+    /// client polls to decide whether to retry (the abort-rate workload).
+    pub fn tx_commit_status(&self, tx_hash: &H256, success_topic: H256) -> TxCommitStatus {
+        let inner = self.0.lock();
+        match inner.chain.find_receipt(tx_hash) {
+            Some((stored, receipt)) => {
+                if receipt.has_event(success_topic) {
+                    TxCommitStatus::Succeeded { block: stored.block.number() }
+                } else {
+                    TxCommitStatus::NoEffect { block: stored.block.number() }
+                }
+            }
+            None => TxCommitStatus::Pending,
+        }
+    }
+}
+
+/// Commit status of a transaction as observed by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxCommitStatus {
+    /// Not yet in a canonical block (pooled, in flight, or dropped).
+    Pending,
+    /// Committed and the contract emitted the success event.
+    Succeeded {
+        /// Block number it committed in.
+        block: u64,
+    },
+    /// Committed but made no state change — the paper's failed
+    /// transaction (§III-A): it occupies block space to no effect.
+    NoEffect {
+        /// Block number it committed in.
+        block: u64,
+    },
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.0.lock();
+        f.debug_struct("NodeHandle")
+            .field("kind", &inner.config.kind)
+            .field("head", &inner.chain.head_number())
+            .field("pool", &inner.pool.len())
+            .finish()
+    }
+}
+
+/// The actor wrapping a node for the discrete-event simulation.
+pub struct NodeActor {
+    /// The node itself (shared with attached clients).
+    pub handle: NodeHandle,
+    /// Gossip peers (actor ids of other nodes).
+    pub peers: Vec<ActorId>,
+}
+
+impl Actor<Msg> for NodeActor {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::SubmitTx(tx) | Msg::NewTransaction(tx) => {
+                if self.handle.receive_tx(tx.clone(), ctx.now()) {
+                    for &peer in &self.peers {
+                        ctx.send_to(peer, Msg::NewTransaction(tx.clone()));
+                    }
+                }
+            }
+            Msg::NewBlock(block) => {
+                match self.handle.receive_block(block.clone()) {
+                    BlockReceipt::Imported => {
+                        for &peer in &self.peers {
+                            ctx.send_to(peer, Msg::NewBlock(block.clone()));
+                        }
+                    }
+                    BlockReceipt::Orphaned => {
+                        // Ancestor fetch: ask the network for the missing
+                        // parent; each reply walks one block further back
+                        // until the branches reconnect (partition heal).
+                        let request = Msg::GetBlock {
+                            hash: block.header.parent_hash,
+                            requester: ctx.self_id(),
+                        };
+                        for &peer in &self.peers {
+                            ctx.send_to(peer, request.clone());
+                        }
+                    }
+                    BlockReceipt::Known | BlockReceipt::Rejected => {}
+                }
+            }
+            Msg::GetBlock { hash, requester } => {
+                if let Some(block) = self.handle.block_by_hash(&hash) {
+                    ctx.send_to(requester, Msg::NewBlock(block));
+                }
+            }
+            Msg::MineTick => {
+                if let Some(block) = self.handle.mine(ctx.now()) {
+                    for &peer in &self.peers {
+                        ctx.send_to(peer, Msg::NewBlock(block.clone()));
+                    }
+                }
+                let schedule = self.handle.with_inner(|inner| {
+                    inner.config.miner.as_ref().map(|setup| setup.schedule.clone())
+                });
+                if let Some(schedule) = schedule {
+                    let delay = schedule.next_delay(ctx.rng());
+                    ctx.wake_self(delay, Msg::MineTick);
+                }
+            }
+            Msg::WorkloadTick(_) => {
+                // Workload ticks belong to driver actors.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
+    use sereth_chain::genesis::GenesisBuilder;
+    use sereth_core::mark::genesis_mark;
+    use sereth_crypto::sig::SecretKey;
+    use sereth_types::u256::U256;
+
+    fn test_genesis(owner: &SecretKey) -> Genesis {
+        let contract = default_contract_address();
+        GenesisBuilder::new()
+            .fund(owner.address(), U256::from(1_000_000_000u64))
+            .contract_with_storage(
+                contract,
+                sereth_code(ContractForm::Native),
+                sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+            )
+            .build()
+    }
+
+    fn node(kind: ClientKind, owner: &SecretKey, miner: bool) -> NodeHandle {
+        NodeHandle::new(
+            test_genesis(owner),
+            NodeConfig {
+                kind,
+                contract: default_contract_address(),
+                miner: miner.then(|| MinerSetup {
+                    policy: MinerPolicy::Standard,
+                    schedule: BlockSchedule::Fixed(15_000),
+                    coinbase: Address::from_low_u64(0xc01),
+                }),
+                limits: BlockLimits::default(),
+                hms: HmsConfig::default(),
+            },
+        )
+    }
+
+    fn set_tx(owner: &SecretKey, nonce: u64, prev: H256, value: u64) -> Transaction {
+        use sereth_core::fpv::{Flag, Fpv};
+        use sereth_types::transaction::TxPayload;
+        Transaction::sign(
+            TxPayload {
+                nonce,
+                gas_price: 1,
+                gas_limit: 200_000,
+                to: Some(default_contract_address()),
+                value: U256::ZERO,
+                input: Fpv::new(
+                    if nonce == 0 { Flag::Head } else { Flag::Success },
+                    prev,
+                    H256::from_low_u64(value),
+                )
+                .to_calldata(set_selector()),
+            },
+            owner,
+        )
+    }
+
+    #[test]
+    fn geth_node_query_view_echoes_zeros() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, false);
+        let (mark, value) = node.query_view(owner.address()).unwrap();
+        assert_eq!(mark, H256::ZERO);
+        assert_eq!(value, H256::ZERO);
+        // The standard client must fall back to committed state.
+        let (cmark, cvalue) = node.committed_amv();
+        assert_eq!(cmark, genesis_mark());
+        assert_eq!(cvalue, H256::from_low_u64(50));
+    }
+
+    #[test]
+    fn sereth_node_query_view_serves_committed_when_pool_empty() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Sereth, &owner, false);
+        let (mark, value) = node.query_view(owner.address()).unwrap();
+        assert_eq!(mark, genesis_mark());
+        assert_eq!(value, H256::from_low_u64(50));
+    }
+
+    #[test]
+    fn sereth_node_query_view_tracks_pending_sets() {
+        use sereth_core::mark::compute_mark;
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Sereth, &owner, false);
+        let tx = set_tx(&owner, 0, genesis_mark(), 75);
+        assert!(node.receive_tx(tx, 100));
+        let (mark, value) = node.query_view(owner.address()).unwrap();
+        assert_eq!(mark, compute_mark(&genesis_mark(), &H256::from_low_u64(75)));
+        assert_eq!(value, H256::from_low_u64(75));
+    }
+
+    #[test]
+    fn duplicate_tx_not_accepted_twice() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, false);
+        let tx = set_tx(&owner, 0, genesis_mark(), 75);
+        assert!(node.receive_tx(tx.clone(), 100));
+        assert!(!node.receive_tx(tx, 200), "gossip dedup");
+    }
+
+    #[test]
+    fn mining_commits_pool_transactions() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, true);
+        let tx = set_tx(&owner, 0, genesis_mark(), 75);
+        node.receive_tx(tx, 100);
+        assert_eq!(node.pool_len(), 1);
+        let block = node.mine(15_000).expect("miner node seals");
+        assert_eq!(block.transactions.len(), 1);
+        assert_eq!(node.head_number(), 1);
+        assert_eq!(node.pool_len(), 0, "committed txs leave the pool");
+        // The committed view moved.
+        let (_, value) = node.committed_amv();
+        assert_eq!(value, H256::from_low_u64(75));
+    }
+
+    #[test]
+    fn non_miner_mine_is_none() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, false);
+        assert!(node.mine(1_000).is_none());
+    }
+
+    #[test]
+    fn blocks_propagate_between_nodes() {
+        let owner = SecretKey::from_label(1);
+        let miner = node(ClientKind::Geth, &owner, true);
+        let follower = node(ClientKind::Geth, &owner, false);
+        let tx = set_tx(&owner, 0, genesis_mark(), 75);
+        miner.receive_tx(tx.clone(), 100);
+        follower.receive_tx(tx, 120);
+        let block = miner.mine(15_000).unwrap();
+        assert_eq!(follower.receive_block(block.clone()), BlockReceipt::Imported);
+        assert_eq!(follower.receive_block(block), BlockReceipt::Known);
+        assert_eq!(follower.head_number(), 1);
+        assert_eq!(follower.pool_len(), 0, "follower pool cleaned after import");
+    }
+
+    #[test]
+    fn orphan_blocks_import_after_parent_arrives() {
+        let owner = SecretKey::from_label(1);
+        let miner = node(ClientKind::Geth, &owner, true);
+        let follower = node(ClientKind::Geth, &owner, false);
+        let b1 = miner.mine(15_000).unwrap();
+        let b2 = miner.mine(30_000).unwrap();
+        assert_eq!(follower.receive_block(b2), BlockReceipt::Orphaned);
+        assert_eq!(follower.head_number(), 0);
+        assert_eq!(follower.receive_block(b1), BlockReceipt::Imported);
+        assert_eq!(follower.head_number(), 2, "orphan retried after parent");
+    }
+
+    #[test]
+    fn tampered_blocks_are_rejected() {
+        use bytes::Bytes;
+        let owner = SecretKey::from_label(1);
+        let miner = node(ClientKind::Geth, &owner, true);
+        let follower = node(ClientKind::Geth, &owner, false);
+        let tx = set_tx(&owner, 0, genesis_mark(), 75);
+        miner.receive_tx(tx, 100);
+        let mut block = miner.mine(15_000).unwrap();
+        // RAA-style tampering of the signed calldata.
+        block.transactions[0] = block.transactions[0].with_tampered_input(Bytes::from_static(b"oops"));
+        block.header.tx_root = Block::compute_tx_root(&block.transactions);
+        assert_eq!(follower.receive_block(block), BlockReceipt::Rejected);
+        assert_eq!(follower.head_number(), 0);
+    }
+}

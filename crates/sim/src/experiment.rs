@@ -1,0 +1,135 @@
+//! Parameter sweeps with seed replication — the machinery behind Figure 2
+//! and the ablation studies.
+
+use crossbeam::thread;
+
+use crate::metrics::RunMetrics;
+use crate::scenario::{run_scenario, ScenarioConfig};
+use crate::stats::{summarize, Summary};
+
+/// One aggregated point of a sweep: a scenario at a buy:set ratio.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Scenario label.
+    pub scenario: String,
+    /// Sets submitted (the swept variable).
+    pub num_sets: u64,
+    /// buy:set ratio.
+    pub ratio: f64,
+    /// η per seed.
+    pub etas: Vec<f64>,
+    /// Aggregated η.
+    pub eta: Summary,
+    /// Mean latency of successful buys (ms) across seeds.
+    pub buy_latency_mean_ms: f64,
+    /// Mean latency of successful sets (ms) across seeds — the writer-side
+    /// cost a buy-optimising scheduler can hide (EXT-PWV).
+    pub set_latency_mean_ms: f64,
+    /// Per-seed raw metrics for deeper reporting.
+    pub runs: Vec<RunMetrics>,
+}
+
+/// Runs `config` once per seed, in parallel threads, and aggregates η.
+pub fn run_point(config: &ScenarioConfig, seeds: &[u64]) -> SweepPoint {
+    let runs: Vec<RunMetrics> = thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let config = config.clone();
+                scope.spawn(move |_| run_scenario(&config, seed).metrics)
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("scenario thread panicked")).collect()
+    })
+    .expect("thread scope");
+
+    let etas: Vec<f64> = runs.iter().map(RunMetrics::eta_buys).collect();
+    let buy_latencies: Vec<f64> = runs
+        .iter()
+        .filter(|run| !run.buy_latency_ms.is_empty())
+        .map(|run| crate::stats::mean(&run.buy_latency_ms))
+        .collect();
+    let set_latencies: Vec<f64> = runs
+        .iter()
+        .filter(|run| !run.set_latency_ms.is_empty())
+        .map(|run| crate::stats::mean(&run.set_latency_ms))
+        .collect();
+    SweepPoint {
+        scenario: config.name.clone(),
+        num_sets: config.num_sets,
+        ratio: config.ratio(),
+        eta: summarize(&etas),
+        etas,
+        buy_latency_mean_ms: crate::stats::mean(&buy_latencies),
+        set_latency_mean_ms: crate::stats::mean(&set_latencies),
+        runs,
+    }
+}
+
+/// The Figure 2 sweep: for each scenario constructor and each set count,
+/// run all seeds and aggregate.
+pub fn sweep<F>(make_config: F, set_counts: &[u64], num_buys: u64, seeds: &[u64]) -> Vec<SweepPoint>
+where
+    F: Fn(u64, u64) -> ScenarioConfig,
+{
+    set_counts.iter().map(|&num_sets| run_point(&make_config(num_buys, num_sets), seeds)).collect()
+}
+
+/// The set counts the paper sweeps: 100 … 5 sets against 100 buys, i.e.
+/// buy:set ratios 1:1 … 20:1.
+pub const PAPER_SET_COUNTS: [u64; 6] = [100, 50, 25, 20, 10, 5];
+
+/// A constructor for a [`ScenarioConfig`] given `(num_buys, num_sets)`.
+pub type ScenarioFactory = fn(u64, u64) -> ScenarioConfig;
+
+/// The three scenario families of Figure 2.
+pub fn paper_scenarios() -> Vec<(&'static str, ScenarioFactory)> {
+    vec![
+        ("geth_unmodified", ScenarioConfig::geth_unmodified as ScenarioFactory),
+        ("sereth_client", ScenarioConfig::sereth_client as ScenarioFactory),
+        ("semantic_mining", ScenarioConfig::semantic_mining as ScenarioFactory),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_aggregates_per_seed() {
+        let mut config = ScenarioConfig::sereth_client(10, 5);
+        config.num_buyers = 2;
+        config.drain_ms = 60_000;
+        let point = run_point(&config, &[1, 2, 3]);
+        assert_eq!(point.etas.len(), 3);
+        assert_eq!(point.runs.len(), 3);
+        assert_eq!(point.eta.n, 3);
+        assert!((point.ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_all_set_counts() {
+        let points = sweep(
+            |buys, sets| {
+                let mut config = ScenarioConfig::geth_unmodified(buys, sets);
+                config.num_buyers = 2;
+                config.drain_ms = 30_000;
+                config
+            },
+            &[4, 2],
+            8,
+            &[1],
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].num_sets, 4);
+        assert_eq!(points[1].num_sets, 2);
+    }
+
+    #[test]
+    fn paper_constants_match_the_text() {
+        assert_eq!(PAPER_SET_COUNTS.len(), 6);
+        assert_eq!(PAPER_SET_COUNTS[0], 100, "1:1 ratio");
+        assert_eq!(PAPER_SET_COUNTS[5], 5, "20:1 ratio");
+        assert_eq!(paper_scenarios().len(), 3);
+    }
+}

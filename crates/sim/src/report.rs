@@ -1,0 +1,152 @@
+//! Rendering experiment results: aligned tables, CSV, and a terminal
+//! line plot for Figure 2.
+
+use std::fmt::Write as _;
+
+use crate::experiment::SweepPoint;
+
+/// Renders sweep points as an aligned markdown-ish table, one row per
+/// (scenario, ratio).
+pub fn table(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| {:<18} | {:>6} | {:>6} | {:>8} | {:>8} | {:>10} | {:>6} |",
+        "scenario", "ratio", "sets", "eta_mean", "eta_ci90", "latency_ms", "seeds"
+    );
+    let _ = writeln!(out, "|{:-<20}|{:-<8}|{:-<8}|{:-<10}|{:-<10}|{:-<12}|{:-<8}|", "", "", "", "", "", "", "");
+    for point in points {
+        let _ = writeln!(
+            out,
+            "| {:<18} | {:>6.1} | {:>6} | {:>8.3} | {:>8.3} | {:>10.0} | {:>6} |",
+            point.scenario,
+            point.ratio,
+            point.num_sets,
+            point.eta.mean,
+            point.eta.ci90,
+            point.buy_latency_mean_ms,
+            point.eta.n,
+        );
+    }
+    out
+}
+
+/// Renders sweep points as CSV with a header row.
+pub fn csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from("scenario,ratio,num_sets,eta_mean,eta_ci90,buy_latency_mean_ms,seeds\n");
+    for point in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{:.1},{}",
+            point.scenario, point.ratio, point.num_sets, point.eta.mean, point.eta.ci90, point.buy_latency_mean_ms, point.eta.n
+        );
+    }
+    out
+}
+
+/// A terminal line plot of η (y, 0–1) against the sweep index (x), one
+/// letter-coded series per scenario — a stand-in for Figure 2.
+pub fn ascii_plot(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, points) in series {
+        for &(x, _) in points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+        }
+    }
+    if !x_min.is_finite() || x_max <= x_min {
+        x_min = 0.0;
+        x_max = 1.0;
+    }
+
+    for (index, (_, points)) in series.iter().enumerate() {
+        let marker = (b'A' + (index as u8 % 26)) as char;
+        for &(x, y) in points {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (row_index, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - row_index as f64 / (height - 1) as f64;
+        let _ = write!(out, "{y_label:>5.2} |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "      +{}", "-".repeat(width));
+    let _ = write!(out, "       x: {x_min:.1} .. {x_max:.1}   series: ");
+    for (index, (name, _)) in series.iter().enumerate() {
+        let marker = (b'A' + (index as u8 % 26)) as char;
+        let _ = write!(out, "{marker}={name} ");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    fn fake_point(scenario: &str, ratio: f64, eta: f64) -> SweepPoint {
+        SweepPoint {
+            scenario: scenario.to_string(),
+            num_sets: (100.0 / ratio) as u64,
+            ratio,
+            etas: vec![eta],
+            eta: Summary { mean: eta, ci90: 0.01, n: 5 },
+            buy_latency_mean_ms: 12_345.0,
+            set_latency_mean_ms: 15_000.0,
+            runs: vec![],
+        }
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let points = vec![fake_point("geth_unmodified", 1.0, 0.04), fake_point("semantic_mining", 1.0, 0.85)];
+        let rendered = table(&points);
+        assert!(rendered.contains("scenario"));
+        assert!(rendered.contains("geth_unmodified"));
+        assert!(rendered.contains("semantic_mining"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let points = vec![fake_point("sereth_client", 4.0, 0.42)];
+        let rendered = csv(&points);
+        let mut lines = rendered.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "scenario,ratio,num_sets,eta_mean,eta_ci90,buy_latency_mean_ms,seeds"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("sereth_client,4,25,0.420000"));
+    }
+
+    #[test]
+    fn ascii_plot_places_series_markers() {
+        let series = vec![
+            ("low", vec![(1.0, 0.1), (2.0, 0.1)]),
+            ("high", vec![(1.0, 0.9), (2.0, 0.9)]),
+        ];
+        let plot = ascii_plot(&series, 40, 10);
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+        assert!(plot.contains("A=low"));
+        assert!(plot.contains("B=high"));
+        // The high series must be rendered above the low one.
+        let a_row = plot.lines().position(|l| l.contains('A')).unwrap();
+        let b_row = plot.lines().position(|l| l.contains('B')).unwrap();
+        assert!(b_row < a_row);
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_input() {
+        let plot = ascii_plot(&[], 20, 5);
+        assert!(plot.contains("x: 0.0 .. 1.0"));
+    }
+}

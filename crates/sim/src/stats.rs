@@ -1,0 +1,138 @@
+//! Summary statistics for experiment aggregation: means, confidence
+//! intervals, percentiles, and the moving-average smoothing used to present
+//! Figure 2 ("the lines are smoothed averages of the points shown, with the
+//! shaded areas representing the 90 percent confidence interval").
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Unbiased sample standard deviation; 0 with fewer than two samples.
+pub fn std_dev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the 90 % confidence interval for the mean (normal
+/// approximation, z = 1.645); 0 with fewer than two samples.
+pub fn ci90_half_width(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    1.645 * std_dev(samples) / (samples.len() as f64).sqrt()
+}
+
+/// A `(mean, ci90)` summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// 90 % CI half-width.
+    pub ci90: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// Summarises `samples`.
+pub fn summarize(samples: &[f64]) -> Summary {
+    Summary { mean: mean(samples), ci90: ci90_half_width(samples), n: samples.len() }
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`); 0 for empty input.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let frac = rank - low as f64;
+        sorted[low] * (1.0 - frac) + sorted[high] * frac
+    }
+}
+
+/// Centered moving average with the given window (odd windows recommended);
+/// the ends shrink the window symmetrically, so output length equals input
+/// length.
+pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
+    if series.is_empty() || window <= 1 {
+        return series.to_vec();
+    }
+    let half = window / 2;
+    (0..series.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(series.len() - 1);
+            mean(&series[lo..=hi])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_set() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&samples) - 5.0).abs() < 1e-12);
+        // Sample (n-1) std dev of this classic set is ~2.138.
+        assert!((std_dev(&samples) - 2.138).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(ci90_half_width(&[3.0]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_more_samples() {
+        let few = [1.0, 2.0, 3.0, 4.0];
+        let many: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        assert!(ci90_half_width(&many) < ci90_half_width(&few));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert!((percentile(&samples, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_length() {
+        let series = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let smoothed = moving_average(&series, 3);
+        assert_eq!(smoothed.len(), series.len());
+        assert!((smoothed[2] - (10.0 + 0.0 + 10.0) / 3.0).abs() < 1e-12);
+        // Constant series is unchanged.
+        let flat = [5.0; 7];
+        assert_eq!(moving_average(&flat, 5), flat.to_vec());
+    }
+
+    #[test]
+    fn summary_bundles_fields() {
+        let summary = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(summary.n, 3);
+        assert!((summary.mean - 2.0).abs() < 1e-12);
+        assert!(summary.ci90 > 0.0);
+    }
+}

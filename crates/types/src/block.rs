@@ -1,0 +1,194 @@
+//! Blocks: headers, bodies, and hashing.
+//!
+//! "Blocks of selected transactions are committed all at once in a super
+//! transaction called block publishing" (paper §II-D). A block's header
+//! commits to the parent, to the ordered transaction list, to the receipts,
+//! and to the post-state, so that every peer can *replay* the block and
+//! check that it reaches the same commitments.
+
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::merkle::merkle_root;
+use sereth_crypto::rlp::RlpStream;
+
+use crate::receipt::Receipt;
+use crate::transaction::Transaction;
+
+/// A block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// Height; the genesis block is 0.
+    pub number: u64,
+    /// Milliseconds since simulation start (stands in for wall-clock time).
+    pub timestamp_ms: u64,
+    /// Address of the miner that produced the block.
+    pub miner: Address,
+    /// Commitment to the post-state (see `sereth-chain`).
+    pub state_root: H256,
+    /// Merkle root over the ordered transaction hashes.
+    pub tx_root: H256,
+    /// Merkle root over the receipt hashes.
+    pub receipts_root: H256,
+    /// Total gas consumed by the block's transactions.
+    pub gas_used: u64,
+    /// Gas capacity of the block; bounds how many transactions fit.
+    pub gas_limit: u64,
+}
+
+impl BlockHeader {
+    /// Canonical RLP encoding.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        RlpStream::new_list(9)
+            .append_bytes(self.parent_hash.as_bytes())
+            .append_u64(self.number)
+            .append_u64(self.timestamp_ms)
+            .append_bytes(self.miner.as_bytes())
+            .append_bytes(self.state_root.as_bytes())
+            .append_bytes(self.tx_root.as_bytes())
+            .append_bytes(self.receipts_root.as_bytes())
+            .append_u64(self.gas_used)
+            .append_u64(self.gas_limit)
+            .finish()
+    }
+
+    /// The block hash: keccak of the canonical header encoding.
+    pub fn hash(&self) -> H256 {
+        H256::keccak(&self.rlp_encode())
+    }
+}
+
+/// A sealed block: header plus the ordered transactions it commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The sealed header.
+    pub header: BlockHeader,
+    /// Transactions in block order — the order every validator replays.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// The block hash.
+    pub fn hash(&self) -> H256 {
+        self.header.hash()
+    }
+
+    /// Height of the block.
+    pub fn number(&self) -> u64 {
+        self.header.number
+    }
+
+    /// Computes the Merkle root over `transactions` in order.
+    pub fn compute_tx_root(transactions: &[Transaction]) -> H256 {
+        let leaves: Vec<H256> = transactions.iter().map(Transaction::hash).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Computes the Merkle root over `receipts` in order.
+    pub fn compute_receipts_root(receipts: &[Receipt]) -> H256 {
+        let leaves: Vec<H256> = receipts.iter().map(Receipt::hash).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Checks that the header's `tx_root` matches the body. (Cheap
+    /// structural check; full replay validation lives in `sereth-chain`.)
+    pub fn body_matches_header(&self) -> bool {
+        Self::compute_tx_root(&self.transactions) == self.header.tx_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TxPayload;
+    use crate::u256::U256;
+    use bytes::Bytes;
+    use sereth_crypto::sig::SecretKey;
+
+    fn sample_tx(nonce: u64) -> Transaction {
+        Transaction::sign(
+            TxPayload {
+                nonce,
+                gas_price: 1,
+                gas_limit: 21_000,
+                to: Some(Address::from_low_u64(1)),
+                value: U256::ZERO,
+                input: Bytes::new(),
+            },
+            &SecretKey::from_label(1),
+        )
+    }
+
+    fn sample_block() -> Block {
+        let transactions = vec![sample_tx(0), sample_tx(1)];
+        let header = BlockHeader {
+            parent_hash: H256::keccak(b"parent"),
+            number: 1,
+            timestamp_ms: 15_000,
+            miner: Address::from_low_u64(0xa),
+            state_root: H256::keccak(b"state"),
+            tx_root: Block::compute_tx_root(&transactions),
+            receipts_root: H256::keccak(b"receipts"),
+            gas_used: 42_000,
+            gas_limit: 8_000_000,
+        };
+        Block { header, transactions }
+    }
+
+    #[test]
+    fn hash_changes_with_any_header_field() {
+        let base = sample_block().header;
+        let mut variants = Vec::new();
+        let mut h = base.clone();
+        h.parent_hash = H256::keccak(b"other");
+        variants.push(h);
+        let mut h = base.clone();
+        h.number += 1;
+        variants.push(h);
+        let mut h = base.clone();
+        h.timestamp_ms += 1;
+        variants.push(h);
+        let mut h = base.clone();
+        h.state_root = H256::keccak(b"other");
+        variants.push(h);
+        let mut h = base.clone();
+        h.gas_used += 1;
+        variants.push(h);
+        for variant in variants {
+            assert_ne!(variant.hash(), base.hash());
+        }
+    }
+
+    #[test]
+    fn body_matches_header_detects_reordering() {
+        let mut block = sample_block();
+        assert!(block.body_matches_header());
+        block.transactions.swap(0, 1);
+        assert!(!block.body_matches_header());
+    }
+
+    #[test]
+    fn body_matches_header_detects_removal() {
+        let mut block = sample_block();
+        block.transactions.pop();
+        assert!(!block.body_matches_header());
+    }
+
+    #[test]
+    fn empty_block_is_consistent() {
+        let header = BlockHeader {
+            parent_hash: H256::ZERO,
+            number: 0,
+            timestamp_ms: 0,
+            miner: Address::ZERO,
+            state_root: H256::ZERO,
+            tx_root: Block::compute_tx_root(&[]),
+            receipts_root: Block::compute_receipts_root(&[]),
+            gas_used: 0,
+            gas_limit: 8_000_000,
+        };
+        let block = Block { header, transactions: vec![] };
+        assert!(block.body_matches_header());
+    }
+}

@@ -1,0 +1,157 @@
+//! Execution receipts and event logs.
+//!
+//! Blockchains differ from databases in that **failed transactions are
+//! included in the persistent ledger** (paper §III-A) — a rolled-back
+//! transaction still occupies block space and still burns gas. Receipts
+//! record the outcome so the paper's *state throughput* metric can separate
+//! transactions that changed state from those that did not.
+
+use bytes::Bytes;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::rlp::RlpStream;
+
+/// VM-level outcome of executing a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxStatus {
+    /// Execution ran to completion (`STOP`/`RETURN`).
+    ///
+    /// Note that a *semantically failed* Sereth transaction — e.g. a `buy`
+    /// whose mark was stale — still completes successfully at the VM level;
+    /// it simply makes no state change and emits no success log. That is
+    /// the paper's notion of a failed transaction.
+    Success,
+    /// Execution reverted (`REVERT` or a VM error); all state changes were
+    /// rolled back but the transaction remains in the block.
+    Reverted,
+    /// The transaction ran out of gas; state changes rolled back.
+    OutOfGas,
+}
+
+impl TxStatus {
+    /// `true` when the VM completed without reverting.
+    pub fn is_success(self) -> bool {
+        matches!(self, Self::Success)
+    }
+}
+
+/// An EVM-style event log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log {
+    /// Contract that emitted the log.
+    pub address: Address,
+    /// Indexed topics (`LOG0`–`LOG4`).
+    pub topics: Vec<H256>,
+    /// Opaque payload.
+    pub data: Bytes,
+}
+
+impl Log {
+    /// Canonical encoding used for the receipts root.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let mut topics = RlpStream::new_list(self.topics.len());
+        for topic in &self.topics {
+            topics = topics.append_bytes(topic.as_bytes());
+        }
+        RlpStream::new_list(3)
+            .append_bytes(self.address.as_bytes())
+            .append_raw(&topics.finish())
+            .append_bytes(&self.data)
+            .finish()
+    }
+}
+
+/// The receipt of one executed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// Hash of the transaction this receipt belongs to.
+    pub tx_hash: H256,
+    /// Position of the transaction within its block.
+    pub index: u32,
+    /// VM-level status.
+    pub status: TxStatus,
+    /// Gas consumed by this transaction.
+    pub gas_used: u64,
+    /// Logs emitted during execution (empty if reverted).
+    pub logs: Vec<Log>,
+}
+
+impl Receipt {
+    /// Canonical encoding used for the receipts root.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let status_byte: u8 = match self.status {
+            TxStatus::Success => 1,
+            TxStatus::Reverted => 0,
+            TxStatus::OutOfGas => 2,
+        };
+        let mut logs = RlpStream::new_list(self.logs.len());
+        for log in &self.logs {
+            logs = logs.append_raw(&log.rlp_encode());
+        }
+        RlpStream::new_list(5)
+            .append_bytes(self.tx_hash.as_bytes())
+            .append_u64(self.index as u64)
+            .append_bytes(&[status_byte])
+            .append_u64(self.gas_used)
+            .append_raw(&logs.finish())
+            .finish()
+    }
+
+    /// Digest of the canonical encoding.
+    pub fn hash(&self) -> H256 {
+        H256::keccak(&self.rlp_encode())
+    }
+
+    /// `true` if any log carries `topic` as its first topic — the substrate
+    /// convention for contract-level success events such as the Sereth
+    /// contract's `SetOk`/`BuyOk`.
+    pub fn has_event(&self, topic: H256) -> bool {
+        self.logs.iter().any(|log| log.topics.first() == Some(&topic))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_receipt(status: TxStatus) -> Receipt {
+        Receipt {
+            tx_hash: H256::keccak(b"tx"),
+            index: 2,
+            status,
+            gas_used: 21_000,
+            logs: vec![Log {
+                address: Address::from_low_u64(9),
+                topics: vec![H256::keccak(b"SetOk")],
+                data: Bytes::from_static(b"payload"),
+            }],
+        }
+    }
+
+    #[test]
+    fn status_semantics() {
+        assert!(TxStatus::Success.is_success());
+        assert!(!TxStatus::Reverted.is_success());
+        assert!(!TxStatus::OutOfGas.is_success());
+    }
+
+    #[test]
+    fn hash_depends_on_status() {
+        assert_ne!(sample_receipt(TxStatus::Success).hash(), sample_receipt(TxStatus::Reverted).hash());
+    }
+
+    #[test]
+    fn hash_depends_on_logs() {
+        let with_log = sample_receipt(TxStatus::Success);
+        let mut without_log = with_log.clone();
+        without_log.logs.clear();
+        assert_ne!(with_log.hash(), without_log.hash());
+    }
+
+    #[test]
+    fn has_event_matches_first_topic_only() {
+        let receipt = sample_receipt(TxStatus::Success);
+        assert!(receipt.has_event(H256::keccak(b"SetOk")));
+        assert!(!receipt.has_event(H256::keccak(b"BuyOk")));
+    }
+}

@@ -1,0 +1,939 @@
+//! A 256-bit unsigned integer with EVM arithmetic semantics.
+//!
+//! The interpreter in `sereth-vm` operates on 256-bit words, so arithmetic
+//! here follows the EVM: `+`, `-`, `*` wrap modulo 2²⁵⁶, division by zero
+//! yields zero (as the `DIV`/`MOD` opcodes specify), and shifts of 256 bits
+//! or more yield zero. Checked and overflowing variants are provided for
+//! callers that need to observe overflow.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, BitAnd, BitOr, BitXor, Mul, Not, Shl, Shr, Sub};
+use core::str::FromStr;
+
+use sereth_crypto::hash::H256;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub(crate) [u64; 4]);
+
+/// Error parsing a [`U256`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseU256Error {
+    /// The string was empty.
+    Empty,
+    /// A character was not a valid digit for the radix.
+    InvalidDigit(char),
+    /// The value exceeds 2²⁵⁶ − 1.
+    Overflow,
+}
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty integer string"),
+            Self::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+            Self::Overflow => write!(f, "value exceeds 256 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: Self = Self([0, 0, 0, 0]);
+    /// The value 1.
+    pub const ONE: Self = Self([1, 0, 0, 0]);
+    /// The maximum value, 2²⁵⁶ − 1.
+    pub const MAX: Self = Self([u64::MAX; 4]);
+
+    /// Constructs from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        Self(limbs)
+    }
+
+    /// The little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Converts to big-endian bytes (the EVM word representation).
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            *limb = u64::from_be_bytes(word);
+        }
+        Self(limbs)
+    }
+
+    /// Interprets an [`H256`] as a big-endian 256-bit integer.
+    pub fn from_h256(value: H256) -> Self {
+        Self::from_be_bytes(value.into_inner())
+    }
+
+    /// Converts to an [`H256`] in big-endian form.
+    pub fn to_h256(self) -> H256 {
+        H256::new(self.to_be_bytes())
+    }
+
+    /// Addition reporting overflow.
+    pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+        let mut limbs = [0u64; 4];
+        let mut carry = false;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let (sum, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (sum, c2) = sum.overflowing_add(carry as u64);
+            *limb = sum;
+            carry = c1 || c2;
+        }
+        (Self(limbs), carry)
+    }
+
+    /// Subtraction reporting borrow.
+    pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
+        let mut limbs = [0u64; 4];
+        let mut borrow = false;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let (diff, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (diff, b2) = diff.overflowing_sub(borrow as u64);
+            *limb = diff;
+            borrow = b1 || b2;
+        }
+        (Self(limbs), borrow)
+    }
+
+    /// Multiplication keeping the low 256 bits, reporting whether any high
+    /// bits were lost.
+    pub fn overflowing_mul(self, rhs: Self) -> (Self, bool) {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let idx = i + j;
+                let product = self.0[i] as u128 * rhs.0[j] as u128 + wide[idx] as u128 + carry;
+                wide[idx] = product as u64;
+                carry = product >> 64;
+            }
+            wide[i + 4] = wide[i + 4].wrapping_add(carry as u64);
+        }
+        let overflow = wide[4..].iter().any(|&limb| limb != 0);
+        (Self([wide[0], wide[1], wide[2], wide[3]]), overflow)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (value, false) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (value, false) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_mul(rhs) {
+            (value, false) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Saturating subtraction: clamps at zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        self.checked_sub(rhs).unwrap_or(Self::ZERO)
+    }
+
+    /// Division and remainder.
+    ///
+    /// Returns `None` when `divisor` is zero; the EVM's `DIV`/`MOD` opcodes
+    /// map that case to zero at the call site.
+    pub fn div_rem(self, divisor: Self) -> Option<(Self, Self)> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if self < divisor {
+            return Some((Self::ZERO, self));
+        }
+        // Restoring long division, one bit at a time. 256 iterations of
+        // O(limbs) work; ample for simulation workloads.
+        let mut quotient = Self::ZERO;
+        let mut remainder = Self::ZERO;
+        for i in (0..256).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= divisor {
+                remainder = remainder - divisor;
+                quotient.set_bit(i);
+            }
+        }
+        Some((quotient, remainder))
+    }
+
+    /// Exact `(self + rhs) mod modulus` over arbitrary precision — the
+    /// intermediate sum is *not* truncated to 256 bits, as the EVM's
+    /// `ADDMOD` requires. Returns zero for a zero modulus.
+    pub fn add_mod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return Self::ZERO;
+        }
+        let a = self.div_rem(modulus).expect("modulus checked").1;
+        let b = rhs.div_rem(modulus).expect("modulus checked").1;
+        let (sum, carry) = a.overflowing_add(b);
+        // a, b < modulus ≤ 2²⁵⁶, so a + b < 2·modulus: one conditional
+        // subtraction suffices (the carry case is sum + 2²⁵⁶ ≥ modulus).
+        if carry || sum >= modulus {
+            sum.overflowing_sub(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// Exact `(self * rhs) mod modulus` over the full 512-bit product —
+    /// the EVM's `MULMOD`. Returns zero for a zero modulus.
+    pub fn mul_mod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return Self::ZERO;
+        }
+        // Double-and-add: exact, branch-simple, and fast enough for the
+        // simulation (≤ 256 modular additions).
+        let mut result = Self::ZERO;
+        let mut base = self.div_rem(modulus).expect("modulus checked").1;
+        let rhs_bits = rhs.bits();
+        for i in 0..rhs_bits {
+            if rhs.bit(i as usize) {
+                result = result.add_mod(base, modulus);
+            }
+            base = base.add_mod(base, modulus);
+        }
+        result
+    }
+
+    /// `self ** exponent` modulo 2²⁵⁶ (the EVM's `EXP` semantics), by
+    /// square-and-multiply.
+    pub fn wrapping_pow(self, exponent: Self) -> Self {
+        let mut result = Self::ONE;
+        let mut base = self;
+        let bits = exponent.bits();
+        for i in 0..bits {
+            if exponent.bit(i as usize) {
+                result = result.overflowing_mul(base).0;
+            }
+            base = base.overflowing_mul(base).0;
+        }
+        result
+    }
+
+    /// `true` when the top bit is set, i.e. the value is negative under the
+    /// EVM's two's-complement interpretation of a 256-bit word.
+    pub fn is_negative(&self) -> bool {
+        self.0[3] >> 63 == 1
+    }
+
+    /// Two's-complement negation (wrapping): `-x mod 2^256`.
+    pub fn wrapping_neg(self) -> Self {
+        (!self).overflowing_add(Self::ONE).0
+    }
+
+    /// `SDIV`: two's-complement division, truncating toward zero.
+    ///
+    /// Division by zero yields zero. `MIN / -1` wraps to `MIN`, matching
+    /// the EVM (there is no trap representation).
+    pub fn signed_div(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return Self::ZERO;
+        }
+        let negative = self.is_negative() != rhs.is_negative();
+        let a = if self.is_negative() { self.wrapping_neg() } else { self };
+        let b = if rhs.is_negative() { rhs.wrapping_neg() } else { rhs };
+        let (quotient, _) = a.div_rem(b).expect("divisor checked non-zero");
+        if negative {
+            quotient.wrapping_neg()
+        } else {
+            quotient
+        }
+    }
+
+    /// `SMOD`: two's-complement remainder; the sign follows the dividend.
+    ///
+    /// A zero divisor yields zero.
+    pub fn signed_rem(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return Self::ZERO;
+        }
+        let a = if self.is_negative() { self.wrapping_neg() } else { self };
+        let b = if rhs.is_negative() { rhs.wrapping_neg() } else { rhs };
+        let (_, remainder) = a.div_rem(b).expect("divisor checked non-zero");
+        if self.is_negative() {
+            remainder.wrapping_neg()
+        } else {
+            remainder
+        }
+    }
+
+    /// `SLT`: two's-complement less-than.
+    pub fn signed_lt(&self, rhs: &Self) -> bool {
+        match (self.is_negative(), rhs.is_negative()) {
+            (true, false) => true,
+            (false, true) => false,
+            // Same sign: unsigned order agrees with two's-complement order.
+            _ => self < rhs,
+        }
+    }
+
+    /// `SAR`: arithmetic right shift — copies of the sign bit are shifted
+    /// in from the top. Shifts of 256 or more collapse to all-zeros or
+    /// all-ones depending on the sign.
+    pub fn sar(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return if self.is_negative() { Self::MAX } else { Self::ZERO };
+        }
+        if self.is_negative() {
+            // For negative values, `x sar s == !((!x) >> s)`: the logical
+            // shift clears the top bits of the complement, so complementing
+            // again sets them.
+            !((!self) >> shift)
+        } else {
+            self >> shift
+        }
+    }
+
+    /// `SIGNEXTEND`: treats the value as `byte_index + 1` bytes wide and
+    /// extends its sign bit through the full word. Indexes of 31 and above
+    /// leave the value unchanged, as in the EVM.
+    pub fn sign_extend(self, byte_index: usize) -> Self {
+        if byte_index >= 31 {
+            return self;
+        }
+        let sign_bit = byte_index * 8 + 7;
+        let low_mask = (Self::ONE << (sign_bit as u32 + 1)).overflowing_sub(Self::ONE).0;
+        if self.bit(sign_bit) {
+            self | !low_mask
+        } else {
+            self & low_mask
+        }
+    }
+
+    /// Fast division by a small divisor, used for decimal formatting.
+    fn div_rem_u64(self, divisor: u64) -> (Self, u64) {
+        debug_assert!(divisor != 0);
+        let mut quotient = [0u64; 4];
+        let mut remainder: u128 = 0;
+        for i in (0..4).rev() {
+            let acc = (remainder << 64) | self.0[i] as u128;
+            quotient[i] = (acc / divisor as u128) as u64;
+            remainder = acc % divisor as u128;
+        }
+        (Self(quotient), remainder as u64)
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index {i} out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Byte `i` counted from the most significant end, as the EVM `BYTE`
+    /// opcode does; returns 0 for `i >= 32`.
+    pub fn byte_msb(&self, i: usize) -> u8 {
+        if i >= 32 {
+            0
+        } else {
+            self.to_be_bytes()[i]
+        }
+    }
+
+    /// Number of leading zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return self.0[i].leading_zeros() + 64 * (3 - i as u32);
+            }
+        }
+        256
+    }
+
+    /// Number of bits needed to represent the value (0 for zero).
+    pub fn bits(&self) -> u32 {
+        256 - self.leading_zeros()
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn try_to_u64(self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u64`, saturating at `u64::MAX`.
+    pub fn saturating_to_u64(self) -> u64 {
+        self.try_to_u64().unwrap_or(u64::MAX)
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn try_to_u128(self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some((self.0[1] as u128) << 64 | self.0[0] as u128)
+        } else {
+            None
+        }
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseU256Error`].
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error::Empty);
+        }
+        let mut value = Self::ZERO;
+        let ten = Self::from(10u64);
+        for c in s.chars() {
+            let digit = c.to_digit(10).ok_or(ParseU256Error::InvalidDigit(c))?;
+            value = value.checked_mul(ten).ok_or(ParseU256Error::Overflow)?;
+            value = value.checked_add(Self::from(digit as u64)).ok_or(ParseU256Error::Overflow)?;
+        }
+        Ok(value)
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(value: u64) -> Self {
+        Self([value, 0, 0, 0])
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(value: u128) -> Self {
+        Self([value as u64, (value >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<U256> for H256 {
+    fn from(value: U256) -> Self {
+        value.to_h256()
+    }
+}
+
+impl From<H256> for U256 {
+    fn from(value: H256) -> Self {
+        Self::from_h256(value)
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ordering => return ordering,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = Self;
+
+    /// Wrapping addition, matching the EVM `ADD` opcode.
+    fn add(self, rhs: Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+}
+
+impl Sub for U256 {
+    type Output = Self;
+
+    /// Wrapping subtraction, matching the EVM `SUB` opcode.
+    fn sub(self, rhs: Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+}
+
+impl Mul for U256 {
+    type Output = Self;
+
+    /// Wrapping multiplication, matching the EVM `MUL` opcode.
+    fn mul(self, rhs: Self) -> Self {
+        self.overflowing_mul(rhs).0
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = Self;
+
+    fn bitand(self, rhs: Self) -> Self {
+        Self([self.0[0] & rhs.0[0], self.0[1] & rhs.0[1], self.0[2] & rhs.0[2], self.0[3] & rhs.0[3]])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = Self;
+
+    fn bitor(self, rhs: Self) -> Self {
+        Self([self.0[0] | rhs.0[0], self.0[1] | rhs.0[1], self.0[2] | rhs.0[2], self.0[3] | rhs.0[3]])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = Self;
+
+    fn bitxor(self, rhs: Self) -> Self {
+        Self([self.0[0] ^ rhs.0[0], self.0[1] ^ rhs.0[1], self.0[2] ^ rhs.0[2], self.0[3] ^ rhs.0[3]])
+    }
+}
+
+impl Not for U256 {
+    type Output = Self;
+
+    fn not(self) -> Self {
+        Self([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = Self;
+
+    /// Left shift; shifts of 256 or more produce zero (EVM `SHL`).
+    fn shl(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return Self::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut limbs = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let mut limb = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                limb |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            limbs[i] = limb;
+        }
+        Self(limbs)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = Self;
+
+    /// Logical right shift; shifts of 256 or more produce zero (EVM `SHR`).
+    fn shr(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return Self::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate().take(4 - limb_shift) {
+            let mut value = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                value |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            *limb = value;
+        }
+        Self(limbs)
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut value = *self;
+        while !value.is_zero() {
+            let (quotient, digit) = value.div_rem_u64(10);
+            digits.push(b'0' + digit as u8);
+            value = quotient;
+        }
+        digits.reverse();
+        f.pad_integral(true, "", core::str::from_utf8(&digits).expect("ascii digits"))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({self})")
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        let bytes = self.to_be_bytes();
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let trimmed = hex.trim_start_matches('0');
+        write!(f, "{}", if trimmed.is_empty() { "0" } else { trimmed })
+    }
+}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+
+    /// Parses decimal, or hex when prefixed with `0x`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            if hex.is_empty() {
+                return Err(ParseU256Error::Empty);
+            }
+            if hex.len() > 64 {
+                return Err(ParseU256Error::Overflow);
+            }
+            let mut value = Self::ZERO;
+            for c in hex.chars() {
+                let digit = c.to_digit(16).ok_or(ParseU256Error::InvalidDigit(c))?;
+                value = (value << 4) | Self::from(digit as u64);
+            }
+            Ok(value)
+        } else {
+            Self::from_dec_str(s)
+        }
+    }
+}
+
+impl core::iter::Sum for U256 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let two = U256::from(2u64);
+        let three = U256::from(3u64);
+        assert_eq!(two + three, U256::from(5u64));
+        assert_eq!(three - two, U256::ONE);
+        assert_eq!(two * three, U256::from(6u64));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX + U256::ONE, U256::ZERO);
+        let (value, overflow) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(overflow);
+        assert_eq!(value, U256::ZERO);
+        assert_eq!(U256::MAX.checked_add(U256::ONE), None);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(U256::ZERO - U256::ONE, U256::MAX);
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+        assert_eq!(U256::ZERO.saturating_sub(U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        let big = U256::from(u64::MAX);
+        let squared = big * big;
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = U256::from(u128::MAX) * U256::ONE - U256::from(u128::MAX - (u128::MAX - 1));
+        // Simpler check against u128 arithmetic:
+        let expected2 = {
+            let v = (u64::MAX as u128) * (u64::MAX as u128);
+            U256::from(v)
+        };
+        assert_eq!(squared, expected2);
+        let _ = expected;
+    }
+
+    #[test]
+    fn mul_overflow_detected() {
+        let high = U256::ONE << 200;
+        assert!(high.overflowing_mul(high).1);
+        assert_eq!(high.checked_mul(high), None);
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let a = U256::from(123_456_789_012_345_678_901_234_567u128);
+        let b = U256::from(987_654_321u64);
+        let (q, r) = a.div_rem(b).unwrap();
+        assert_eq!(q.try_to_u128().unwrap(), 123_456_789_012_345_678_901_234_567u128 / 987_654_321);
+        assert_eq!(r.try_to_u128().unwrap(), 123_456_789_012_345_678_901_234_567u128 % 987_654_321);
+    }
+
+    #[test]
+    fn div_by_zero_is_none() {
+        assert_eq!(U256::from(5u64).div_rem(U256::ZERO), None);
+    }
+
+    #[test]
+    fn div_large_by_large() {
+        let a = U256::MAX;
+        let (q, r) = a.div_rem(a).unwrap();
+        assert_eq!(q, U256::ONE);
+        assert_eq!(r, U256::ZERO);
+        let (q, r) = U256::ONE.div_rem(a).unwrap();
+        assert_eq!(q, U256::ZERO);
+        assert_eq!(r, U256::ONE);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(U256::ONE << 0, U256::ONE);
+        assert_eq!((U256::ONE << 64).limbs(), [0, 1, 0, 0]);
+        assert_eq!((U256::ONE << 255) >> 255, U256::ONE);
+        assert_eq!(U256::ONE << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 256, U256::ZERO);
+        assert_eq!((U256::from(0xffu64) << 4).try_to_u64().unwrap(), 0xff0);
+    }
+
+    #[test]
+    fn shift_across_limb_boundaries() {
+        let v = U256::from(u64::MAX);
+        assert_eq!((v << 32).limbs(), [0xffff_ffff_0000_0000, 0xffff_ffff, 0, 0]);
+        assert_eq!((v << 32) >> 32, v);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let small = U256::from(5u64);
+        let mid = U256::ONE << 64;
+        let large = U256::ONE << 200;
+        assert!(small < mid && mid < large);
+        assert_eq!(small.cmp(&small), Ordering::Equal);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let value = U256::from(0x0123_4567_89ab_cdefu64) << 77;
+        assert_eq!(U256::from_be_bytes(value.to_be_bytes()), value);
+    }
+
+    #[test]
+    fn h256_round_trip() {
+        let value = U256::from(42u64) << 130;
+        assert_eq!(U256::from_h256(value.to_h256()), value);
+    }
+
+    #[test]
+    fn display_and_parse_decimal() {
+        let value = U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639935").unwrap();
+        assert_eq!(value, U256::MAX);
+        assert_eq!(
+            value.to_string(),
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935"
+        );
+        assert_eq!(U256::ZERO.to_string(), "0");
+        assert_eq!("123".parse::<U256>().unwrap(), U256::from(123u64));
+    }
+
+    #[test]
+    fn parse_hex() {
+        assert_eq!("0xff".parse::<U256>().unwrap(), U256::from(255u64));
+        assert_eq!("0x0".parse::<U256>().unwrap(), U256::ZERO);
+        assert!("0x".parse::<U256>().is_err());
+        assert!("0xzz".parse::<U256>().is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(U256::from_dec_str(""), Err(ParseU256Error::Empty));
+        assert_eq!(U256::from_dec_str("12a"), Err(ParseU256Error::InvalidDigit('a')));
+        // One more than U256::MAX.
+        assert_eq!(
+            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            Err(ParseU256Error::Overflow)
+        );
+    }
+
+    #[test]
+    fn add_mod_handles_oversized_sums() {
+        // MAX + MAX ≡ 2·(MAX mod n) mod n, exactly.
+        let n = U256::from(1_000_000_007u64);
+        let expected = {
+            let r = U256::MAX.div_rem(n).unwrap().1;
+            (r + r).div_rem(n).unwrap().1
+        };
+        assert_eq!(U256::MAX.add_mod(U256::MAX, n), expected);
+        // Sums below the modulus are untouched.
+        assert_eq!(U256::from(3u64).add_mod(U256::from(4u64), U256::from(100u64)), U256::from(7u64));
+        // Zero modulus yields zero (EVM convention).
+        assert_eq!(U256::ONE.add_mod(U256::ONE, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_mod_uses_full_width_product() {
+        // (2¹⁶⁰ * 2¹⁶⁰) overflows 256 bits; mod a prime stays exact.
+        let a = U256::ONE << 160;
+        let n = U256::from(1_000_000_007u64);
+        // 2^320 mod p computed via pow-by-squaring oracle on u128 math:
+        // verify the identity (a·a) mod n == ((a mod n)·(a mod n)) mod n.
+        let r = a.div_rem(n).unwrap().1.try_to_u128().unwrap();
+        let expected = U256::from((r * r) % 1_000_000_007u128);
+        assert_eq!(a.mul_mod(a, n), expected);
+        assert_eq!(U256::from(7u64).mul_mod(U256::from(8u64), U256::from(10u64)), U256::from(6u64));
+        assert_eq!(U256::MAX.mul_mod(U256::MAX, U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn wrapping_pow_matches_small_cases() {
+        assert_eq!(U256::from(2u64).wrapping_pow(U256::from(10u64)), U256::from(1024u64));
+        assert_eq!(U256::from(3u64).wrapping_pow(U256::ZERO), U256::ONE);
+        assert_eq!(U256::ZERO.wrapping_pow(U256::from(5u64)), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_pow(U256::ZERO), U256::ONE, "EVM: 0^0 = 1");
+        // Wraps modulo 2^256: 2^256 == 0.
+        assert_eq!(U256::from(2u64).wrapping_pow(U256::from(256u64)), U256::ZERO);
+        assert_eq!(U256::from(2u64).wrapping_pow(U256::from(255u64)), U256::ONE << 255);
+    }
+
+    #[test]
+    fn byte_msb_matches_be_bytes() {
+        let value = U256::from(0xaabbu64);
+        assert_eq!(value.byte_msb(31), 0xbb);
+        assert_eq!(value.byte_msb(30), 0xaa);
+        assert_eq!(value.byte_msb(0), 0);
+        assert_eq!(value.byte_msb(99), 0);
+    }
+
+    #[test]
+    fn bits_and_leading_zeros() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 255).bits(), 256);
+        assert_eq!(U256::ZERO.leading_zeros(), 256);
+    }
+
+    #[test]
+    fn lower_hex_formatting() {
+        assert_eq!(format!("{:x}", U256::from(255u64)), "ff");
+        assert_eq!(format!("{:#x}", U256::from(255u64)), "0xff");
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: U256 = (1..=10u64).map(U256::from).sum();
+        assert_eq!(total, U256::from(55u64));
+    }
+
+    /// `-x` as a two's-complement word, for readable signed-op tests.
+    fn neg(x: u64) -> U256 {
+        U256::from(x).wrapping_neg()
+    }
+
+    #[test]
+    fn wrapping_neg_basics() {
+        assert_eq!(U256::ZERO.wrapping_neg(), U256::ZERO);
+        assert_eq!(U256::ONE.wrapping_neg(), U256::MAX);
+        let min = U256::ONE << 255;
+        assert_eq!(min.wrapping_neg(), min, "MIN negates to itself");
+    }
+
+    #[test]
+    fn is_negative_is_the_top_bit() {
+        assert!(!U256::ZERO.is_negative());
+        assert!(!U256::ONE.is_negative());
+        assert!(U256::MAX.is_negative());
+        assert!((U256::ONE << 255).is_negative());
+    }
+
+    #[test]
+    fn signed_div_truncates_toward_zero() {
+        assert_eq!(U256::from(7u64).signed_div(neg(2)), neg(3));
+        assert_eq!(neg(7).signed_div(U256::from(2u64)), neg(3));
+        assert_eq!(neg(7).signed_div(neg(2)), U256::from(3u64));
+        assert_eq!(U256::from(7u64).signed_div(U256::from(2u64)), U256::from(3u64));
+    }
+
+    #[test]
+    fn signed_div_edge_cases() {
+        assert_eq!(U256::from(9u64).signed_div(U256::ZERO), U256::ZERO);
+        let min = U256::ONE << 255;
+        assert_eq!(min.signed_div(U256::MAX), min, "MIN / -1 wraps to MIN");
+    }
+
+    #[test]
+    fn signed_rem_sign_follows_dividend() {
+        assert_eq!(U256::from(7u64).signed_rem(neg(2)), U256::ONE);
+        assert_eq!(neg(7).signed_rem(U256::from(2u64)), neg(1));
+        assert_eq!(neg(7).signed_rem(neg(2)), neg(1));
+        assert_eq!(U256::from(9u64).signed_rem(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_lt_orders_across_zero() {
+        assert!(neg(1).signed_lt(&U256::ZERO));
+        assert!(U256::ZERO.signed_lt(&U256::ONE));
+        assert!(neg(2).signed_lt(&neg(1)));
+        assert!(!U256::ONE.signed_lt(&neg(1)));
+        assert!(!U256::ONE.signed_lt(&U256::ONE));
+    }
+
+    #[test]
+    fn sar_shifts_in_the_sign()  {
+        assert_eq!(U256::from(8u64).sar(1), U256::from(4u64));
+        assert_eq!(neg(8).sar(1), neg(4));
+        assert_eq!(U256::MAX.sar(255), U256::MAX, "-1 sar anything is -1");
+        assert_eq!(U256::MAX.sar(300), U256::MAX);
+        assert_eq!(U256::from(1u64).sar(300), U256::ZERO);
+        assert_eq!(neg(5).sar(1), neg(3), "rounds toward negative infinity");
+    }
+
+    #[test]
+    fn sign_extend_widths() {
+        // 0xff as a 1-byte value is -1.
+        assert_eq!(U256::from(0xffu64).sign_extend(0), U256::MAX);
+        // 0x7f as a 1-byte value is positive.
+        assert_eq!(U256::from(0x7fu64).sign_extend(0), U256::from(0x7fu64));
+        // 0xff00: the low byte's sign bit is clear.
+        assert_eq!(U256::from(0xff00u64).sign_extend(0), U256::ZERO);
+        // 0xff00 as a 2-byte value is -256.
+        assert_eq!(U256::from(0xff00u64).sign_extend(1), U256::from(256u64).wrapping_neg());
+        assert!(U256::from(0xff00u64).sign_extend(1).is_negative());
+        // Index 31+ leaves the word unchanged.
+        assert_eq!(U256::from(12345u64).sign_extend(31), U256::from(12345u64));
+        assert_eq!(U256::MAX.sign_extend(200), U256::MAX);
+    }
+}

@@ -1,0 +1,323 @@
+//! A two-pass text assembler for the interpreter's opcode subset.
+//!
+//! The Sereth contract ships in this repository both as native Rust and as
+//! assembly compiled by this module (the test suite proves the two
+//! equivalent), standing in for the paper's Solidity source (Listing 1).
+//!
+//! # Syntax
+//!
+//! * one instruction per line: `PUSH1 0x60`, `SSTORE`, `JUMPDEST`, …;
+//! * labels: `name:` on its own line (remember to place a `JUMPDEST`
+//!   immediately after a label that is a jump target);
+//! * `PUSH @label` assembles to `PUSH2` with the label's offset;
+//! * `PUSH <hex>` without a size picks the smallest `PUSHn` that fits;
+//! * comments start with `;` or `//` and run to end of line.
+//!
+//! # Examples
+//!
+//! ```
+//! use sereth_vm::asm::assemble;
+//!
+//! let code = assemble("PUSH1 0x2a\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN")?;
+//! assert_eq!(code[0], 0x60);
+//! # Ok::<(), sereth_vm::asm::AsmError>(())
+//! ```
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::opcode::Opcode;
+
+/// Errors produced by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// An unknown mnemonic.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A `PUSH` immediate was missing or malformed.
+    BadImmediate {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A label was referenced but never defined.
+    UndefinedLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        label: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownMnemonic { line, token } => write!(f, "line {line}: unknown mnemonic {token:?}"),
+            Self::BadImmediate { line, reason } => write!(f, "line {line}: bad immediate: {reason}"),
+            Self::UndefinedLabel { label } => write!(f, "undefined label {label:?}"),
+            Self::DuplicateLabel { label } => write!(f, "duplicate label {label:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Item {
+    Op(Opcode),
+    /// PUSHn with a literal immediate.
+    PushLiteral(Vec<u8>),
+    /// PUSH2 with a label reference, patched in pass two.
+    PushLabel(String),
+}
+
+impl Item {
+    fn len(&self) -> usize {
+        match self {
+            Item::Op(op) => 1 + op.immediate_len(),
+            Item::PushLiteral(bytes) => 1 + bytes.len(),
+            Item::PushLabel(_) => 3,
+        }
+    }
+}
+
+fn parse_hex_immediate(token: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let digits = token.strip_prefix("0x").unwrap_or(token);
+    if digits.is_empty() {
+        return Err(AsmError::BadImmediate { line, reason: "empty immediate".into() });
+    }
+    if !digits.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(AsmError::BadImmediate { line, reason: format!("non-hex immediate {token:?}") });
+    }
+    // Left-pad to an even number of digits.
+    let padded = if digits.len() % 2 == 1 { format!("0{digits}") } else { digits.to_string() };
+    let bytes: Vec<u8> = (0..padded.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&padded[i..i + 2], 16).expect("validated hex"))
+        .collect();
+    if bytes.len() > 32 {
+        return Err(AsmError::BadImmediate { line, reason: "immediate wider than 32 bytes".into() });
+    }
+    Ok(bytes)
+}
+
+/// Assembles `source` into bytecode.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem found.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut offset = 0usize;
+
+    // Pass one: tokenize, record label offsets.
+    for (line_index, raw_line) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        let line = raw_line.split(';').next().unwrap_or("");
+        let line = line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim().to_string();
+            if labels.insert(label.clone(), offset).is_some() {
+                return Err(AsmError::DuplicateLabel { label });
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line");
+        let operand = parts.next();
+
+        let upper = mnemonic.to_ascii_uppercase();
+        let item = if upper == "PUSH" {
+            // Size-inferred push: literal or label.
+            match operand {
+                Some(op) if op.starts_with('@') => Item::PushLabel(op[1..].to_string()),
+                Some(op) => {
+                    let bytes = parse_hex_immediate(op, line_no)?;
+                    Item::PushLiteral(bytes)
+                }
+                None => return Err(AsmError::BadImmediate { line: line_no, reason: "PUSH needs an operand".into() }),
+            }
+        } else if let Some(op) = Opcode::from_mnemonic(mnemonic) {
+            if let Opcode::Push(n) = op {
+                let token = operand.ok_or_else(|| AsmError::BadImmediate {
+                    line: line_no,
+                    reason: format!("PUSH{n} needs an operand"),
+                })?;
+                if let Some(label) = token.strip_prefix('@') {
+                    if n != 2 {
+                        return Err(AsmError::BadImmediate {
+                            line: line_no,
+                            reason: "label pushes must use PUSH2 or bare PUSH".into(),
+                        });
+                    }
+                    Item::PushLabel(label.to_string())
+                } else {
+                    let mut bytes = parse_hex_immediate(token, line_no)?;
+                    if bytes.len() > n as usize {
+                        return Err(AsmError::BadImmediate {
+                            line: line_no,
+                            reason: format!("immediate does not fit PUSH{n}"),
+                        });
+                    }
+                    // Left-pad to the declared width.
+                    while bytes.len() < n as usize {
+                        bytes.insert(0, 0);
+                    }
+                    Item::PushLiteral(bytes)
+                }
+            } else {
+                Item::Op(op)
+            }
+        } else {
+            return Err(AsmError::UnknownMnemonic { line: line_no, token: mnemonic.to_string() });
+        };
+        offset += item.len();
+        items.push(item);
+    }
+
+    // Pass two: emit bytes, patching label references.
+    let mut code = Vec::with_capacity(offset);
+    for item in &items {
+        match item {
+            Item::Op(op) => code.push(op.to_byte()),
+            Item::PushLiteral(bytes) => {
+                debug_assert!(!bytes.is_empty() && bytes.len() <= 32);
+                code.push(Opcode::Push(bytes.len() as u8).to_byte());
+                code.extend_from_slice(bytes);
+            }
+            Item::PushLabel(label) => {
+                let target = *labels.get(label).ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                code.push(Opcode::Push(2).to_byte());
+                code.extend_from_slice(&(target as u16).to_be_bytes());
+            }
+        }
+    }
+    Ok(code)
+}
+
+/// Disassembles bytecode back into one instruction per line (labels are not
+/// reconstructed). Useful for debugging and golden tests.
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match Opcode::from_byte(code[pc]) {
+            Some(op) => {
+                out.push_str(&format!("{pc:04x}: {op}"));
+                let imm = op.immediate_len();
+                if imm > 0 {
+                    let end = (pc + 1 + imm).min(code.len());
+                    let hex: String = code[pc + 1..end].iter().map(|b| format!("{b:02x}")).collect();
+                    out.push_str(&format!(" 0x{hex}"));
+                    pc = end;
+                } else {
+                    pc += 1;
+                }
+            }
+            None => {
+                out.push_str(&format!("{pc:04x}: DB 0x{:02x}", code[pc]));
+                pc += 1;
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_sequence() {
+        let code = assemble("PUSH1 0x60\nPUSH1 0x40\nMSTORE").unwrap();
+        assert_eq!(code, vec![0x60, 0x60, 0x60, 0x40, 0x52]);
+    }
+
+    #[test]
+    fn bare_push_picks_minimal_width() {
+        assert_eq!(assemble("PUSH 0x7").unwrap(), vec![0x60, 0x07]);
+        assert_eq!(assemble("PUSH 0x1234").unwrap(), vec![0x61, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn sized_push_left_pads() {
+        assert_eq!(assemble("PUSH4 0x01").unwrap(), vec![0x63, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sized_push_rejects_oversize_immediate() {
+        let err = assemble("PUSH1 0x0102").unwrap_err();
+        assert!(matches!(err, AsmError::BadImmediate { .. }));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let source = r#"
+        start:
+            JUMPDEST
+            PUSH @end
+            JUMP
+        end:
+            JUMPDEST
+            PUSH @start
+            JUMP
+        "#;
+        let code = assemble(source).unwrap();
+        // start = 0, end = 5 (JUMPDEST + PUSH2 xx xx + JUMP).
+        assert_eq!(code[1], 0x61);
+        assert_eq!(&code[2..4], &[0x00, 0x05]);
+        assert_eq!(code[6], 0x61);
+        assert_eq!(&code[7..9], &[0x00, 0x00]);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a:\na:\nSTOP").unwrap_err();
+        assert_eq!(err, AsmError::DuplicateLabel { label: "a".into() });
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = assemble("PUSH @nowhere\nJUMP").unwrap_err();
+        assert_eq!(err, AsmError::UndefinedLabel { label: "nowhere".into() });
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let err = assemble("FROBNICATE").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownMnemonic { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("; header\n\nSTOP // trailing\n").unwrap();
+        assert_eq!(code, vec![0x00]);
+    }
+
+    #[test]
+    fn disassemble_round_trips_mnemonics() {
+        let code = assemble("PUSH2 0xbeef\nADD\nSTOP").unwrap();
+        let text = disassemble(&code);
+        assert!(text.contains("PUSH2 0xbeef"));
+        assert!(text.contains("ADD"));
+        assert!(text.contains("STOP"));
+    }
+
+    #[test]
+    fn disassemble_marks_unknown_bytes() {
+        assert!(disassemble(&[0xf0]).contains("DB 0xf0")); // CREATE — unsupported
+        assert!(disassemble(&[0xf1]).contains("CALL"), "CALL is supported");
+    }
+}

@@ -1,0 +1,57 @@
+//! VM error types.
+
+use core::fmt;
+
+/// Errors raised while executing bytecode or a native contract.
+///
+/// Every variant aborts the frame; the transaction executor in
+/// `sereth-chain` rolls back state changes and records the outcome in the
+/// receipt — the transaction still occupies block space, as the paper
+/// stresses (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The gas limit was exhausted.
+    OutOfGas,
+    /// Stack exceeded 1024 entries.
+    StackOverflow,
+    /// An instruction needed more operands than the stack held.
+    StackUnderflow,
+    /// `JUMP`/`JUMPI` to a target that is not a `JUMPDEST`.
+    InvalidJump {
+        /// The offending destination.
+        target: usize,
+    },
+    /// A byte that is not in the supported opcode subset was executed.
+    InvalidOpcode {
+        /// The raw byte.
+        byte: u8,
+    },
+    /// `SSTORE` or `LOG` attempted inside a static (read-only) call.
+    StaticViolation,
+    /// The contract executed `REVERT`.
+    Reverted,
+    /// `RETURNDATACOPY` read past the end of the return data buffer.
+    /// Unlike `CALLDATACOPY`, which zero-pads, this is a hard error in the
+    /// EVM.
+    ReturnDataOutOfBounds,
+    /// Calldata was malformed for the target native contract.
+    BadCalldata(&'static str),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfGas => write!(f, "out of gas"),
+            Self::StackOverflow => write!(f, "stack overflow"),
+            Self::StackUnderflow => write!(f, "stack underflow"),
+            Self::InvalidJump { target } => write!(f, "invalid jump destination {target}"),
+            Self::InvalidOpcode { byte } => write!(f, "invalid opcode 0x{byte:02x}"),
+            Self::StaticViolation => write!(f, "state modification inside a static call"),
+            Self::Reverted => write!(f, "execution reverted"),
+            Self::ReturnDataOutOfBounds => write!(f, "return data read out of bounds"),
+            Self::BadCalldata(what) => write!(f, "malformed calldata: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,249 @@
+//! Gas metering.
+//!
+//! Gas is the resource bound that (a) lets miners prioritise transactions by
+//! fee (paper §II-C, "miners generally favor transactions with higher fees")
+//! and (b) caps how many transactions fit in a block, which is what creates
+//! the TxPool backlog the paper observes ("block n is assembled from buys
+//! that were submitted a few blocks ago", §V-A). Costs follow the Yellow
+//! Paper's magnitudes without chasing its every special case.
+
+use crate::error::VmError;
+use crate::opcode::Opcode;
+
+/// Flat cost charged to every transaction before execution.
+pub const TX_INTRINSIC_GAS: u64 = 21_000;
+/// Cost per non-zero calldata byte.
+pub const TX_DATA_NONZERO_GAS: u64 = 16;
+/// Cost per zero calldata byte.
+pub const TX_DATA_ZERO_GAS: u64 = 4;
+/// Flat cost charged for invoking a native (precompile-style) contract.
+pub const NATIVE_CALL_GAS: u64 = 700;
+/// Surcharge for a `CALL` that transfers a non-zero value.
+pub const CALL_VALUE_GAS: u64 = 9_000;
+/// Free execution gas granted to the callee of a value-bearing `CALL`
+/// (covered by [`CALL_VALUE_GAS`], which the caller already paid).
+pub const CALL_STIPEND: u64 = 2_300;
+/// Maximum call nesting depth, as in the EVM. A call at this depth fails
+/// flat (pushes 0) rather than erroring. Safe at the EVM's full value
+/// because the interpreter executes sub-calls iteratively — suspended
+/// frames live on the heap, not the host stack.
+pub const CALL_DEPTH_LIMIT: u16 = 1024;
+
+/// Intrinsic gas of a transaction with the given calldata.
+pub fn intrinsic_gas(calldata: &[u8]) -> u64 {
+    let data: u64 = calldata
+        .iter()
+        .map(|&b| if b == 0 { TX_DATA_ZERO_GAS } else { TX_DATA_NONZERO_GAS })
+        .sum();
+    TX_INTRINSIC_GAS + data
+}
+
+/// Static cost of an opcode, excluding dynamic parts (memory expansion,
+/// keccak words, log bytes).
+pub fn static_cost(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Stop | JumpDest => 1,
+        ReturnDataSize => 2,
+        Add | Sub | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Not | Byte | Shl | Shr
+        | Sar | CallDataLoad | CallDataSize | Pop | Pc | MSize | Gas | Address | Caller
+        | CallValue | Timestamp | Number => 3,
+        Push(_) | Dup(_) | Swap(_) => 3,
+        // ReturnDataCopy's per-word cost is applied in the interpreter.
+        ReturnDataCopy => 3,
+        Mul | Div | SDiv | Mod | SMod | SignExtend | CallDataCopy | SelfBalance => 5,
+        AddMod | MulMod | Jump => 8,
+        // EXP's per-exponent-byte cost is applied in the interpreter.
+        Exp => 10,
+        JumpI => 10,
+        Sha3 => 30,
+        SLoad => 200,
+        Balance => 400,
+        // SSTORE's dynamic rule is applied in the interpreter.
+        SStore => 0,
+        Log(n) => 375 + 375 * n as u64,
+        MLoad | MStore | MStore8 => 3,
+        // The value surcharge and forwarded gas are applied in the
+        // interpreter.
+        Call | StaticCall => 700,
+        Return | Revert => 0,
+    }
+}
+
+/// Per-word cost of copying `len` bytes (`RETURNDATACOPY`; saturating,
+/// see [`sha3_word_cost`]).
+pub fn copy_word_cost(len: u64) -> u64 {
+    3u64.saturating_mul(len.div_ceil(32))
+}
+
+/// Gas forwarded to a sub-call: the EIP-150 "all but one 64th" rule caps
+/// the request at `remaining - remaining/64`.
+pub fn forwarded_call_gas(remaining: u64, requested: u64) -> u64 {
+    requested.min(remaining - remaining / 64)
+}
+
+/// Cost of hashing `len` bytes with `SHA3` (beyond its static cost).
+///
+/// Saturates rather than overflowing: absurd lengths from adversarial
+/// bytecode must surface as out-of-gas, never as an arithmetic panic.
+pub fn sha3_word_cost(len: u64) -> u64 {
+    6u64.saturating_mul(len.div_ceil(32))
+}
+
+/// `EXP` dynamic cost: 50 per significant exponent byte.
+pub fn exp_byte_cost(exponent_bits: u32) -> u64 {
+    50 * (exponent_bits as u64).div_ceil(8)
+}
+
+/// Cost per byte of `LOG` payload (saturating; see [`sha3_word_cost`]).
+pub fn log_data_cost(len: u64) -> u64 {
+    8u64.saturating_mul(len)
+}
+
+/// `SSTORE`: 20 000 to set a zero slot non-zero, 5 000 otherwise.
+pub fn sstore_cost(was_zero: bool, new_is_zero: bool) -> u64 {
+    if was_zero && !new_is_zero {
+        20_000
+    } else {
+        5_000
+    }
+}
+
+/// Quadratic memory expansion cost for a memory of `words` 32-byte words
+/// (saturating; see [`sha3_word_cost`]).
+fn memory_cost(words: u64) -> u64 {
+    3u64.saturating_mul(words)
+        .saturating_add(words.saturating_mul(words) / 512)
+}
+
+/// Tracks gas consumption for one call frame.
+#[derive(Debug, Clone)]
+pub struct GasMeter {
+    limit: u64,
+    used: u64,
+    /// Highest memory word count charged so far.
+    memory_words: u64,
+}
+
+impl GasMeter {
+    /// A meter with the given limit.
+    pub fn new(limit: u64) -> Self {
+        Self { limit, used: 0, memory_words: 0 }
+    }
+
+    /// Gas consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Gas remaining.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// Charges `amount` gas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] if the limit would be exceeded; the
+    /// meter is left saturated at the limit, matching EVM semantics where
+    /// an out-of-gas frame consumes everything.
+    pub fn charge(&mut self, amount: u64) -> Result<(), VmError> {
+        if self.remaining() < amount {
+            self.used = self.limit;
+            return Err(VmError::OutOfGas);
+        }
+        self.used += amount;
+        Ok(())
+    }
+
+    /// Charges for expanding memory to cover `end_bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the expansion is unaffordable.
+    pub fn charge_memory(&mut self, end_bytes: u64) -> Result<(), VmError> {
+        let words = end_bytes.div_ceil(32);
+        if words <= self.memory_words {
+            return Ok(());
+        }
+        let delta = memory_cost(words) - memory_cost(self.memory_words);
+        self.charge(delta)?;
+        self.memory_words = words;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_gas_counts_zero_and_nonzero_bytes() {
+        assert_eq!(intrinsic_gas(&[]), 21_000);
+        assert_eq!(intrinsic_gas(&[0, 0]), 21_000 + 8);
+        assert_eq!(intrinsic_gas(&[1, 0xff]), 21_000 + 32);
+    }
+
+    #[test]
+    fn meter_charges_and_reports() {
+        let mut meter = GasMeter::new(100);
+        meter.charge(40).unwrap();
+        assert_eq!(meter.used(), 40);
+        assert_eq!(meter.remaining(), 60);
+    }
+
+    #[test]
+    fn out_of_gas_saturates() {
+        let mut meter = GasMeter::new(100);
+        assert_eq!(meter.charge(101), Err(VmError::OutOfGas));
+        assert_eq!(meter.used(), 100);
+        assert_eq!(meter.remaining(), 0);
+    }
+
+    #[test]
+    fn memory_expansion_is_monotone_and_quadratic() {
+        let mut meter = GasMeter::new(u64::MAX);
+        meter.charge_memory(32).unwrap();
+        let after_one_word = meter.used();
+        assert_eq!(after_one_word, 3);
+        // Re-touching the same region is free.
+        meter.charge_memory(16).unwrap();
+        assert_eq!(meter.used(), after_one_word);
+        // A very large region costs quadratically.
+        meter.charge_memory(32 * 1024).unwrap();
+        assert!(meter.used() > 3 * 1024);
+    }
+
+    #[test]
+    fn sha3_cost_rounds_words_up() {
+        assert_eq!(sha3_word_cost(0), 0);
+        assert_eq!(sha3_word_cost(1), 6);
+        assert_eq!(sha3_word_cost(32), 6);
+        assert_eq!(sha3_word_cost(33), 12);
+    }
+
+    #[test]
+    fn forwarded_gas_keeps_one_64th() {
+        assert_eq!(forwarded_call_gas(6_400, u64::MAX), 6_300);
+        assert_eq!(forwarded_call_gas(6_400, 1_000), 1_000);
+        assert_eq!(forwarded_call_gas(0, 1_000), 0);
+        assert_eq!(forwarded_call_gas(63, 63), 63, "sub-64 remainders forward fully");
+    }
+
+    #[test]
+    fn copy_cost_rounds_words_up() {
+        assert_eq!(copy_word_cost(0), 0);
+        assert_eq!(copy_word_cost(1), 3);
+        assert_eq!(copy_word_cost(32), 3);
+        assert_eq!(copy_word_cost(33), 6);
+    }
+
+    #[test]
+    fn sstore_cases() {
+        assert_eq!(sstore_cost(true, false), 20_000);
+        assert_eq!(sstore_cost(false, false), 5_000);
+        assert_eq!(sstore_cost(false, true), 5_000);
+        assert_eq!(sstore_cost(true, true), 5_000);
+    }
+}

@@ -1,0 +1,406 @@
+//! The EVM opcode subset understood by the interpreter.
+//!
+//! Byte values match the Ethereum Yellow Paper so that bytecode and traces
+//! read like real EVM artifacts. The subset covers everything Listing 1 of
+//! the paper (the Sereth contract) and the test suite need — including
+//! signed arithmetic and cross-contract `CALL`/`STATICCALL`; the omitted
+//! families (`CREATE`-style constructors, `DELEGATECALL`, `SELFDESTRUCT`,
+//! …) are documented in `DESIGN.md` §7.
+
+use core::fmt;
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the Yellow Paper mnemonics
+pub enum Opcode {
+    Stop,
+    Add,
+    Mul,
+    Sub,
+    Div,
+    SDiv,
+    Mod,
+    SMod,
+    AddMod,
+    MulMod,
+    Exp,
+    SignExtend,
+    Lt,
+    Gt,
+    Slt,
+    Sgt,
+    Eq,
+    IsZero,
+    And,
+    Or,
+    Xor,
+    Not,
+    Byte,
+    Shl,
+    Shr,
+    Sar,
+    Sha3,
+    Address,
+    Balance,
+    Caller,
+    CallValue,
+    CallDataLoad,
+    CallDataSize,
+    CallDataCopy,
+    ReturnDataSize,
+    ReturnDataCopy,
+    Timestamp,
+    Number,
+    SelfBalance,
+    Pop,
+    MLoad,
+    MStore,
+    MStore8,
+    SLoad,
+    SStore,
+    Jump,
+    JumpI,
+    Pc,
+    MSize,
+    Gas,
+    JumpDest,
+    /// `PUSH1`‥`PUSH32`; the payload is the number of immediate bytes.
+    Push(u8),
+    /// `DUP1`‥`DUP16`; the payload is the depth (1-based).
+    Dup(u8),
+    /// `SWAP1`‥`SWAP16`; the payload is the depth (1-based).
+    Swap(u8),
+    /// `LOG0`‥`LOG4`; the payload is the topic count.
+    Log(u8),
+    Return,
+    /// Cross-contract call: `gas to value in_off in_len out_off out_len →
+    /// success`.
+    Call,
+    /// Read-only cross-contract call: `gas to in_off in_len out_off
+    /// out_len → success`.
+    StaticCall,
+    Revert,
+}
+
+impl Opcode {
+    /// Decodes a byte into an opcode, or `None` for bytes outside the
+    /// supported subset (executing one raises an invalid-opcode error).
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        Some(match byte {
+            0x00 => Self::Stop,
+            0x01 => Self::Add,
+            0x02 => Self::Mul,
+            0x03 => Self::Sub,
+            0x04 => Self::Div,
+            0x05 => Self::SDiv,
+            0x06 => Self::Mod,
+            0x07 => Self::SMod,
+            0x08 => Self::AddMod,
+            0x09 => Self::MulMod,
+            0x0a => Self::Exp,
+            0x0b => Self::SignExtend,
+            0x10 => Self::Lt,
+            0x11 => Self::Gt,
+            0x12 => Self::Slt,
+            0x13 => Self::Sgt,
+            0x14 => Self::Eq,
+            0x15 => Self::IsZero,
+            0x16 => Self::And,
+            0x17 => Self::Or,
+            0x18 => Self::Xor,
+            0x19 => Self::Not,
+            0x1a => Self::Byte,
+            0x1b => Self::Shl,
+            0x1c => Self::Shr,
+            0x1d => Self::Sar,
+            0x20 => Self::Sha3,
+            0x30 => Self::Address,
+            0x31 => Self::Balance,
+            0x33 => Self::Caller,
+            0x34 => Self::CallValue,
+            0x35 => Self::CallDataLoad,
+            0x36 => Self::CallDataSize,
+            0x37 => Self::CallDataCopy,
+            0x3d => Self::ReturnDataSize,
+            0x3e => Self::ReturnDataCopy,
+            0x42 => Self::Timestamp,
+            0x43 => Self::Number,
+            0x47 => Self::SelfBalance,
+            0x50 => Self::Pop,
+            0x51 => Self::MLoad,
+            0x52 => Self::MStore,
+            0x53 => Self::MStore8,
+            0x54 => Self::SLoad,
+            0x55 => Self::SStore,
+            0x56 => Self::Jump,
+            0x57 => Self::JumpI,
+            0x58 => Self::Pc,
+            0x59 => Self::MSize,
+            0x5a => Self::Gas,
+            0x5b => Self::JumpDest,
+            0x60..=0x7f => Self::Push(byte - 0x5f),
+            0x80..=0x8f => Self::Dup(byte - 0x7f),
+            0x90..=0x9f => Self::Swap(byte - 0x8f),
+            0xa0..=0xa4 => Self::Log(byte - 0xa0),
+            0xf1 => Self::Call,
+            0xf3 => Self::Return,
+            0xfa => Self::StaticCall,
+            0xfd => Self::Revert,
+            _ => return None,
+        })
+    }
+
+    /// Encodes the opcode back into its byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Self::Stop => 0x00,
+            Self::Add => 0x01,
+            Self::Mul => 0x02,
+            Self::Sub => 0x03,
+            Self::Div => 0x04,
+            Self::SDiv => 0x05,
+            Self::Mod => 0x06,
+            Self::SMod => 0x07,
+            Self::AddMod => 0x08,
+            Self::MulMod => 0x09,
+            Self::Exp => 0x0a,
+            Self::SignExtend => 0x0b,
+            Self::Lt => 0x10,
+            Self::Gt => 0x11,
+            Self::Slt => 0x12,
+            Self::Sgt => 0x13,
+            Self::Eq => 0x14,
+            Self::IsZero => 0x15,
+            Self::And => 0x16,
+            Self::Or => 0x17,
+            Self::Xor => 0x18,
+            Self::Not => 0x19,
+            Self::Byte => 0x1a,
+            Self::Shl => 0x1b,
+            Self::Shr => 0x1c,
+            Self::Sar => 0x1d,
+            Self::Sha3 => 0x20,
+            Self::Address => 0x30,
+            Self::Balance => 0x31,
+            Self::Caller => 0x33,
+            Self::CallValue => 0x34,
+            Self::CallDataLoad => 0x35,
+            Self::CallDataSize => 0x36,
+            Self::CallDataCopy => 0x37,
+            Self::ReturnDataSize => 0x3d,
+            Self::ReturnDataCopy => 0x3e,
+            Self::Timestamp => 0x42,
+            Self::Number => 0x43,
+            Self::SelfBalance => 0x47,
+            Self::Pop => 0x50,
+            Self::MLoad => 0x51,
+            Self::MStore => 0x52,
+            Self::MStore8 => 0x53,
+            Self::SLoad => 0x54,
+            Self::SStore => 0x55,
+            Self::Jump => 0x56,
+            Self::JumpI => 0x57,
+            Self::Pc => 0x58,
+            Self::MSize => 0x59,
+            Self::Gas => 0x5a,
+            Self::JumpDest => 0x5b,
+            Self::Push(n) => 0x5f + n,
+            Self::Dup(n) => 0x7f + n,
+            Self::Swap(n) => 0x8f + n,
+            Self::Log(n) => 0xa0 + n,
+            Self::Call => 0xf1,
+            Self::Return => 0xf3,
+            Self::StaticCall => 0xfa,
+            Self::Revert => 0xfd,
+        }
+    }
+
+    /// Number of immediate bytes following the opcode (non-zero only for
+    /// `PUSH`).
+    pub fn immediate_len(self) -> usize {
+        match self {
+            Self::Push(n) => n as usize,
+            _ => 0,
+        }
+    }
+
+    /// Parses a mnemonic as used by the assembler, e.g. `"PUSH1"`,
+    /// `"DUP3"`, `"SSTORE"`. Case-insensitive.
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Self> {
+        let upper = mnemonic.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("PUSH") {
+            if let Ok(n) = rest.parse::<u8>() {
+                if (1..=32).contains(&n) {
+                    return Some(Self::Push(n));
+                }
+            }
+            return None;
+        }
+        if let Some(rest) = upper.strip_prefix("DUP") {
+            let n = rest.parse::<u8>().ok()?;
+            return (1..=16).contains(&n).then_some(Self::Dup(n));
+        }
+        if let Some(rest) = upper.strip_prefix("SWAP") {
+            let n = rest.parse::<u8>().ok()?;
+            return (1..=16).contains(&n).then_some(Self::Swap(n));
+        }
+        if let Some(rest) = upper.strip_prefix("LOG") {
+            let n = rest.parse::<u8>().ok()?;
+            return (n <= 4).then_some(Self::Log(n));
+        }
+        Some(match upper.as_str() {
+            "STOP" => Self::Stop,
+            "ADD" => Self::Add,
+            "MUL" => Self::Mul,
+            "SUB" => Self::Sub,
+            "DIV" => Self::Div,
+            "SDIV" => Self::SDiv,
+            "MOD" => Self::Mod,
+            "SMOD" => Self::SMod,
+            "ADDMOD" => Self::AddMod,
+            "MULMOD" => Self::MulMod,
+            "EXP" => Self::Exp,
+            "SIGNEXTEND" => Self::SignExtend,
+            "LT" => Self::Lt,
+            "GT" => Self::Gt,
+            "SLT" => Self::Slt,
+            "SGT" => Self::Sgt,
+            "EQ" => Self::Eq,
+            "ISZERO" => Self::IsZero,
+            "AND" => Self::And,
+            "OR" => Self::Or,
+            "XOR" => Self::Xor,
+            "NOT" => Self::Not,
+            "BYTE" => Self::Byte,
+            "SHL" => Self::Shl,
+            "SHR" => Self::Shr,
+            "SAR" => Self::Sar,
+            "SHA3" | "KECCAK256" => Self::Sha3,
+            "ADDRESS" => Self::Address,
+            "BALANCE" => Self::Balance,
+            "CALLER" => Self::Caller,
+            "CALLVALUE" => Self::CallValue,
+            "CALLDATALOAD" => Self::CallDataLoad,
+            "CALLDATASIZE" => Self::CallDataSize,
+            "CALLDATACOPY" => Self::CallDataCopy,
+            "RETURNDATASIZE" => Self::ReturnDataSize,
+            "RETURNDATACOPY" => Self::ReturnDataCopy,
+            "TIMESTAMP" => Self::Timestamp,
+            "NUMBER" => Self::Number,
+            "SELFBALANCE" => Self::SelfBalance,
+            "POP" => Self::Pop,
+            "MLOAD" => Self::MLoad,
+            "MSTORE" => Self::MStore,
+            "MSTORE8" => Self::MStore8,
+            "SLOAD" => Self::SLoad,
+            "SSTORE" => Self::SStore,
+            "JUMP" => Self::Jump,
+            "JUMPI" => Self::JumpI,
+            "PC" => Self::Pc,
+            "MSIZE" => Self::MSize,
+            "GAS" => Self::Gas,
+            "JUMPDEST" => Self::JumpDest,
+            "RETURN" => Self::Return,
+            "CALL" => Self::Call,
+            "STATICCALL" => Self::StaticCall,
+            "REVERT" => Self::Revert,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Push(n) => write!(f, "PUSH{n}"),
+            Self::Dup(n) => write!(f, "DUP{n}"),
+            Self::Swap(n) => write!(f, "SWAP{n}"),
+            Self::Log(n) => write!(f, "LOG{n}"),
+            Self::Sha3 => write!(f, "SHA3"),
+            other => write!(f, "{}", format!("{other:?}").to_ascii_uppercase()),
+        }
+    }
+}
+
+/// Computes the set of valid `JUMPDEST` offsets in `code`, skipping bytes
+/// that are `PUSH` immediates.
+pub fn valid_jump_destinations(code: &[u8]) -> Vec<bool> {
+    let mut valid = vec![false; code.len()];
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match Opcode::from_byte(code[pc]) {
+            Some(Opcode::JumpDest) => {
+                valid[pc] = true;
+                pc += 1;
+            }
+            Some(op) => pc += 1 + op.immediate_len(),
+            None => pc += 1,
+        }
+    }
+    valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip_for_all_supported() {
+        for byte in 0u8..=0xff {
+            if let Some(op) = Opcode::from_byte(byte) {
+                assert_eq!(op.to_byte(), byte, "opcode {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for byte in 0u8..=0xff {
+            if let Some(op) = Opcode::from_byte(byte) {
+                let name = op.to_string();
+                assert_eq!(Opcode::from_mnemonic(&name), Some(op), "mnemonic {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_ranges() {
+        assert_eq!(Opcode::from_byte(0x60), Some(Opcode::Push(1)));
+        assert_eq!(Opcode::from_byte(0x7f), Some(Opcode::Push(32)));
+        assert_eq!(Opcode::Push(1).immediate_len(), 1);
+        assert_eq!(Opcode::Push(32).immediate_len(), 32);
+        assert_eq!(Opcode::from_mnemonic("PUSH33"), None);
+        assert_eq!(Opcode::from_mnemonic("PUSH0"), None);
+    }
+
+    #[test]
+    fn unsupported_bytes_are_none() {
+        assert_eq!(Opcode::from_byte(0xf0), None); // CREATE — unsupported
+        assert_eq!(Opcode::from_byte(0xf4), None); // DELEGATECALL — unsupported
+        assert_eq!(Opcode::from_byte(0xff), None); // SELFDESTRUCT — unsupported
+    }
+
+    #[test]
+    fn call_family_bytes_match_the_yellow_paper() {
+        assert_eq!(Opcode::from_byte(0xf1), Some(Opcode::Call));
+        assert_eq!(Opcode::from_byte(0xfa), Some(Opcode::StaticCall));
+        assert_eq!(Opcode::from_byte(0x3d), Some(Opcode::ReturnDataSize));
+        assert_eq!(Opcode::from_byte(0x3e), Some(Opcode::ReturnDataCopy));
+        assert_eq!(Opcode::from_byte(0x05), Some(Opcode::SDiv));
+        assert_eq!(Opcode::from_byte(0x1d), Some(Opcode::Sar));
+    }
+
+    #[test]
+    fn jumpdest_inside_push_immediate_is_invalid() {
+        // PUSH2 0x5b5b JUMPDEST — only the final byte is a real JUMPDEST.
+        let code = [0x61, 0x5b, 0x5b, 0x5b];
+        let valid = valid_jump_destinations(&code);
+        assert_eq!(valid, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn keccak_alias_parses() {
+        assert_eq!(Opcode::from_mnemonic("KECCAK256"), Some(Opcode::Sha3));
+        assert_eq!(Opcode::from_mnemonic("sha3"), Some(Opcode::Sha3));
+    }
+}

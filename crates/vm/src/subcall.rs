@@ -1,0 +1,246 @@
+//! Shared semantics of `CALL` / `STATICCALL` sub-frames.
+//!
+//! The production interpreter executes sub-calls iteratively — its driver
+//! loop in `interpreter::execute_owned` keeps suspended parents in an
+//! explicit stack — and builds the child environment, stipend, and native
+//! dispatch from the helpers here. The tracing interpreter executes
+//! sub-calls through [`run_subcall`], which delegates bytecode children to
+//! the same iterative driver, so the two cannot drift.
+//!
+//! Two deliberate simplifications against the Yellow Paper, both noted in
+//! `DESIGN.md` §7:
+//!
+//! * the 25 000-gas new-account surcharge is not modelled (accounts are
+//!   cheap in the simulation and the experiments never create them via
+//!   `CALL`);
+//! * the caller is charged `child_gas_used - stipend` after the fact
+//!   instead of pre-paying the forwarded gas and being refunded — the net
+//!   amounts are identical.
+//!
+//! Sub-calls are **never** RAA-augmented: augmentation is a property of
+//! the top-level read-only query path (paper §III-D), not of the call
+//! instruction.
+
+use bytes::Bytes;
+use sereth_crypto::address::Address;
+use sereth_types::receipt::TxStatus;
+use sereth_types::u256::U256;
+
+use crate::exec::{CallEnv, CallOutcome, ContractCode, NativeContract, Storage};
+use crate::gas::{self, GasMeter, CALL_DEPTH_LIMIT, CALL_STIPEND, NATIVE_CALL_GAS};
+use crate::interpreter;
+
+/// A decoded `CALL`/`STATICCALL` request, after the caller's frame has
+/// popped the operands and read the argument region out of memory.
+#[derive(Debug, Clone)]
+pub(crate) struct SubCallRequest {
+    /// Gas the caller offered (the `gas` stack operand, saturated to u64).
+    pub gas_requested: u64,
+    /// Callee address.
+    pub target: Address,
+    /// Value to transfer (always zero for `STATICCALL`).
+    pub value: U256,
+    /// Child calldata.
+    pub calldata: Bytes,
+    /// `true` for `STATICCALL`: the child frame is read-only even if the
+    /// parent is not.
+    pub is_static_call: bool,
+}
+
+/// What a sub-call produced, in the form the tracing frame needs (the
+/// tracer records no logs, so none are carried here).
+#[derive(Debug, Clone)]
+pub(crate) struct SubCallResult {
+    /// `true` pushes 1, `false` pushes 0.
+    pub success: bool,
+    /// The child's return (or revert) payload; becomes the parent's
+    /// return-data buffer.
+    pub return_data: Bytes,
+    /// Gas to charge on the parent's meter.
+    pub gas_charged: u64,
+}
+
+impl SubCallResult {
+    fn failed_flat() -> Self {
+        Self { success: false, return_data: Bytes::new(), gas_charged: 0 }
+    }
+}
+
+/// The execution-gas grant accompanying a value transfer.
+pub(crate) fn stipend_for(value: U256) -> u64 {
+    if value.is_zero() {
+        0
+    } else {
+        CALL_STIPEND
+    }
+}
+
+/// Builds the child frame's environment from the parent's and the request.
+pub(crate) fn child_env(parent: &CallEnv, request: &SubCallRequest) -> CallEnv {
+    CallEnv {
+        caller: parent.callee,
+        callee: request.target,
+        call_value: request.value,
+        calldata: request.calldata.clone(),
+        block_number: parent.block_number,
+        timestamp_ms: parent.timestamp_ms,
+        is_static: parent.is_static || request.is_static_call,
+        depth: parent.depth + 1,
+    }
+}
+
+/// Runs a native contract as a call target, producing the same outcome
+/// shape as a bytecode frame.
+pub(crate) fn run_native(
+    native: &dyn NativeContract,
+    env: &CallEnv,
+    storage: &mut dyn Storage,
+    gas_limit: u64,
+) -> CallOutcome {
+    let mut meter = GasMeter::new(gas_limit);
+    let mut logs = Vec::new();
+    match meter.charge(NATIVE_CALL_GAS).and_then(|()| native.call(env, storage, &mut meter, &mut logs)) {
+        Ok(return_data) => {
+            CallOutcome { status: TxStatus::Success, return_data, gas_used: meter.used(), logs }
+        }
+        Err(error) => CallOutcome::from_error(&error, meter.used()),
+    }
+}
+
+/// Runs one sub-call to completion against `storage` (the tracing
+/// interpreter's path; the production interpreter inlines the same steps
+/// into its driver loop so bytecode children never recurse).
+///
+/// Failures of the *call itself* (depth exceeded, insufficient balance)
+/// are flat: they consume no gas beyond what the caller already paid and
+/// report `success = false`. Failures *inside* the child (revert, out of
+/// gas, invalid opcode) roll the child's writes back to the checkpoint
+/// taken here and also report `success = false` — the parent frame keeps
+/// running either way, exactly like the EVM.
+pub(crate) fn run_subcall(
+    parent_env: &CallEnv,
+    request: SubCallRequest,
+    parent_gas_remaining: u64,
+    storage: &mut dyn Storage,
+) -> SubCallResult {
+    if parent_env.depth >= CALL_DEPTH_LIMIT {
+        return SubCallResult::failed_flat();
+    }
+
+    let stipend = stipend_for(request.value);
+    let forwarded = gas::forwarded_call_gas(parent_gas_remaining, request.gas_requested) + stipend;
+    let env = child_env(parent_env, &request);
+
+    let checkpoint = storage.checkpoint();
+    if !storage.transfer(&parent_env.callee, &request.target, request.value) {
+        return SubCallResult::failed_flat();
+    }
+
+    let outcome = match storage.code_get(&request.target) {
+        ContractCode::None => CallOutcome {
+            // A plain transfer to an account with no code.
+            status: TxStatus::Success,
+            return_data: Bytes::new(),
+            gas_used: 0,
+            logs: Vec::new(),
+        },
+        ContractCode::Bytecode(code) => interpreter::execute_owned(code, env, storage, forwarded),
+        ContractCode::Native(native) => run_native(native.as_ref(), &env, storage, forwarded),
+    };
+
+    let gas_charged = outcome.gas_used.saturating_sub(stipend);
+    if outcome.status.is_success() {
+        SubCallResult { success: true, return_data: outcome.return_data, gas_charged }
+    } else {
+        storage.revert_checkpoint(checkpoint);
+        // A reverting child still surfaces its revert payload to the
+        // caller's return-data buffer.
+        SubCallResult { success: false, return_data: outcome.return_data, gas_charged }
+    }
+}
+
+/// Extracts the low 20 bytes of a stack word as an address (how `CALL`
+/// and `BALANCE` interpret their address operand).
+pub(crate) fn word_address(word: U256) -> Address {
+    let bytes = word.to_be_bytes();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&bytes[12..]);
+    Address::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::MemStorage;
+
+    fn env_at_depth(depth: u16) -> CallEnv {
+        let mut env =
+            CallEnv::test_env(Address::from_low_u64(1), Address::from_low_u64(2), Bytes::new());
+        env.depth = depth;
+        env
+    }
+
+    fn transfer_request(value: u64) -> SubCallRequest {
+        SubCallRequest {
+            gas_requested: 100_000,
+            target: Address::from_low_u64(9),
+            value: U256::from(value),
+            calldata: Bytes::new(),
+            is_static_call: false,
+        }
+    }
+
+    #[test]
+    fn depth_limit_fails_flat() {
+        let mut storage = MemStorage::new();
+        let result =
+            run_subcall(&env_at_depth(CALL_DEPTH_LIMIT), transfer_request(0), 1_000_000, &mut storage);
+        assert!(!result.success);
+        assert_eq!(result.gas_charged, 0);
+    }
+
+    #[test]
+    fn transfer_to_codeless_account_succeeds() {
+        let mut storage = MemStorage::new();
+        storage.set_balance(Address::from_low_u64(2), U256::from(500u64));
+        let result = run_subcall(&env_at_depth(0), transfer_request(300), 1_000_000, &mut storage);
+        assert!(result.success);
+        assert_eq!(storage.balance_get(&Address::from_low_u64(9)), U256::from(300u64));
+        assert_eq!(storage.balance_get(&Address::from_low_u64(2)), U256::from(200u64));
+    }
+
+    #[test]
+    fn insufficient_balance_fails_flat_without_state_change() {
+        let mut storage = MemStorage::new();
+        storage.set_balance(Address::from_low_u64(2), U256::from(10u64));
+        let result = run_subcall(&env_at_depth(0), transfer_request(300), 1_000_000, &mut storage);
+        assert!(!result.success);
+        assert_eq!(storage.balance_get(&Address::from_low_u64(2)), U256::from(10u64));
+    }
+
+    #[test]
+    fn child_env_inherits_and_deepens() {
+        let parent = env_at_depth(3);
+        let request = transfer_request(7);
+        let child = child_env(&parent, &request);
+        assert_eq!(child.caller, parent.callee);
+        assert_eq!(child.callee, request.target);
+        assert_eq!(child.depth, 4);
+        assert!(!child.is_static);
+        let static_request = SubCallRequest { is_static_call: true, ..transfer_request(0) };
+        assert!(child_env(&parent, &static_request).is_static);
+    }
+
+    #[test]
+    fn stipend_only_for_value_transfers() {
+        assert_eq!(stipend_for(U256::ZERO), 0);
+        assert_eq!(stipend_for(U256::ONE), CALL_STIPEND);
+    }
+
+    #[test]
+    fn word_address_takes_low_20_bytes() {
+        let word = U256::from_be_bytes([0xff; 32]);
+        assert_eq!(word_address(word), Address::new([0xff; 20]));
+        assert_eq!(word_address(U256::from(7u64)), Address::from_low_u64(7));
+    }
+}

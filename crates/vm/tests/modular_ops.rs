@@ -1,0 +1,120 @@
+//! Tests for the modular/exponentiation opcodes against u128 oracles.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sereth_crypto::address::Address;
+use sereth_types::receipt::TxStatus;
+use sereth_types::u256::U256;
+use sereth_vm::asm::assemble;
+use sereth_vm::exec::{CallEnv, MemStorage};
+use sereth_vm::interpreter::execute;
+
+fn run_ternary(op: &str, a: U256, b: U256, n: U256) -> U256 {
+    let hex = |v: U256| -> String { v.to_be_bytes().iter().map(|x| format!("{x:02x}")).collect() };
+    // Stack for ADDMOD/MULMOD: [a, b, N] with a on top.
+    let source = format!(
+        "PUSH32 0x{}\nPUSH32 0x{}\nPUSH32 0x{}\n{op}\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
+        hex(n),
+        hex(b),
+        hex(a),
+    );
+    let code = assemble(&source).unwrap();
+    let env = CallEnv::test_env(Address::from_low_u64(1), Address::from_low_u64(2), Bytes::new());
+    let mut storage = MemStorage::new();
+    let outcome = execute(&code, &env, &mut storage, 10_000_000);
+    assert_eq!(outcome.status, TxStatus::Success, "{op}");
+    let mut word = [0u8; 32];
+    word.copy_from_slice(&outcome.return_data);
+    U256::from_be_bytes(word)
+}
+
+fn run_binary(op: &str, a: U256, b: U256) -> (U256, u64) {
+    let hex = |v: U256| -> String { v.to_be_bytes().iter().map(|x| format!("{x:02x}")).collect() };
+    let source = format!(
+        "PUSH32 0x{}\nPUSH32 0x{}\n{op}\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
+        hex(b),
+        hex(a),
+    );
+    let code = assemble(&source).unwrap();
+    let env = CallEnv::test_env(Address::from_low_u64(1), Address::from_low_u64(2), Bytes::new());
+    let mut storage = MemStorage::new();
+    let outcome = execute(&code, &env, &mut storage, 10_000_000);
+    assert_eq!(outcome.status, TxStatus::Success, "{op}");
+    let mut word = [0u8; 32];
+    word.copy_from_slice(&outcome.return_data);
+    (U256::from_be_bytes(word), outcome.gas_used)
+}
+
+#[test]
+fn addmod_exceeds_wrapping_semantics() {
+    // MAX + 2 mod 10: arbitrary precision gives (2^256 - 1 + 2) % 10; the
+    // wrapped sum would give 1 % 10 = 1. They differ, proving the opcode
+    // is not implemented by truncation.
+    let exact = run_ternary("ADDMOD", U256::MAX, U256::from(2u64), U256::from(10u64));
+    let wrapped = (U256::MAX + U256::from(2u64)).div_rem(U256::from(10u64)).unwrap().1;
+    assert_ne!(exact, wrapped);
+    // 2^256 ≡ 6 (mod 10)  ⇒  (2^256 + 1) ≡ 7 (mod 10).
+    assert_eq!(exact, U256::from(7u64));
+}
+
+#[test]
+fn mulmod_uses_wide_product() {
+    // (2^200)² mod p differs from the wrapped product mod p.
+    let a = U256::ONE << 200;
+    let p = U256::from(1_000_000_007u64);
+    let exact = run_ternary("MULMOD", a, a, p);
+    let wrapped = (a * a).div_rem(p).unwrap().1;
+    assert_ne!(exact, wrapped, "2^400 overflows 256 bits");
+    assert_eq!(exact, a.mul_mod(a, p));
+}
+
+#[test]
+fn modulus_zero_yields_zero() {
+    assert_eq!(run_ternary("ADDMOD", U256::from(3u64), U256::from(4u64), U256::ZERO), U256::ZERO);
+    assert_eq!(run_ternary("MULMOD", U256::from(3u64), U256::from(4u64), U256::ZERO), U256::ZERO);
+}
+
+#[test]
+fn exp_basics_and_gas_scale() {
+    let (result, gas_small) = run_binary("EXP", U256::from(2u64), U256::from(8u64));
+    assert_eq!(result, U256::from(256u64));
+    let (result, gas_large) = run_binary("EXP", U256::from(2u64), U256::ONE << 200);
+    // 2^(2^200) mod 2^256 = 0 (exponent ≥ 256 and base even).
+    assert_eq!(result, U256::ZERO);
+    assert!(gas_large > gas_small, "EXP charges per exponent byte ({gas_small} vs {gas_large})");
+}
+
+proptest! {
+    #[test]
+    fn addmod_matches_u128(a in any::<u64>(), b in any::<u64>(), n in 1u64..u64::MAX) {
+        let expected = ((a as u128 + b as u128) % n as u128) as u64;
+        prop_assert_eq!(
+            run_ternary("ADDMOD", U256::from(a), U256::from(b), U256::from(n)),
+            U256::from(expected)
+        );
+    }
+
+    #[test]
+    fn mulmod_matches_u128(a in any::<u64>(), b in any::<u64>(), n in 1u64..u64::MAX) {
+        let expected = ((a as u128 * b as u128) % n as u128) as u64;
+        prop_assert_eq!(
+            run_ternary("MULMOD", U256::from(a), U256::from(b), U256::from(n)),
+            U256::from(expected)
+        );
+    }
+
+    #[test]
+    fn exp_matches_u128(base in 0u64..16, exponent in 0u32..30) {
+        let expected = (base as u128).pow(exponent);
+        let (result, _) = run_binary("EXP", U256::from(base), U256::from(exponent as u64));
+        prop_assert_eq!(result, U256::from(expected));
+    }
+
+    #[test]
+    fn u256_mul_mod_identity(a in any::<[u8; 32]>(), n in 1u64..u64::MAX) {
+        // (a mod n) * 1 mod n == a mod n.
+        let a = U256::from_be_bytes(a);
+        let n = U256::from(n);
+        prop_assert_eq!(a.mul_mod(U256::ONE, n), a.div_rem(n).unwrap().1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Audit a committed chain against the paper's correctness conditions.
+//!
+//! Runs one semantic-mining scenario (paper §V-C), extracts the committed
+//! market history from the canonical chain, and checks it against:
+//!
+//! * **sequential consistency** (§IV) — every sender's transactions commit
+//!   in program (nonce) order;
+//! * **Selective Strict Serialization** (§VI) — the sets are strictly
+//!   serialized through the mark chain, and every effective buy is pinned
+//!   inside exactly one inter-set interval (the condition the paper
+//!   suggests as HMS's correctness condition and leaves as future work).
+//!
+//! The audit re-derives the market state machine from calldata alone, so
+//! it is an independent oracle over the whole stack: contract, executor,
+//! pool, miner, gossip.
+//!
+//! ```text
+//! cargo run --example consistency_audit
+//! ```
+
+use sereth::consistency::record::{History, MarketSpec};
+use sereth::consistency::{seqcon, sss};
+use sereth::crypto::H256;
+use sereth::hms::mark::genesis_mark;
+use sereth::node::contract::{
+    buy_ok_topic, buy_selector, default_contract_address, set_ok_topic, set_selector,
+};
+use sereth::sim::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    // --- 1. Produce a committed chain: 40 buys against 10 sets. ----------
+    let mut config = ScenarioConfig::semantic_mining(40, 10);
+    config.drain_ms = 6 * 15_000;
+    println!("running `{}` (40 buys, 10 sets, seed 42)…", config.name);
+    let output = run_scenario(&config, 42);
+    println!(
+        "committed {} blocks; eta = {:.2}\n",
+        output.metrics.blocks,
+        output.metrics.eta_buys()
+    );
+
+    // --- 2. Extract the market history from the canonical chain. ---------
+    let spec = MarketSpec {
+        contract: default_contract_address(),
+        set_selector: set_selector(),
+        buy_selector: buy_selector(),
+        set_ok_topic: set_ok_topic(),
+        buy_ok_topic: buy_ok_topic(),
+        genesis_mark: genesis_mark(),
+        initial_value: H256::from_low_u64(50),
+    };
+    let history = History::from_blocks(
+        &spec,
+        output.chain.iter().map(|(block, receipts)| (block, receipts.as_slice())),
+    );
+    let (sets_ok, sets_noop, buys_ok, buys_noop) = history.tallies();
+    println!("history: {} market transactions in commit order", history.len());
+    println!("  sets:  {sets_ok} effective, {sets_noop} no-ops");
+    println!("  buys:  {buys_ok} effective, {buys_noop} no-ops (stale offers)\n");
+
+    // --- 3. Sequential consistency (§IV). ---------------------------------
+    let seq_violations = seqcon::check(&history);
+    println!(
+        "sequential consistency: {}",
+        if seq_violations.is_empty() { "HOLDS".to_string() } else { format!("{seq_violations:?}") }
+    );
+    assert!(seq_violations.is_empty());
+
+    // --- 4. Selective Strict Serialization (§VI). -------------------------
+    let report = sss::check(&spec, &history);
+    println!(
+        "selective strict serialization: {}",
+        if report.holds() { "HOLDS".to_string() } else { format!("{:?}", report.violations) }
+    );
+    assert!(report.holds());
+    println!("  strict part: {} serialized intervals (one per effective set)", report.intervals);
+    println!("  marked part: buys per interval = {:?}", report.buys_per_interval);
+    println!(
+        "\nthe semantic miner reordered buys into their marked intervals — and the audit\n\
+         proves every such reordering stayed within what SSS permits ✓"
+    );
+}

@@ -1,0 +1,118 @@
+//! Frontrunning and the lost-update problem (paper §II-F and §V-B).
+//!
+//! "If a sequence occurs such as: set(5), buy(5), set(7), set(5), buy(5),
+//! a particular buy(5) can prove that it was sent during the first or the
+//! second interval the price was set to 5. Linking each buy transaction to
+//! a particular set price prevents the frontrunning attack."
+//!
+//! This example reproduces that exact history and then stages the attack:
+//! a miner tries to drag an early cheap buy into a later, more expensive
+//! interval (or vice versa). With plain price matching the drag would
+//! succeed silently; with HMS marks it is detected — the dragged buy
+//! simply fails.
+//!
+//! ```text
+//! cargo run --example frontrunning
+//! ```
+
+use sereth::chain::builder::BlockLimits;
+use sereth::chain::genesis::GenesisBuilder;
+use sereth::crypto::{Address, SecretKey, H256};
+use sereth::hms::fpv::{Flag, Fpv};
+use sereth::hms::hms::HmsConfig;
+use sereth::hms::mark::{compute_mark, genesis_mark};
+use sereth::node::client::{Buyer, Owner};
+use sereth::node::contract::{
+    buy_ok_topic, default_contract_address, sereth_code, sereth_genesis_slots, ContractForm,
+};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
+use sereth::types::U256;
+
+fn main() {
+    let owner_key = SecretKey::from_label(1);
+    let alice_key = SecretKey::from_label(2); // buys in the FIRST 5-interval
+    let mallory_key = SecretKey::from_label(3); // buys in the SECOND 5-interval
+    let contract = default_contract_address();
+
+    let mut genesis = GenesisBuilder::new().fund(owner_key.address(), U256::from(1_000_000_000u64));
+    for key in [&alice_key, &mallory_key] {
+        genesis = genesis.fund(key.address(), U256::from(1_000_000_000u64));
+    }
+    let genesis = genesis
+        .contract_with_storage(
+            contract,
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner_key.address(), H256::from_low_u64(1)),
+        )
+        .build();
+    let node = NodeHandle::new(
+        genesis,
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract,
+            miner: Some(sereth::node::node::MinerSetup {
+                policy: sereth::node::miner::MinerPolicy::Standard,
+                schedule: sereth::node::node::BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc0b0),
+            }),
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+        },
+    );
+
+    // --- The §V-B history: set(5), buy(5), set(7), set(5), buy(5). ---
+    let mut owner = Owner::with_value(owner_key, contract, genesis_mark(), H256::from_low_u64(1), 1);
+    let five = H256::from_low_u64(5);
+    let seven = H256::from_low_u64(7);
+
+    let m0 = genesis_mark();
+    let m1 = compute_mark(&m0, &five); //   after set(5)   — interval 1
+    let m2 = compute_mark(&m1, &seven); //  after set(7)
+    let m3 = compute_mark(&m2, &five); //   after set(5)   — interval 2
+
+    let mut alice = Buyer::new(alice_key, contract, ClientKind::Sereth, 1);
+    let mut mallory = Buyer::new(mallory_key, contract, ClientKind::Sereth, 1);
+
+    let set5a = owner.next_set(&node, five);
+    let buy_alice = alice.next_buy_at(m1, five); // pinned to interval 1
+    let set7 = owner.next_set(&node, seven);
+    let set5b = owner.next_set(&node, five);
+    let buy_mallory = mallory.next_buy_at(m3, five); // pinned to interval 2
+
+    for (tx, t) in [(&set5a, 10u64), (&buy_alice, 20), (&set7, 30), (&set5b, 40), (&buy_mallory, 50)] {
+        assert!(node.receive_tx(tx.clone(), t));
+    }
+    node.mine(15_000).expect("sealed");
+
+    let succeeded: Vec<H256> = node.with_inner(|inner| {
+        let stored = inner.chain.canonical_block(1).expect("block 1");
+        stored
+            .block
+            .transactions
+            .iter()
+            .zip(&stored.receipts)
+            .filter(|(_, r)| r.has_event(buy_ok_topic()))
+            .map(|(tx, _)| tx.hash())
+            .collect()
+    });
+    println!("history: set(5) buy@interval1 set(7) set(5) buy@interval2");
+    println!("both buys at price 5 succeeded: {}", succeeded.len() == 2);
+    assert!(succeeded.contains(&buy_alice.hash()));
+    assert!(succeeded.contains(&buy_mallory.hash()));
+    println!(
+        "and the marks PROVE which interval each buy hit:\n  alice   -> {m1} (interval 1)\n  mallory -> {m3} (interval 2)"
+    );
+    assert_ne!(m1, m3, "same price, cryptographically distinct intervals — no lost update");
+
+    // --- The frontrunning attempt. ---
+    // A frontrunning miner wants to execute Alice's interval-1 buy in
+    // interval 2 (e.g. to displace Mallory). Price matching alone cannot
+    // object: the price is 5 in both intervals. The mark does.
+    println!("\nfrontrunning attempt: replay Alice's offer inside interval 2…");
+    let fpv = Fpv::from_calldata(buy_alice.input()).expect("well-formed buy");
+    assert_eq!(fpv.value, five, "price matches interval 2's price — a naive check passes");
+    assert_ne!(fpv.prev_mark, m3, "…but the mark pins it to interval 1: the contract rejects it");
+    assert_eq!(fpv.flag(), Flag::Success);
+    println!("blocked: buy(5) offers mark {m1}, but interval 2 requires {m3}");
+    println!("frontrunning/lost-update protection holds");
+}

@@ -1,0 +1,55 @@
+//! Interoperability (paper §V): Sereth clients run side by side with
+//! standard Geth clients on one network — no fork, no permission. Buyers
+//! attached to Sereth nodes see pending state; buyers on Geth nodes see
+//! committed state; everyone agrees on the chain.
+//!
+//! ```text
+//! cargo run --example interoperability --release
+//! ```
+
+use sereth::node::node::ClientKind;
+use sereth::sim::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    println!("== one network, mixed clients: 4 nodes, 100 buys, 20 reprices ==\n");
+    println!(
+        "| {:>12} | {:>10} | {:>10} | {:>8} |",
+        "sereth_nodes", "buys_ok", "buys_sent", "eta"
+    );
+    println!("|{:-<14}|{:-<12}|{:-<12}|{:-<10}|", "", "", "", "");
+
+    let mut etas = Vec::new();
+    for sereth_nodes in 0..=4usize {
+        let mut config = ScenarioConfig::sereth_client(100, 20);
+        config.node_kinds = (0..4)
+            .map(|i| if i < sereth_nodes { ClientKind::Sereth } else { ClientKind::Geth })
+            .collect();
+        config.miner_policy = sereth::node::miner::MinerPolicy::Standard;
+        config.name = format!("mixed_{sereth_nodes}_of_4");
+        let out = run_scenario(&config, 2026);
+        println!(
+            "| {:>12} | {:>10} | {:>10} | {:>8.2} |",
+            sereth_nodes,
+            out.metrics.buys_succeeded,
+            out.metrics.buys_submitted,
+            out.metrics.eta_buys()
+        );
+        assert_eq!(
+            out.metrics.sets_succeeded, out.metrics.sets_submitted,
+            "the owner's sets commit in every mix"
+        );
+        etas.push(out.metrics.eta_buys());
+    }
+
+    println!();
+    println!(
+        "efficiency with no Sereth peers: {:.2}; with all four: {:.2}",
+        etas.first().unwrap(),
+        etas.last().unwrap()
+    );
+    assert!(
+        etas.last().unwrap() > etas.first().unwrap(),
+        "running the modified client helps without any protocol change"
+    );
+    println!("\"Deployment of Sereth in the wild would not require a fork\" — reproduced.");
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration: the full network simulation reproduces the
+//! paper's qualitative results on matched seeds.
+
+use sereth::sim::scenario::{run_scenario, run_sequential_history, ScenarioConfig};
+
+fn shrink(mut config: ScenarioConfig) -> ScenarioConfig {
+    config.num_buys = 30;
+    config.num_sets = 15;
+    config.num_buyers = 6;
+    config.drain_ms = 6 * 15_000;
+    config
+}
+
+#[test]
+fn scenario_ordering_holds_in_aggregate() {
+    let seeds = [11u64, 22, 33, 44];
+    let mut geth = 0.0;
+    let mut sereth = 0.0;
+    let mut semantic = 0.0;
+    for &seed in &seeds {
+        geth += run_scenario(&shrink(ScenarioConfig::geth_unmodified(30, 15)), seed).metrics.eta_buys();
+        sereth += run_scenario(&shrink(ScenarioConfig::sereth_client(30, 15)), seed).metrics.eta_buys();
+        semantic += run_scenario(&shrink(ScenarioConfig::semantic_mining(30, 15)), seed).metrics.eta_buys();
+    }
+    assert!(
+        semantic >= sereth && sereth > geth,
+        "figure 2 ordering: semantic {semantic:.2} >= sereth {sereth:.2} > geth {geth:.2}"
+    );
+    // The paper's headline: a large multiple between baseline and HMS.
+    assert!(sereth >= 2.0 * geth, "HMS at least doubles efficiency in this regime (got {geth:.2} -> {sereth:.2})");
+}
+
+#[test]
+fn sets_never_fail_in_any_scenario() {
+    for make in [
+        ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
+        ScenarioConfig::sereth_client,
+        ScenarioConfig::semantic_mining,
+    ] {
+        let out = run_scenario(&shrink(make(30, 15)), 5);
+        assert_eq!(out.metrics.sets_succeeded, out.metrics.sets_submitted, "{}", out.scenario);
+    }
+}
+
+#[test]
+fn sequential_history_is_perfect_in_all_scenarios() {
+    for make in [
+        ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
+        ScenarioConfig::sereth_client,
+        ScenarioConfig::semantic_mining,
+    ] {
+        let out = run_sequential_history(&shrink(make(30, 15)), 12, 9);
+        assert_eq!(out.metrics.buys_succeeded, 12, "{}", out.scenario);
+        assert_eq!(out.metrics.sets_succeeded, 12, "{}", out.scenario);
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let config = shrink(ScenarioConfig::semantic_mining(30, 15));
+    let a = run_scenario(&config, 1234);
+    let b = run_scenario(&config, 1234);
+    assert_eq!(a.metrics.buys_succeeded, b.metrics.buys_succeeded);
+    assert_eq!(a.metrics.buys_included, b.metrics.buys_included);
+    assert_eq!(a.metrics.sets_succeeded, b.metrics.sets_succeeded);
+    assert_eq!(a.metrics.blocks, b.metrics.blocks);
+    assert_eq!(a.metrics.buy_latency_ms, b.metrics.buy_latency_ms);
+}
+
+#[test]
+fn state_throughput_never_exceeds_raw_throughput() {
+    for seed in [1u64, 2] {
+        let out = run_scenario(&shrink(ScenarioConfig::sereth_client(30, 15)), seed);
+        assert!(out.metrics.state_throughput_tps() <= out.metrics.raw_throughput_tps() + 1e-9);
+        assert!(out.metrics.eta_included() <= 1.0);
+        // Successful buys all have latency samples.
+        assert_eq!(out.metrics.buy_latency_ms.len() as u64, out.metrics.buys_succeeded);
+    }
+}
+
+#[test]
+fn committed_head_extension_improves_semantic_mining() {
+    // The paper's future-work claim (§V-C): recovering post-publish
+    // orphans pushes efficiency toward 100 %.
+    let seeds = [3u64, 5, 7, 9];
+    let mut base_total = 0.0;
+    let mut ext_total = 0.0;
+    for &seed in &seeds {
+        let base = shrink(ScenarioConfig::semantic_mining(30, 15));
+        base_total += run_scenario(&base, seed).metrics.eta_buys();
+
+        let mut ext = shrink(ScenarioConfig::semantic_mining(30, 15));
+        let hms = sereth::hms::hms::HmsConfig { committed_head: true };
+        ext.hms = hms.clone();
+        ext.miner_policy = sereth::node::miner::MinerPolicy::Semantic(hms);
+        ext_total += run_scenario(&ext, seed).metrics.eta_buys();
+    }
+    assert!(
+        ext_total >= base_total,
+        "committed-head must not hurt: base {base_total:.2}, extended {ext_total:.2}"
+    );
+}

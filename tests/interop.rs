@@ -1,0 +1,63 @@
+//! Interoperability (paper §V): Sereth clients "operated interchangeably
+//! with Geth clients on the same network … deployment would not require a
+//! fork", and benefits are "proportional to the participation" (§V-C).
+
+use sereth::node::node::ClientKind;
+use sereth::sim::scenario::{run_scenario, ScenarioConfig};
+
+fn mixed(num_sereth: usize) -> ScenarioConfig {
+    let mut config = ScenarioConfig::sereth_client(30, 15);
+    config.num_buyers = 8;
+    config.drain_ms = 6 * 15_000;
+    config.node_kinds = (0..config.num_nodes)
+        .map(|i| if i < num_sereth { ClientKind::Sereth } else { ClientKind::Geth })
+        .collect();
+    config.name = format!("mixed_{num_sereth}");
+    config
+}
+
+#[test]
+fn mixed_networks_converge_and_commit() {
+    for num_sereth in 0..=4 {
+        let out = run_scenario(&mixed(num_sereth), 77);
+        assert!(out.metrics.blocks > 0, "{}: blocks were produced", out.scenario);
+        assert_eq!(
+            out.metrics.sets_succeeded, out.metrics.sets_submitted,
+            "{}: owner sets commit regardless of the client mix",
+            out.scenario
+        );
+        // Buys flow and a nonzero fraction succeeds even without HMS.
+        assert!(out.metrics.buys_included > 0, "{}", out.scenario);
+    }
+}
+
+#[test]
+fn efficiency_grows_with_participation() {
+    // Average over seeds; full participation must beat none by a clear
+    // margin, and partial participation sits in between (within noise).
+    let seeds = [1u64, 2, 3, 4];
+    let eta_at = |num_sereth: usize| {
+        seeds.iter().map(|&s| run_scenario(&mixed(num_sereth), s).metrics.eta_buys()).sum::<f64>()
+            / seeds.len() as f64
+    };
+    let none = eta_at(0);
+    let half = eta_at(2);
+    let full = eta_at(4);
+    assert!(full > none, "full participation ({full:.2}) must beat none ({none:.2})");
+    assert!(
+        half >= none - 0.05 && half <= full + 0.05,
+        "partial participation should sit between: none {none:.2}, half {half:.2}, full {full:.2}"
+    );
+}
+
+#[test]
+fn geth_buyers_on_sereth_network_still_work() {
+    // Buyers inherit their node's kind; a network where only the miner is
+    // Sereth leaves buyers on Geth nodes with committed views, but
+    // nothing breaks.
+    let mut config = mixed(1);
+    config.name = "miner_only_sereth".into();
+    let out = run_scenario(&config, 42);
+    assert!(out.metrics.blocks > 0);
+    assert_eq!(out.metrics.sets_succeeded, out.metrics.sets_submitted);
+}

@@ -1,0 +1,164 @@
+//! The lost-update / interval-proof history of paper §V-B, run through the
+//! full stack: "if a sequence occurs such as: set(5), buy(5), set(7),
+//! set(5), buy(5), a particular buy(5) can prove that it was sent during
+//! the first or the second interval the price was set to 5."
+
+use sereth::chain::builder::BlockLimits;
+use sereth::chain::genesis::GenesisBuilder;
+use sereth::crypto::{Address, SecretKey, H256};
+use sereth::hms::fpv::Fpv;
+use sereth::hms::hms::HmsConfig;
+use sereth::hms::mark::{compute_mark, genesis_mark};
+use sereth::node::client::{Buyer, Owner};
+use sereth::node::contract::{
+    buy_ok_topic, default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, ContractForm,
+};
+use sereth::node::miner::MinerPolicy;
+use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::types::U256;
+
+struct Fixture {
+    node: NodeHandle,
+    owner: Owner,
+    alice: Buyer,
+    mallory: Buyer,
+}
+
+fn fixture(policy: MinerPolicy) -> Fixture {
+    let owner_key = SecretKey::from_label(1);
+    let alice_key = SecretKey::from_label(2);
+    let mallory_key = SecretKey::from_label(3);
+    let contract = default_contract_address();
+    let genesis = GenesisBuilder::new()
+        .fund(owner_key.address(), U256::from(1_000_000_000u64))
+        .fund(alice_key.address(), U256::from(1_000_000_000u64))
+        .fund(mallory_key.address(), U256::from(1_000_000_000u64))
+        .contract_with_storage(
+            contract,
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner_key.address(), H256::from_low_u64(1)),
+        )
+        .build();
+    let node = NodeHandle::new(
+        genesis,
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract,
+            miner: Some(MinerSetup {
+                policy,
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc0b0),
+            }),
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+        },
+    );
+    Fixture {
+        node,
+        owner: Owner::with_value(owner_key, contract, genesis_mark(), H256::from_low_u64(1), 1),
+        alice: Buyer::new(alice_key, contract, ClientKind::Sereth, 1),
+        mallory: Buyer::new(mallory_key, contract, ClientKind::Sereth, 1),
+    }
+}
+
+#[test]
+fn both_same_price_intervals_are_distinguishable_and_both_buys_land() {
+    let mut fx = fixture(MinerPolicy::Standard);
+    let five = H256::from_low_u64(5);
+    let seven = H256::from_low_u64(7);
+    let m1 = compute_mark(&genesis_mark(), &five);
+    let m2 = compute_mark(&m1, &seven);
+    let m3 = compute_mark(&m2, &five);
+    assert_ne!(m1, m3, "identical price, distinct interval marks");
+
+    // set(5) buy(5)@1 set(7) set(5) buy(5)@2 — in real-time order.
+    let txs = [
+        fx.owner.next_set(&fx.node, five),
+        fx.alice.next_buy_at(m1, five),
+        fx.owner.next_set(&fx.node, seven),
+        fx.owner.next_set(&fx.node, five),
+        fx.mallory.next_buy_at(m3, five),
+    ];
+    for (i, tx) in txs.iter().enumerate() {
+        assert!(fx.node.receive_tx(tx.clone(), 10 * (i as u64 + 1)));
+    }
+    fx.node.mine(15_000).expect("sealed");
+
+    fx.node.with_inner(|inner| {
+        let stored = inner.chain.canonical_block(1).expect("block 1");
+        let mut sets_ok = 0;
+        let mut buys_ok = 0;
+        for receipt in &stored.receipts {
+            if receipt.has_event(set_ok_topic()) {
+                sets_ok += 1;
+            }
+            if receipt.has_event(buy_ok_topic()) {
+                buys_ok += 1;
+            }
+        }
+        assert_eq!(sets_ok, 3, "all three sets commit — no lost update");
+        assert_eq!(buys_ok, 2, "both same-price buys land in their own intervals");
+    });
+
+    // The on-chain record proves which interval each buy hit: the offers
+    // embed different marks.
+    let alice_offer = Fpv::from_calldata(txs[1].input()).unwrap();
+    let mallory_offer = Fpv::from_calldata(txs[4].input()).unwrap();
+    assert_eq!(alice_offer.prev_mark, m1);
+    assert_eq!(mallory_offer.prev_mark, m3);
+    assert_eq!(alice_offer.value, mallory_offer.value, "same price…");
+    assert_ne!(alice_offer.prev_mark, mallory_offer.prev_mark, "…provably different intervals");
+}
+
+#[test]
+fn cross_interval_replay_fails() {
+    // A buy pinned to interval 1 cannot execute in interval 2, even though
+    // the price is identical — the frontrunning defence.
+    let mut fx = fixture(MinerPolicy::Standard);
+    let five = H256::from_low_u64(5);
+    let seven = H256::from_low_u64(7);
+    let m1 = compute_mark(&genesis_mark(), &five);
+
+    // Commit set(5), set(7), set(5) first.
+    for value in [five, seven, five] {
+        let tx = fx.owner.next_set(&fx.node, value);
+        fx.node.receive_tx(tx, 10);
+    }
+    fx.node.mine(15_000).expect("sealed");
+
+    // Now the stale interval-1 offer arrives.
+    let stale = fx.alice.next_buy_at(m1, five);
+    fx.node.receive_tx(stale, 20_000);
+    fx.node.mine(30_000).expect("sealed");
+
+    fx.node.with_inner(|inner| {
+        let stored = inner.chain.canonical_block(2).expect("block 2");
+        assert_eq!(stored.block.transactions.len(), 1, "the buy is included…");
+        assert!(
+            !stored.receipts[0].has_event(buy_ok_topic()),
+            "…but has no effect: price matches, mark does not"
+        );
+    });
+}
+
+#[test]
+fn committed_marks_chain_across_blocks() {
+    // The mark lattice survives block boundaries: committed mark after
+    // set(5);set(7) equals the hand-computed chain, and a new set chains
+    // onto it seamlessly.
+    let mut fx = fixture(MinerPolicy::Standard);
+    let five = H256::from_low_u64(5);
+    let seven = H256::from_low_u64(7);
+
+    let s1 = fx.owner.next_set(&fx.node, five);
+    fx.node.receive_tx(s1, 10);
+    fx.node.mine(15_000).unwrap();
+    let s2 = fx.owner.next_set(&fx.node, seven);
+    fx.node.receive_tx(s2, 16_000);
+    fx.node.mine(30_000).unwrap();
+
+    let (mark, value) = fx.node.committed_amv();
+    assert_eq!(value, seven);
+    assert_eq!(mark, compute_mark(&compute_mark(&genesis_mark(), &five), &seven));
+    assert_eq!(mark, fx.owner.expected_mark(), "owner's local chain agrees with the ledger");
+}

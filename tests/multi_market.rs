@@ -1,0 +1,170 @@
+//! Multiple independent Sereth markets on one chain: each contract's
+//! Hash-Mark-Set series is scoped to that contract, so two markets with
+//! interleaved traffic never pollute each other's READ-UNCOMMITTED views.
+//! (The paper manages a single state variable; contract scoping is the
+//! natural generalisation its §VI hints at when comparing with sharding —
+//! "sharding … would need customization to address state throughput of
+//! individual smart contracts as does HMS".)
+
+use sereth::chain::builder::BlockLimits;
+use sereth::chain::genesis::GenesisBuilder;
+use sereth::crypto::{Address, SecretKey, H256};
+use sereth::hms::hms::HmsConfig;
+use sereth::hms::mark::{compute_mark, genesis_mark};
+use sereth::node::client::{Buyer, Owner};
+use sereth::node::contract::{buy_ok_topic, sereth_code, sereth_genesis_slots, ContractForm};
+use sereth::node::miner::MinerPolicy;
+use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::types::U256;
+use sereth::vm::abi;
+
+fn market_a() -> Address {
+    Address::from_low_u64(0xaaaa)
+}
+
+fn market_b() -> Address {
+    Address::from_low_u64(0xbbbb)
+}
+
+fn setup() -> (NodeHandle, Owner, Owner) {
+    let owner_a_key = SecretKey::from_label(1);
+    let owner_b_key = SecretKey::from_label(2);
+    let genesis = GenesisBuilder::new()
+        .fund(owner_a_key.address(), U256::from(1_000_000_000u64))
+        .fund(owner_b_key.address(), U256::from(1_000_000_000u64))
+        .fund(SecretKey::from_label(3).address(), U256::from(1_000_000_000u64))
+        .contract_with_storage(
+            market_a(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner_a_key.address(), H256::from_low_u64(100)),
+        )
+        .contract_with_storage(
+            market_b(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner_b_key.address(), H256::from_low_u64(200)),
+        )
+        .build();
+
+    // The node's RAA registry manages market A; market B's selectors are
+    // enabled additionally below.
+    let node = NodeHandle::new(
+        genesis,
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract: market_a(),
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Semantic(HmsConfig::default()),
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc0b0),
+            }),
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+        },
+    );
+    // Enable RAA for market B too — one provider, many markets.
+    node.with_inner_mut(|inner| {
+        inner.raa.enable(market_b(), sereth::node::contract::get_selector());
+        inner.raa.enable(market_b(), sereth::node::contract::mark_selector());
+    });
+
+    let owner_a = Owner::with_value(owner_a_key, market_a(), genesis_mark(), H256::from_low_u64(100), 1);
+    let owner_b = Owner::with_value(owner_b_key, market_b(), genesis_mark(), H256::from_low_u64(200), 1);
+    (node, owner_a, owner_b)
+}
+
+/// Reads the HMS view of a given market through the RAA-augmented
+/// read-only calls.
+fn view_of(node: &NodeHandle, market: Address) -> (H256, H256) {
+    let caller = Address::from_low_u64(0x11);
+    let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
+    // Clone state and registry OUT of the lock: the RAA provider re-locks
+    // the node inside `augment`, so running the call under `with_inner`
+    // would deadlock (the same discipline `NodeHandle::query_view` uses).
+    let (state, raa, env) = node.with_inner(|inner| {
+        let head = inner.chain.head_block().header.clone();
+        (
+            inner.chain.head_state().clone(),
+            inner.raa.clone(),
+            sereth::chain::executor::BlockEnv {
+                number: head.number,
+                timestamp_ms: head.timestamp_ms,
+                gas_limit: head.gas_limit,
+                miner: head.miner,
+            },
+        )
+    });
+    let query = |selector: [u8; 4]| {
+        let out = sereth::chain::executor::call_readonly(
+            &state,
+            caller,
+            market,
+            abi::encode_call(selector, &zero),
+            &env,
+            &raa,
+        );
+        abi::decode_word(&out.return_data).expect("one word")
+    };
+    (query(sereth::node::contract::mark_selector()), query(sereth::node::contract::get_selector()))
+}
+
+#[test]
+fn markets_have_independent_series() {
+    let (node, mut owner_a, mut owner_b) = setup();
+
+    // Interleave pending sets for both markets.
+    node.receive_tx(owner_a.next_set(&node, H256::from_low_u64(110)), 10);
+    node.receive_tx(owner_b.next_set(&node, H256::from_low_u64(210)), 20);
+    node.receive_tx(owner_a.next_set(&node, H256::from_low_u64(120)), 30);
+
+    // Market A's view: its own two-set chain.
+    let (mark_a, value_a) = view_of(&node, market_a());
+    let expected_a =
+        compute_mark(&compute_mark(&genesis_mark(), &H256::from_low_u64(110)), &H256::from_low_u64(120));
+    assert_eq!(value_a.low_u64(), 120);
+    assert_eq!(mark_a, expected_a);
+
+    // Market B's view: its own single set — unaffected by A's chain.
+    let (mark_b, value_b) = view_of(&node, market_b());
+    assert_eq!(value_b.low_u64(), 210);
+    assert_eq!(mark_b, compute_mark(&genesis_mark(), &H256::from_low_u64(210)));
+}
+
+#[test]
+fn buys_commit_independently_per_market() {
+    let (node, mut owner_a, mut owner_b) = setup();
+    let buyer_key = SecretKey::from_label(3);
+
+    node.receive_tx(owner_a.next_set(&node, H256::from_low_u64(110)), 10);
+    node.receive_tx(owner_b.next_set(&node, H256::from_low_u64(210)), 20);
+
+    // One buyer trades on both markets with correct per-market views.
+    let mut buyer_a = Buyer::new(buyer_key.clone(), market_a(), ClientKind::Sereth, 1);
+    let (mark_a, value_a) = view_of(&node, market_a());
+    node.receive_tx(buyer_a.next_buy_at(mark_a, value_a), 30);
+
+    let mut buyer_b = Buyer::new(buyer_key, market_b(), ClientKind::Sereth, 1);
+    // The buyer's nonce continues across markets: same address.
+    buyer_b_set_nonce(&mut buyer_b, 1);
+    let (mark_b, value_b) = view_of(&node, market_b());
+    node.receive_tx(buyer_b.next_buy_at(mark_b, value_b), 40);
+
+    node.mine(15_000).expect("sealed");
+
+    let buys_ok: Vec<Address> = node.with_inner(|inner| {
+        inner
+            .chain
+            .logs_with_topic(&buy_ok_topic())
+            .into_iter()
+            .map(|(_, log)| log.address)
+            .collect()
+    });
+    assert!(buys_ok.contains(&market_a()), "market A's buy landed");
+    assert!(buys_ok.contains(&market_b()), "market B's buy landed");
+}
+
+/// Buyer nonce alignment helper: `Buyer` tracks its own nonce from 0; when
+/// one key trades on several markets the later buyer must start where the
+/// earlier one stopped.
+fn buyer_b_set_nonce(buyer: &mut Buyer, nonce: u64) {
+    buyer.set_nonce(nonce);
+}
