@@ -14,9 +14,7 @@ use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_crypto::sig::SecretKey;
-use sereth_node::contract::{
-    buy_selector, default_contract_address, sereth_genesis_slots, set_selector,
-};
+use sereth_node::contract::{buy_selector, default_contract_address, sereth_genesis_slots, set_selector};
 use sereth_node::miner::{order_candidates, MinerPolicy};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
@@ -60,12 +58,7 @@ fn synthetic_history(sets: usize, buys_per_interval: usize) -> History {
         for b in 0..buys_per_interval {
             push(MarketOp::Buy(Fpv::new(Flag::Success, tail, value)), true, 100 + b as u64, &mut n);
         }
-        push(
-            MarketOp::Buy(Fpv::new(Flag::Success, H256::keccak(b"stale"), value)),
-            false,
-            200,
-            &mut n,
-        );
+        push(MarketOp::Buy(Fpv::new(Flag::Success, H256::keccak(b"stale"), value)), false, 200, &mut n);
     }
     History::from_records(records)
 }
@@ -75,22 +68,16 @@ fn bench_checkers(c: &mut Criterion) {
     let mut group = c.benchmark_group("consistency_check");
     for &(sets, buys) in &[(100usize, 9usize), (1_000, 9), (10_000, 9)] {
         let history = synthetic_history(sets, buys);
-        group.bench_with_input(
-            BenchmarkId::new("sss", history.len()),
-            &history,
-            |b, history| {
-                b.iter(|| {
-                    let report = sss::check(&spec, black_box(history));
-                    assert!(report.holds());
-                    report
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("seqcon", history.len()),
-            &history,
-            |b, history| b.iter(|| seqcon::check(black_box(history))),
-        );
+        group.bench_with_input(BenchmarkId::new("sss", history.len()), &history, |b, history| {
+            b.iter(|| {
+                let report = sss::check(&spec, black_box(history));
+                assert!(report.holds());
+                report
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seqcon", history.len()), &history, |b, history| {
+            b.iter(|| seqcon::check(black_box(history)))
+        });
     }
     group.finish();
 }
@@ -153,18 +140,12 @@ fn bench_pwv_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("miner_order");
     for &(sets, buys) in &[(10usize, 90usize), (50, 450), (100, 900)] {
         let (pool, state, contract) = pwv_fixture(sets, buys);
-        group.bench_with_input(
-            BenchmarkId::new("pwv", sets + buys),
-            &pool,
-            |b, pool| b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Pwv)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("standard", sets + buys),
-            &pool,
-            |b, pool| {
-                b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Standard))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pwv", sets + buys), &pool, |b, pool| {
+            b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Pwv))
+        });
+        group.bench_with_input(BenchmarkId::new("standard", sets + buys), &pool, |b, pool| {
+            b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Standard))
+        });
     }
     group.finish();
 }

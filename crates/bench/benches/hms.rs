@@ -18,7 +18,11 @@ fn bench_process(c: &mut Criterion) {
     for &(chain, noise) in &[(10usize, 90usize), (100, 900), (1_000, 9_000)] {
         let pool = pool_with_chain(chain, noise);
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}tx_{}pct_hms", chain + noise, 100 * chain / (chain + noise))),
+            BenchmarkId::from_parameter(format!(
+                "{}tx_{}pct_hms",
+                chain + noise,
+                100 * chain / (chain + noise)
+            )),
             &pool,
             |b, pool| b.iter(|| process(black_box(pool), &default_contract_address(), set_selector())),
         );
@@ -54,7 +58,15 @@ fn bench_end_to_end(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{}tx", chain + noise)),
             &pool,
             |b, pool| {
-                b.iter(|| hash_mark_set(black_box(pool), &default_contract_address(), set_selector(), committed, &HmsConfig::default()))
+                b.iter(|| {
+                    hash_mark_set(
+                        black_box(pool),
+                        &default_contract_address(),
+                        set_selector(),
+                        committed,
+                        &HmsConfig::default(),
+                    )
+                })
             },
         );
     }

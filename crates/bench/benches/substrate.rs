@@ -36,8 +36,7 @@ fn bench_keccak(c: &mut Criterion) {
 fn bench_contract_forms(c: &mut Criterion) {
     let mut group = c.benchmark_group("sereth_set_call");
     let contract = default_contract_address();
-    let calldata =
-        Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector());
+    let calldata = Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector());
     for (label, form) in [("native", ContractForm::Native), ("bytecode", ContractForm::Bytecode)] {
         let code = sereth_code(form);
         group.bench_function(label, |b| {

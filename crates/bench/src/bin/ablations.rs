@@ -51,10 +51,9 @@ fn main() {
     println!("| {:>12} | {:>18} | {:>8} | {:>8} |", "interval_ms", "scenario", "eta_mean", "eta_ci90");
     println!("|{:-<14}|{:-<20}|{:-<10}|{:-<10}|", "", "", "", "");
     for &interval in &[5_000u64, 10_000, 15_000, 30_000, 60_000] {
-        for make in [
-            ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig,
-            ScenarioConfig::sereth_client,
-        ] {
+        for make in
+            [ScenarioConfig::geth_unmodified as fn(u64, u64) -> ScenarioConfig, ScenarioConfig::sereth_client]
+        {
             let mut config = make(num_buys, 20);
             config.block_schedule = BlockSchedule::Exponential { mean: interval };
             config.drain_ms = 8 * interval;

@@ -19,11 +19,10 @@ fn main() {
     let num_sets = env_or("SERETH_SETS_ONE", 40u64);
     let num_buyers = 12usize;
 
-    println!("== Abort rate: {num_buyers} buyers each retrying one purchase through {num_sets} reprices ==\n");
     println!(
-        "| {:<18} | {:>10} | {:>14} | {:>10} |",
-        "scenario", "completed", "attempts/buy", "abort_rate"
+        "== Abort rate: {num_buyers} buyers each retrying one purchase through {num_sets} reprices ==\n"
     );
+    println!("| {:<18} | {:>10} | {:>14} | {:>10} |", "scenario", "completed", "attempts/buy", "abort_rate");
     println!("|{:-<20}|{:-<12}|{:-<16}|{:-<12}|", "", "", "", "");
 
     let mut geth_aborts = 0.0;

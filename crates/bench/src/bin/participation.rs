@@ -21,10 +21,7 @@ fn main() {
     let num_nodes = 4usize;
 
     println!("== Participation sweep: Sereth nodes among {num_nodes}, ratio {num_buys}:{num_sets} ==\n");
-    println!(
-        "| {:>12} | {:>14} | {:>8} | {:>8} |",
-        "sereth_nodes", "semantic_miner", "eta_mean", "eta_ci90"
-    );
+    println!("| {:>12} | {:>14} | {:>8} | {:>8} |", "sereth_nodes", "semantic_miner", "eta_mean", "eta_ci90");
     println!("|{:-<14}|{:-<16}|{:-<10}|{:-<10}|", "", "", "", "");
 
     let mut last_eta = -1.0f64;

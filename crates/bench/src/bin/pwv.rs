@@ -70,8 +70,7 @@ fn main() {
     // which maximises buy-η while the writer's commit latency balloons.
     // The pairing of (η, set latency) exposes the trade.
     let mean_of = |scenario: &str, f: &dyn Fn(&SweepPoint) -> f64| {
-        let values: Vec<f64> =
-            all_points.iter().filter(|p| p.scenario == scenario).map(f).collect();
+        let values: Vec<f64> = all_points.iter().filter(|p| p.scenario == scenario).map(f).collect();
         values.iter().sum::<f64>() / values.len().max(1) as f64
     };
     println!("-- §VI comparison: eta alone vs eta + writer latency --");

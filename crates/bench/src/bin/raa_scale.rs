@@ -1,0 +1,67 @@
+//! Quick-turnaround comparison of RAA read latency: recompute-per-query
+//! vs. the incremental `sereth-raa` service, across pool sizes.
+//!
+//! Prints a markdown table of mean per-read latency and the speedup.
+//! Knobs (env): `RAA_MARKETS` (16), `RAA_SETS` (64), `RAA_NOISE`
+//! (comma list of foreign-tx counts; default `0,3072,15360,64512`),
+//! `RAA_READS` (2000).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use sereth_bench::{env_list_or, env_or, market_txpool, PoolSource};
+use sereth_core::hms::HmsConfig;
+use sereth_core::mark::genesis_mark;
+use sereth_core::provider::HmsRaaProvider;
+use sereth_crypto::hash::H256;
+use sereth_node::contract::set_selector;
+use sereth_raa::{RaaConfig, RaaService};
+
+fn main() {
+    let markets = env_or("RAA_MARKETS", 16usize);
+    let sets = env_or("RAA_SETS", 64usize);
+    let noises = env_list_or("RAA_NOISE", &[0, 3_072, 15_360, 64_512]);
+    let reads = env_or("RAA_READS", 2_000usize);
+    assert!(markets > 0, "RAA_MARKETS must be at least 1");
+    let committed = (genesis_mark(), H256::from_low_u64(50));
+
+    println!("RAA read latency: {markets} markets x {sets} sets, {reads} reads round-robin over markets");
+    println!("| pool size | recompute/read | service/read | speedup |");
+    println!("|-----------|----------------|--------------|---------|");
+    for &noise in &noises {
+        let (pool, contracts) = market_txpool(markets, sets, noise as usize);
+        let pool_len = pool.len();
+
+        let source = Arc::new(PoolSource { pool: Arc::new(RwLock::new(pool.clone())), committed });
+        let provider = HmsRaaProvider::new(source, set_selector(), HmsConfig::default());
+        // Warm-up, then measure.
+        for contract in &contracts {
+            std::hint::black_box(provider.run(contract));
+        }
+        let start = Instant::now();
+        for i in 0..reads {
+            std::hint::black_box(provider.run(&contracts[i % contracts.len()]));
+        }
+        let recompute = start.elapsed() / reads as u32;
+
+        let service = RaaService::new(RaaConfig::new(set_selector()));
+        service.sync(&pool);
+        for contract in &contracts {
+            std::hint::black_box(service.view(contract, committed));
+        }
+        let start = Instant::now();
+        for i in 0..reads {
+            service.sync(&pool);
+            std::hint::black_box(service.view(&contracts[i % contracts.len()], committed));
+        }
+        let service_read = start.elapsed() / reads as u32;
+
+        let speedup = recompute.as_nanos() as f64 / service_read.as_nanos().max(1) as f64;
+        println!(
+            "| {pool_len:>9} | {:>11.2} µs | {:>9.2} µs | {speedup:>6.1}x |",
+            recompute.as_nanos() as f64 / 1e3,
+            service_read.as_nanos() as f64 / 1e3,
+        );
+    }
+}

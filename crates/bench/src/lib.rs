@@ -42,6 +42,106 @@ pub fn pool_with_chain(chain_len: usize, noise: usize) -> Vec<PendingTx> {
     pool
 }
 
+/// Builds a live [`TxPool`](sereth_chain::txpool::TxPool) holding
+/// `markets` independent Sereth markets, each with a signed chain of
+/// `sets_per_market` `set` transactions, plus `noise` foreign transfers —
+/// the input shape for the RAA service scaling benchmarks. Returns the
+/// pool and the market contract addresses.
+///
+/// Market `m` lives at address `0x5e7e_0000 + m`, owned by the key with
+/// label `500 + m`; the committed AMV every market starts from is
+/// `(genesis_mark(), 50)`.
+pub fn market_txpool(
+    markets: usize,
+    sets_per_market: usize,
+    noise: usize,
+) -> (sereth_chain::txpool::TxPool, Vec<Address>) {
+    use sereth_chain::txpool::{PoolConfig, TxPool};
+    use sereth_crypto::sig::SecretKey;
+    use sereth_types::transaction::TxPayload;
+    use sereth_types::u256::U256;
+
+    let total = markets * sets_per_market + noise;
+    let mut pool = TxPool::with_config(PoolConfig {
+        capacity: total + 1,
+        // Keep the whole fill visible to event subscribers so benchmark
+        // setup replays incrementally instead of tripping a resync.
+        event_capacity: 2 * total + 16,
+        ..PoolConfig::default()
+    });
+    pool.subscribe();
+    let mut now = 0;
+    let contracts: Vec<Address> =
+        (0..markets).map(|m| Address::from_low_u64(0x5e7e_0000 + m as u64)).collect();
+    for (m, contract) in contracts.iter().enumerate() {
+        let owner = SecretKey::from_label(500 + m as u64);
+        let mut prev = genesis_mark();
+        for i in 0..sets_per_market {
+            let flag = if i == 0 { Flag::Head } else { Flag::Success };
+            let value = H256::from_low_u64(1_000 + i as u64);
+            let fpv = Fpv::new(flag, prev, value);
+            prev = compute_mark(&prev, &value);
+            let tx = sereth_types::transaction::Transaction::sign(
+                TxPayload {
+                    nonce: i as u64,
+                    gas_price: 1,
+                    gas_limit: 100_000,
+                    to: Some(*contract),
+                    value: U256::ZERO,
+                    input: fpv.to_calldata(set_selector()),
+                },
+                &owner,
+            );
+            pool.insert(tx, now).expect("pool sized to fit");
+            now += 1;
+        }
+    }
+    for j in 0..noise {
+        let sender = SecretKey::from_label(100_000 + j as u64);
+        let tx = sereth_types::transaction::Transaction::sign(
+            TxPayload {
+                nonce: 0,
+                gas_price: 2,
+                gas_limit: 21_000,
+                to: Some(Address::from_low_u64(0xee)),
+                value: U256::ZERO,
+                input: bytes::Bytes::new(),
+            },
+            &sender,
+        );
+        pool.insert(tx, now).expect("pool sized to fit");
+        now += 1;
+    }
+    (pool, contracts)
+}
+
+/// The recompute baseline's data source for RAA benchmarks: a live pool
+/// behind a lock, walked borrowed per query (so the baseline already
+/// benefits from the `for_each_pending` fast path; the incremental
+/// service must beat *that*).
+pub struct PoolSource {
+    /// The shared pool.
+    pub pool: std::sync::Arc<parking_lot::RwLock<sereth_chain::txpool::TxPool>>,
+    /// The committed `(mark, value)` reported for every contract.
+    pub committed: (H256, H256),
+}
+
+impl sereth_core::provider::HmsDataSource for PoolSource {
+    fn pending(&self) -> Vec<PendingTx> {
+        sereth_node::miner::pending_view(&self.pool.read())
+    }
+
+    fn for_each_pending(&self, visit: &mut dyn FnMut(&PendingTx)) {
+        for entry in self.pool.read().entries_by_arrival() {
+            visit(&sereth_node::miner::pending_tx(entry));
+        }
+    }
+
+    fn committed(&self, _contract: &Address) -> (H256, H256) {
+        self.committed
+    }
+}
+
 /// Parses `VAR` from the environment as a number, with a default — lets
 /// the experiment binaries scale without recompiling.
 pub fn env_or<T: std::str::FromStr>(var: &str, default: T) -> T {

@@ -58,12 +58,7 @@ pub fn build_block(
 ) -> BuiltBlock {
     let mut state = parent_state.clone();
     state.clear_journal();
-    let env = BlockEnv {
-        number: parent.number + 1,
-        timestamp_ms,
-        gas_limit: limits.gas_limit,
-        miner,
-    };
+    let env = BlockEnv { number: parent.number + 1, timestamp_ms, gas_limit: limits.gas_limit, miner };
 
     let mut included = Vec::new();
     let mut receipts = Vec::new();
@@ -212,7 +207,8 @@ mod tests {
     #[test]
     fn empty_candidate_list_builds_empty_block() {
         let (parent, state) = genesis_with(&[]);
-        let built = build_block(&parent, &state, vec![], Address::from_low_u64(1), 15_000, &BlockLimits::default());
+        let built =
+            build_block(&parent, &state, vec![], Address::from_low_u64(1), 15_000, &BlockLimits::default());
         assert!(built.block.transactions.is_empty());
         assert_eq!(built.block.header.state_root, state.state_root());
     }

@@ -196,7 +196,12 @@ mod tests {
     use sereth_vm::asm::assemble;
 
     fn env() -> BlockEnv {
-        BlockEnv { number: 1, timestamp_ms: 1_000, gas_limit: 8_000_000, miner: Address::from_low_u64(0xbeef) }
+        BlockEnv {
+            number: 1,
+            timestamp_ms: 1_000,
+            gas_limit: 8_000_000,
+            miner: Address::from_low_u64(0xbeef),
+        }
     }
 
     fn fund(state: &mut StateDb, key: &SecretKey, amount: u64) {
@@ -230,10 +235,7 @@ mod tests {
         assert_eq!(receipt.gas_used, 21_000);
         assert_eq!(state.balance_of(&to), U256::from(500u64));
         assert_eq!(state.balance_of(&env().miner), U256::from(21_000u64));
-        assert_eq!(
-            state.balance_of(&key.address()),
-            U256::from(1_000_000u64 - 500 - 21_000)
-        );
+        assert_eq!(state.balance_of(&key.address()), U256::from(1_000_000u64 - 500 - 21_000));
         assert_eq!(state.nonce_of(&key.address()), 1);
     }
 
@@ -242,7 +244,8 @@ mod tests {
         let mut state = StateDb::new();
         let key = SecretKey::from_label(1);
         fund(&mut state, &key, 1_000_000);
-        let err = apply_transaction(&mut state, &env(), &transfer_tx(&key, 5, Address::ZERO, 1), 0).unwrap_err();
+        let err =
+            apply_transaction(&mut state, &env(), &transfer_tx(&key, 5, Address::ZERO, 1), 0).unwrap_err();
         assert_eq!(err, TxApplyError::NonceMismatch { expected: 0, found: 5 });
     }
 
@@ -252,7 +255,8 @@ mod tests {
         let key = SecretKey::from_label(1);
         fund(&mut state, &key, 100); // cannot afford 30k gas
         let root = state.state_root();
-        let err = apply_transaction(&mut state, &env(), &transfer_tx(&key, 0, Address::ZERO, 1), 0).unwrap_err();
+        let err =
+            apply_transaction(&mut state, &env(), &transfer_tx(&key, 0, Address::ZERO, 1), 0).unwrap_err();
         assert_eq!(err, TxApplyError::InsufficientFunds);
         assert_eq!(state.state_root(), root);
     }
@@ -283,7 +287,10 @@ mod tests {
             },
             &key,
         );
-        assert_eq!(apply_transaction(&mut state, &env(), &tx, 0).unwrap_err(), TxApplyError::IntrinsicGasTooHigh);
+        assert_eq!(
+            apply_transaction(&mut state, &env(), &tx, 0).unwrap_err(),
+            TxApplyError::IntrinsicGasTooHigh
+        );
     }
 
     #[test]
@@ -325,10 +332,8 @@ mod tests {
         let key = SecretKey::from_label(1);
         fund(&mut state, &key, 10_000_000);
         let contract = Address::from_low_u64(0xc0de);
-        let code = assemble(
-            "PUSH1 0x2a\nPUSH1 0x00\nSSTORE\nPUSH1 0x07\nPUSH1 0x00\nPUSH1 0x00\nLOG1\nSTOP",
-        )
-        .unwrap();
+        let code = assemble("PUSH1 0x2a\nPUSH1 0x00\nSSTORE\nPUSH1 0x07\nPUSH1 0x00\nPUSH1 0x00\nLOG1\nSTOP")
+            .unwrap();
         state.set_code(&contract, ContractCode::Bytecode(Bytes::from(code)));
         state.clear_journal();
 
@@ -382,7 +387,8 @@ mod tests {
         state.clear_journal();
         let root = state.state_root();
 
-        let outcome = call_readonly(&state, Address::ZERO, contract, Bytes::new(), &env(), &RaaRegistry::new());
+        let outcome =
+            call_readonly(&state, Address::ZERO, contract, Bytes::new(), &env(), &RaaRegistry::new());
         assert_eq!(outcome.status, TxStatus::Success);
         assert_eq!(outcome.return_data[31], 5);
         assert_eq!(state.state_root(), root);

@@ -224,11 +224,7 @@ impl StateDb {
 
 impl Storage for StateDb {
     fn storage_get(&self, address: &Address, key: &H256) -> H256 {
-        self.accounts
-            .get(address)
-            .and_then(|account| account.storage.get(key))
-            .copied()
-            .unwrap_or(H256::ZERO)
+        self.accounts.get(address).and_then(|account| account.storage.get(key)).copied().unwrap_or(H256::ZERO)
     }
 
     fn storage_set(&mut self, address: &Address, key: H256, value: H256) {

@@ -182,7 +182,8 @@ impl ChainStore {
         // incumbent-sticky, like observed miner behaviour).
         let head_number = self.head_number();
         if number > head_number {
-            let outcome = if self.canonical.get(number as usize - 1) == Some(&self.blocks[&hash].block.header.parent_hash)
+            let outcome = if self.canonical.get(number as usize - 1)
+                == Some(&self.blocks[&hash].block.header.parent_hash)
             {
                 ImportOutcome::ExtendedCanonical
             } else {

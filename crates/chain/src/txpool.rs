@@ -6,12 +6,79 @@
 //! order, §II-C) and tracks arrival order, which defines the *real time
 //! order* of the concurrent history (§II-B) that HMS snapshots.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_types::transaction::Transaction;
 use sereth_types::SimTime;
+
+/// A pool mutation, as observed by subscribers (the `sereth-raa` view
+/// service consumes these to maintain its per-contract series caches
+/// incrementally instead of re-reading the whole pool per query).
+// Inserted dominates the size (it carries the transaction) and also
+// dominates the event count, so boxing it would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A transaction entered the pool.
+    Inserted {
+        /// The pooled transaction.
+        tx: Transaction,
+        /// Its global arrival sequence number.
+        arrival_seq: u64,
+    },
+    /// A transaction left the pool without committing: replaced by a
+    /// higher-priced same-nonce transaction, evicted at capacity, pruned
+    /// as nonce-stale, or removed explicitly.
+    Removed {
+        /// Hash of the departed transaction.
+        hash: H256,
+        /// Its callee, kept so subscribers indexing by contract can
+        /// route the removal without a global hash index.
+        to: Option<Address>,
+    },
+    /// A transaction left the pool because an imported block included it
+    /// — "right after publication the pool no longer contains marked
+    /// transactions" (paper §V-C).
+    Committed {
+        /// Hash of the committed transaction.
+        hash: H256,
+        /// Its callee (see [`PoolEvent::Removed::to`]).
+        to: Option<Address>,
+    },
+}
+
+/// A [`PoolEvent`] stamped with its position in the pool's event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolEventRecord {
+    /// Monotone sequence number (dense, starting at 0).
+    pub seq: u64,
+    /// The event.
+    pub event: PoolEvent,
+}
+
+/// A subscriber's cursor fell behind the bounded event buffer; the
+/// subscriber must resynchronise from a full pool snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLag {
+    /// The oldest sequence number still buffered.
+    pub oldest_buffered: u64,
+    /// The cursor to resume from after resynchronising.
+    pub resume_cursor: u64,
+}
+
+impl core::fmt::Display for EventLag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "pool event subscriber lagged: oldest buffered seq is {}, resume from {}",
+            self.oldest_buffered, self.resume_cursor
+        )
+    }
+}
+
+impl std::error::Error for EventLag {}
 
 /// Why the pool declined a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,11 +126,14 @@ pub struct PoolConfig {
     pub capacity: usize,
     /// Percentage price bump required to replace a same-nonce transaction.
     pub replace_bump_pct: u64,
+    /// Number of [`PoolEvent`]s retained for subscribers; a cursor older
+    /// than the buffer gets [`EventLag`] and must resynchronise.
+    pub event_capacity: usize,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        Self { capacity: 4096, replace_bump_pct: 10 }
+        Self { capacity: 4096, replace_bump_pct: 10, event_capacity: 16_384 }
     }
 }
 
@@ -74,6 +144,13 @@ pub struct TxPool {
     by_sender: HashMap<Address, BTreeMap<u64, PoolEntry>>,
     by_hash: HashMap<H256, (Address, u64)>,
     arrival_counter: u64,
+    events: VecDeque<PoolEventRecord>,
+    next_event_seq: u64,
+    /// Buffering starts only once [`TxPool::subscribe`] is called, so
+    /// pools nobody watches (Geth nodes, plain tests) pay nothing for
+    /// the event stream. The sequence number advances regardless, which
+    /// is what lets a late subscriber detect the gap as [`EventLag`].
+    events_enabled: bool,
 }
 
 impl TxPool {
@@ -102,6 +179,57 @@ impl TxPool {
         self.by_hash.contains_key(hash)
     }
 
+    /// The cursor a new event subscriber should start from (the sequence
+    /// number the *next* event will carry).
+    pub fn event_cursor(&self) -> u64 {
+        self.next_event_seq
+    }
+
+    /// Turns on event buffering and returns the cursor to read from.
+    /// Until this is called the pool only advances its sequence number —
+    /// mutations cost nothing extra and [`TxPool::events_since`] reports
+    /// [`EventLag`] for any elapsed history, forcing a snapshot rebuild.
+    pub fn subscribe(&mut self) -> u64 {
+        self.events_enabled = true;
+        self.next_event_seq
+    }
+
+    /// Every event recorded at or after `cursor`, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`EventLag`] when `cursor` has already been evicted from the
+    /// bounded buffer; the caller must rebuild from a full snapshot
+    /// ([`TxPool::pending_by_arrival`]) and resume from
+    /// [`EventLag::resume_cursor`].
+    pub fn events_since(&self, cursor: u64) -> Result<Vec<PoolEventRecord>, EventLag> {
+        if cursor >= self.next_event_seq {
+            return Ok(Vec::new());
+        }
+        let oldest = match self.events.front() {
+            Some(record) => record.seq,
+            None => self.next_event_seq,
+        };
+        if cursor < oldest {
+            return Err(EventLag { oldest_buffered: oldest, resume_cursor: self.next_event_seq });
+        }
+        let skip = (cursor - oldest) as usize;
+        Ok(self.events.iter().skip(skip).cloned().collect())
+    }
+
+    /// Records the event built by `make` if anyone is buffering; always
+    /// advances the sequence number. Taking a closure keeps unwatched
+    /// pools from even constructing (and cloning into) the event.
+    fn emit_with(&mut self, make: impl FnOnce() -> PoolEvent) {
+        if self.events_enabled && self.config.event_capacity > 0 {
+            while self.events.len() >= self.config.event_capacity {
+                self.events.pop_front();
+            }
+            self.events.push_back(PoolEventRecord { seq: self.next_event_seq, event: make() });
+        }
+        self.next_event_seq += 1;
+    }
+
     /// Inserts `tx`, arriving at `now`.
     ///
     /// # Errors
@@ -120,7 +248,9 @@ impl TxPool {
                 return Err(PoolError::ReplacementUnderpriced);
             }
             let old_hash = existing.tx.hash();
+            let old_to = existing.tx.to();
             self.by_hash.remove(&old_hash);
+            self.emit_with(|| PoolEvent::Removed { hash: old_hash, to: old_to });
         } else if self.by_hash.len() >= self.config.capacity {
             // Evict the globally cheapest transaction if the newcomer pays
             // more; otherwise refuse.
@@ -145,6 +275,7 @@ impl TxPool {
         let entry = PoolEntry { arrival_seq: self.arrival_counter, arrival_time: now, tx };
         self.arrival_counter += 1;
         self.by_hash.insert(entry.tx.hash(), (sender, nonce));
+        self.emit_with(|| PoolEvent::Inserted { tx: entry.tx.clone(), arrival_seq: entry.arrival_seq });
         self.by_sender.entry(sender).or_default().insert(nonce, entry);
         Ok(())
     }
@@ -156,13 +287,30 @@ impl TxPool {
 
     /// Removes a transaction by hash, returning it if present.
     pub fn remove(&mut self, hash: &H256) -> Option<Transaction> {
+        self.remove_as(hash, false)
+    }
+
+    /// Removes by hash, emitting [`PoolEvent::Committed`] when
+    /// `committed`, [`PoolEvent::Removed`] otherwise.
+    fn remove_as(&mut self, hash: &H256, committed: bool) -> Option<Transaction> {
         let (sender, nonce) = self.by_hash.remove(hash)?;
         let queue = self.by_sender.get_mut(&sender)?;
         let entry = queue.remove(&nonce);
         if queue.is_empty() {
             self.by_sender.remove(&sender);
         }
-        entry.map(|e| e.tx)
+        let tx = entry.map(|e| e.tx);
+        if let Some(tx) = &tx {
+            let to = tx.to();
+            self.emit_with(|| {
+                if committed {
+                    PoolEvent::Committed { hash: *hash, to }
+                } else {
+                    PoolEvent::Removed { hash: *hash, to }
+                }
+            });
+        }
+        tx
     }
 
     /// Drops every pooled transaction that appears in `block_txs`, and any
@@ -171,19 +319,24 @@ impl TxPool {
     /// pool "no longer contains marked transactions" (paper §V-C).
     pub fn remove_committed<'a>(&mut self, block_txs: impl IntoIterator<Item = &'a Transaction>) {
         for tx in block_txs {
-            self.remove(&tx.hash());
+            self.remove_as(&tx.hash(), true);
             // Same-sender same-nonce alternatives are now unincludable.
             let sender = tx.sender();
+            let mut dropped = Vec::new();
             if let Some(queue) = self.by_sender.get_mut(&sender) {
                 let stale: Vec<u64> = queue.range(..=tx.nonce()).map(|(n, _)| *n).collect();
                 for nonce in stale {
                     if let Some(entry) = queue.remove(&nonce) {
                         self.by_hash.remove(&entry.tx.hash());
+                        dropped.push((entry.tx.hash(), entry.tx.to()));
                     }
                 }
                 if queue.is_empty() {
                     self.by_sender.remove(&sender);
                 }
+            }
+            for (hash, to) in dropped {
+                self.emit_with(|| PoolEvent::Removed { hash, to });
             }
         }
     }
@@ -191,8 +344,15 @@ impl TxPool {
     /// Every pooled transaction in arrival order — the concurrent history
     /// snapshot that Hash-Mark-Set's `PROCESS` filters (paper Alg. 2).
     pub fn pending_by_arrival(&self) -> Vec<PoolEntry> {
-        let mut entries: Vec<PoolEntry> =
-            self.by_sender.values().flat_map(|queue| queue.values().cloned()).collect();
+        self.entries_by_arrival().into_iter().cloned().collect()
+    }
+
+    /// Borrowed view of every pooled entry in arrival order. Only the
+    /// reference vector is allocated; the entries (and their calldata)
+    /// stay in place — the read path HMS providers should use instead of
+    /// cloning the pool per query via [`TxPool::pending_by_arrival`].
+    pub fn entries_by_arrival(&self) -> Vec<&PoolEntry> {
+        let mut entries: Vec<&PoolEntry> = self.by_sender.values().flat_map(|queue| queue.values()).collect();
         entries.sort_by_key(|entry| entry.arrival_seq);
         entries
     }
@@ -206,10 +366,7 @@ impl TxPool {
             .iter()
             .flat_map(|(sender, queue)| {
                 let floor = nonce_of(sender);
-                queue
-                    .range(..floor)
-                    .map(|(_, entry)| entry.tx.hash())
-                    .collect::<Vec<_>>()
+                queue.range(..floor).map(|(_, entry)| entry.tx.hash()).collect::<Vec<_>>()
             })
             .collect();
         for hash in stale {
@@ -239,8 +396,10 @@ impl TxPool {
                 if let Some(entry) = queue.get(&next_nonce) {
                     let better = match best {
                         None => true,
-                        Some(current) => (entry.tx.gas_price(), current.arrival_seq)
-                            > (current.tx.gas_price(), entry.arrival_seq),
+                        Some(current) => {
+                            (entry.tx.gas_price(), current.arrival_seq)
+                                > (current.tx.gas_price(), entry.arrival_seq)
+                        }
                     };
                     if better {
                         best = Some(entry);
@@ -318,7 +477,7 @@ mod tests {
 
     #[test]
     fn capacity_evicts_cheapest_when_newcomer_pays_more() {
-        let mut pool = TxPool::with_config(PoolConfig { capacity: 2, replace_bump_pct: 10 });
+        let mut pool = TxPool::with_config(PoolConfig { capacity: 2, ..PoolConfig::default() });
         let a = SecretKey::from_label(1);
         let b = SecretKey::from_label(2);
         let c = SecretKey::from_label(3);
@@ -387,5 +546,81 @@ mod tests {
     fn remove_unknown_hash_is_none() {
         let mut pool = TxPool::new();
         assert!(pool.remove(&H256::keccak(b"nothing")).is_none());
+    }
+
+    #[test]
+    fn events_record_insert_remove_commit() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        let cursor = pool.subscribe();
+        let t0 = tx(&key, 0, 10);
+        let t1 = tx(&key, 1, 10);
+        pool.insert(t0.clone(), 0).unwrap();
+        pool.insert(t1.clone(), 1).unwrap();
+        pool.remove(&t1.hash());
+        pool.remove_committed([&t0]);
+        let events: Vec<PoolEvent> =
+            pool.events_since(cursor).unwrap().into_iter().map(|r| r.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                PoolEvent::Inserted { tx: t0.clone(), arrival_seq: 0 },
+                PoolEvent::Inserted { tx: t1.clone(), arrival_seq: 1 },
+                PoolEvent::Removed { hash: t1.hash(), to: t1.to() },
+                PoolEvent::Committed { hash: t0.hash(), to: t0.to() },
+            ]
+        );
+        // The cursor advanced past everything: nothing new.
+        assert!(pool.events_since(pool.event_cursor()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replacement_emits_removed_then_inserted() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        let cheap = tx(&key, 0, 100);
+        pool.subscribe();
+        pool.insert(cheap.clone(), 0).unwrap();
+        let cursor = pool.event_cursor();
+        let rich = tx(&key, 0, 110);
+        pool.insert(rich.clone(), 1).unwrap();
+        let events: Vec<PoolEvent> =
+            pool.events_since(cursor).unwrap().into_iter().map(|r| r.event).collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], PoolEvent::Removed { hash, .. } if *hash == cheap.hash()));
+        assert!(matches!(&events[1], PoolEvent::Inserted { tx, .. } if tx.hash() == rich.hash()));
+    }
+
+    #[test]
+    fn stale_nonce_collateral_emits_removed() {
+        let mut pool = TxPool::new();
+        let key = SecretKey::from_label(1);
+        let n0 = tx(&key, 0, 10);
+        let committed = tx(&key, 1, 10);
+        pool.subscribe();
+        pool.insert(n0.clone(), 0).unwrap();
+        pool.insert(committed.clone(), 1).unwrap();
+        let cursor = pool.event_cursor();
+        pool.remove_committed([&committed]);
+        let events: Vec<PoolEvent> =
+            pool.events_since(cursor).unwrap().into_iter().map(|r| r.event).collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], PoolEvent::Committed { hash, .. } if *hash == committed.hash()));
+        assert!(matches!(&events[1], PoolEvent::Removed { hash, .. } if *hash == n0.hash()));
+    }
+
+    #[test]
+    fn lagged_cursor_reports_resync_point() {
+        let mut pool = TxPool::with_config(PoolConfig { event_capacity: 2, ..PoolConfig::default() });
+        pool.subscribe();
+        let key = SecretKey::from_label(1);
+        for nonce in 0..5 {
+            pool.insert(tx(&key, nonce, 10), nonce).unwrap();
+        }
+        let err = pool.events_since(0).unwrap_err();
+        assert_eq!(err.oldest_buffered, 3);
+        assert_eq!(err.resume_cursor, 5);
+        // The still-buffered suffix is readable.
+        assert_eq!(pool.events_since(3).unwrap().len(), 2);
     }
 }

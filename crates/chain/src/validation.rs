@@ -162,8 +162,15 @@ mod tests {
     }
 
     fn valid_block(parent: &BlockHeader, state: &StateDb, key: &SecretKey) -> Block {
-        build_block(parent, state, vec![transfer(key, 0), transfer(key, 1)], Address::from_low_u64(9), 15_000, &BlockLimits::default())
-            .block
+        build_block(
+            parent,
+            state,
+            vec![transfer(key, 0), transfer(key, 1)],
+            Address::from_low_u64(9),
+            15_000,
+            &BlockLimits::default(),
+        )
+        .block
     }
 
     #[test]
@@ -196,7 +203,10 @@ mod tests {
         let (parent, state, key) = setup();
         let mut block = valid_block(&parent, &state, &key);
         block.header.timestamp_ms = 0;
-        assert_eq!(validate_block(&parent, &state, &block).unwrap_err(), ValidationError::NonMonotonicTimestamp);
+        assert_eq!(
+            validate_block(&parent, &state, &block).unwrap_err(),
+            ValidationError::NonMonotonicTimestamp
+        );
     }
 
     #[test]
@@ -246,7 +256,10 @@ mod tests {
         let (parent, state, key) = setup();
         let mut block = valid_block(&parent, &state, &key);
         block.header.receipts_root = sereth_crypto::hash::H256::keccak(b"wrong");
-        assert_eq!(validate_block(&parent, &state, &block).unwrap_err(), ValidationError::ReceiptsRootMismatch);
+        assert_eq!(
+            validate_block(&parent, &state, &block).unwrap_err(),
+            ValidationError::ReceiptsRootMismatch
+        );
     }
 
     #[test]

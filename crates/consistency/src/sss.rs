@@ -27,8 +27,8 @@
 //! machine from calldata alone and compares against the effects the chain
 //! recorded.
 
-use sereth_crypto::hash::H256;
 use sereth_core::mark::compute_mark;
+use sereth_crypto::hash::H256;
 
 use crate::record::{History, MarketOp, MarketSpec};
 
@@ -136,8 +136,7 @@ pub fn check(spec: &MarketSpec, history: &History) -> SssReport {
                 }
             }
             MarketOp::Buy(offer) => {
-                let matches_interval =
-                    offer.prev_mark == tail_mark && offer.value == current_value;
+                let matches_interval = offer.prev_mark == tail_mark && offer.value == current_value;
                 match (record.effective, matches_interval) {
                     (true, true) => {
                         *report.buys_per_interval.last_mut().expect("never empty") += 1;

@@ -159,10 +159,7 @@ fn replayed_effective_set_is_caught() {
     let history = History::from_blocks(&spec, [(&b, receipts.as_slice())]);
     let report = sss::check(&spec, &history);
     assert_eq!(report.violations.len(), 1);
-    assert!(matches!(
-        report.violations[0],
-        sereth_consistency::SssViolation::SetChainBroken { .. }
-    ));
+    assert!(matches!(report.violations[0], sereth_consistency::SssViolation::SetChainBroken { .. }));
 }
 
 #[test]

@@ -106,20 +106,33 @@ pub fn hash_mark_set(
     committed: (H256, H256),
     config: &HmsConfig,
 ) -> HmsOutcome {
-    let (committed_mark, committed_value) = committed;
     let txn_list = process(pool, contract, set_selector);
+    outcome_from_nodes(txn_list, committed, config)
+}
+
+/// Algorithm 1 lines 3–9 over an already-filtered transaction list: the
+/// series extraction and view construction shared by the batch
+/// [`hash_mark_set`] and the incremental `sereth-raa` view service (which
+/// maintains the filtered list across pool events instead of re-running
+/// `PROCESS` per query).
+///
+/// `txn_list` must be the output of [`process`] (or an incrementally
+/// maintained equivalent) in pool-arrival order.
+pub fn outcome_from_nodes(txn_list: Vec<TxnNode>, committed: (H256, H256), config: &HmsConfig) -> HmsOutcome {
+    let (committed_mark, committed_value) = committed;
+    let committed_outcome = || HmsOutcome {
+        view: HmsView {
+            source: ViewSource::Committed,
+            mark: committed_mark,
+            value: committed_value,
+            series_len: 0,
+        },
+        series: Vec::new(),
+    };
 
     // Algorithm 1 line 4: empty list ⇒ special value ⇒ committed view.
     if txn_list.is_empty() {
-        return HmsOutcome {
-            view: HmsView {
-                source: ViewSource::Committed,
-                mark: committed_mark,
-                value: committed_value,
-                series_len: 0,
-            },
-            series: Vec::new(),
-        };
+        return committed_outcome();
     }
 
     let root = config.committed_head.then_some(committed_mark);
@@ -129,15 +142,7 @@ pub fn hash_mark_set(
         // Filtered transactions exist but none roots a series (e.g. all
         // their predecessors were just committed). Fall back to the
         // committed view, as an empty list would.
-        return HmsOutcome {
-            view: HmsView {
-                source: ViewSource::Committed,
-                mark: committed_mark,
-                value: committed_value,
-                series_len: 0,
-            },
-            series: Vec::new(),
-        };
+        return committed_outcome();
     }
 
     let series: Vec<TxnNode> = indices.iter().map(|&i| graph.nodes()[i].clone()).collect();
@@ -234,17 +239,18 @@ mod tests {
         let committed_mark = H256::keccak(b"published-mark");
         let committed = (committed_mark, H256::from_low_u64(50));
         let orphan = set_tx(0, Flag::Success, committed_mark, 60);
-        let outcome = hash_mark_set(std::slice::from_ref(&orphan), &contract(), set_sel(), committed, &HmsConfig::default());
-        assert_eq!(outcome.view.source, ViewSource::Committed, "paper baseline loses the orphan");
-
-        // The committed-head extension recovers it.
-        let extended = hash_mark_set(
-            &[orphan],
+        let outcome = hash_mark_set(
+            std::slice::from_ref(&orphan),
             &contract(),
             set_sel(),
             committed,
-            &HmsConfig { committed_head: true },
+            &HmsConfig::default(),
         );
+        assert_eq!(outcome.view.source, ViewSource::Committed, "paper baseline loses the orphan");
+
+        // The committed-head extension recovers it.
+        let extended =
+            hash_mark_set(&[orphan], &contract(), set_sel(), committed, &HmsConfig { committed_head: true });
         assert_eq!(extended.view.source, ViewSource::Uncommitted);
         assert_eq!(extended.view.value, H256::from_low_u64(60));
     }

@@ -59,25 +59,47 @@ impl TxnNode {
 /// processing, so the overhead of HMS is relatively small" (paper §III-C) —
 /// the `hms_process` benchmark quantifies that claim.
 pub fn process(pool: &[PendingTx], contract: &Address, set_selector: Selector) -> Vec<TxnNode> {
+    process_iter(pool, contract, set_selector)
+}
+
+/// [`process`] over any borrowed iterator of pending transactions — the
+/// allocation-free path: callers that already hold pool entries (e.g. a
+/// node's `HmsDataSource`) can filter without first materialising a
+/// `Vec<PendingTx>` of the entire pool.
+pub fn process_iter<'a>(
+    pool: impl IntoIterator<Item = &'a PendingTx>,
+    contract: &Address,
+    set_selector: Selector,
+) -> Vec<TxnNode> {
     let mut filtered = Vec::new();
     for pending in pool {
-        // The transaction must target the managed contract…
-        if pending.to != Some(*contract) {
-            continue;
+        if let Some(node) = filter_one(pending, contract, set_selector) {
+            filtered.push(node);
         }
-        // …and SIGNATURE(txn) == "set".
-        if pending.input.len() < 4 || pending.input[..4] != set_selector {
-            continue;
-        }
-        // SUCCESS(txn): flag is headFlag or successFlag.
-        let Some(fpv) = Fpv::from_calldata(&pending.input) else { continue };
-        if !fpv.flag().is_accepted() {
-            continue;
-        }
-        let mark = compute_mark(&fpv.prev_mark, &fpv.value);
-        filtered.push(TxnNode { pending: pending.clone(), fpv, mark });
     }
     filtered
+}
+
+/// Algorithm 2's per-transaction body: `Some(node)` iff `pending` is a
+/// Sereth `set` on `contract` with an accepted flag. Exposed so event
+/// subscribers (the `sereth-raa` service) apply the exact same filter to
+/// single transactions that [`process`] applies to snapshots.
+pub fn filter_one(pending: &PendingTx, contract: &Address, set_selector: Selector) -> Option<TxnNode> {
+    // The transaction must target the managed contract…
+    if pending.to != Some(*contract) {
+        return None;
+    }
+    // …and SIGNATURE(txn) == "set".
+    if pending.input.len() < 4 || pending.input[..4] != set_selector {
+        return None;
+    }
+    // SUCCESS(txn): flag is headFlag or successFlag.
+    let fpv = Fpv::from_calldata(&pending.input)?;
+    if !fpv.flag().is_accepted() {
+        return None;
+    }
+    let mark = compute_mark(&fpv.prev_mark, &fpv.value);
+    Some(TxnNode { pending: pending.clone(), fpv, mark })
 }
 
 #[cfg(test)]

@@ -15,14 +15,26 @@ use sereth_crypto::hash::H256;
 use sereth_vm::abi::{self, Selector};
 use sereth_vm::raa::{RaaProvider, RaaRequest};
 
-use crate::hms::{hash_mark_set, HmsConfig, HmsOutcome};
-use crate::process::PendingTx;
+use crate::hms::{outcome_from_nodes, HmsConfig, HmsOutcome};
+use crate::process::{filter_one, PendingTx, TxnNode};
 
 /// Read access to the live node data Hash-Mark-Set needs. `sereth-node`
 /// implements this over its pool and chain; tests use fixtures.
 pub trait HmsDataSource: Send + Sync {
     /// Snapshot of the pending pool in arrival order.
     fn pending(&self) -> Vec<PendingTx>;
+
+    /// Visits every pending transaction in arrival order **without**
+    /// materialising a full snapshot. [`HmsRaaProvider`] reads through
+    /// this, so implementors backed by a live pool (e.g. a node) should
+    /// override it to walk their entries borrowed — the default clones
+    /// the whole pool via [`HmsDataSource::pending`] and exists only for
+    /// fixture sources.
+    fn for_each_pending(&self, visit: &mut dyn FnMut(&PendingTx)) {
+        for tx in self.pending() {
+            visit(&tx);
+        }
+    }
 
     /// The committed `(mark, value)` of `contract`'s managed state
     /// variable, read from the canonical head's storage. Taking the
@@ -46,14 +58,19 @@ impl HmsRaaProvider {
     }
 
     /// Runs Algorithm 1 against the current source state for `contract`.
+    ///
+    /// The pool is read through [`HmsDataSource::for_each_pending`] and
+    /// filtered on the fly (Algorithm 2 per transaction), so only the
+    /// contract's own `set` transactions are ever copied out of the
+    /// source — not the whole pool.
     pub fn run(&self, contract: &sereth_crypto::address::Address) -> HmsOutcome {
-        hash_mark_set(
-            &self.source.pending(),
-            contract,
-            self.set_selector,
-            self.source.committed(contract),
-            &self.config,
-        )
+        let mut txn_list: Vec<TxnNode> = Vec::new();
+        self.source.for_each_pending(&mut |pending| {
+            if let Some(node) = filter_one(pending, contract, self.set_selector) {
+                txn_list.push(node);
+            }
+        });
+        outcome_from_nodes(txn_list, self.source.committed(contract), &self.config)
     }
 }
 

@@ -66,8 +66,7 @@ impl SeriesGraph {
             .iter()
             .enumerate()
             .filter(|(_, node)| {
-                node.flag() == Flag::Head
-                    || committed_mark.is_some_and(|mark| node.fpv.prev_mark == mark)
+                node.flag() == Flag::Head || committed_mark.is_some_and(|mark| node.fpv.prev_mark == mark)
             })
             .map(|(index, _)| index)
             .collect();
@@ -119,7 +118,8 @@ impl SeriesGraph {
                         stack.push((succ, 0));
                     }
                 } else {
-                    let best = self.successors[node].iter().map(|&s| depth[s].expect("children resolved")).max();
+                    let best =
+                        self.successors[node].iter().map(|&s| depth[s].expect("children resolved")).max();
                     depth[node] = Some(1 + best.unwrap_or(0));
                     stack.pop();
                 }

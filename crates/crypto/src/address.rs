@@ -24,10 +24,8 @@ pub type Address = H160;
 /// assert_ne!(a, b, "distinct nonces yield distinct contracts");
 /// ```
 pub fn contract_address(creator: &Address, nonce: u64) -> Address {
-    let payload = crate::rlp::RlpStream::new_list(2)
-        .append_bytes(creator.as_bytes())
-        .append_u64(nonce)
-        .finish();
+    let payload =
+        crate::rlp::RlpStream::new_list(2).append_bytes(creator.as_bytes()).append_u64(nonce).finish();
     let digest = H256::keccak(&payload);
     let mut out = [0u8; 20];
     out.copy_from_slice(&digest.as_bytes()[12..]);

@@ -299,10 +299,7 @@ mod tests {
     #[test]
     fn keccak256_empty_matches_known_vector() {
         // This is Ethereum's ubiquitous EMPTY_CODE_HASH constant.
-        assert_eq!(
-            hex(&keccak256(b"")),
-            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
-        );
+        assert_eq!(hex(&keccak256(b"")), "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
     }
 
     #[test]
@@ -323,10 +320,7 @@ mod tests {
 
     #[test]
     fn sha3_256_empty_matches_known_vector() {
-        assert_eq!(
-            hex(&sha3_256(b"")),
-            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
-        );
+        assert_eq!(hex(&sha3_256(b"")), "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
     }
 
     #[test]

@@ -190,7 +190,8 @@ impl<'a> RlpReader<'a> {
         }
         let mut len = 0usize;
         for &b in len_bytes {
-            len = len.checked_mul(256).and_then(|l| l.checked_add(b as usize)).ok_or(RlpError::NonCanonical)?;
+            len =
+                len.checked_mul(256).and_then(|l| l.checked_add(b as usize)).ok_or(RlpError::NonCanonical)?;
         }
         if len < 56 {
             return Err(RlpError::NonCanonical);
@@ -309,11 +310,8 @@ mod tests {
 
     #[test]
     fn bytes_round_trip_through_list() {
-        let encoded = RlpStream::new_list(3)
-            .append_bytes(b"")
-            .append_bytes(b"a")
-            .append_bytes(&[0xffu8; 100])
-            .finish();
+        let encoded =
+            RlpStream::new_list(3).append_bytes(b"").append_bytes(b"a").append_bytes(&[0xffu8; 100]).finish();
         let mut outer = RlpReader::new(&encoded);
         let mut list = outer.read_list().unwrap();
         assert_eq!(list.read_bytes().unwrap(), b"");

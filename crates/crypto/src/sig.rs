@@ -137,7 +137,9 @@ impl Signature {
     /// different address. This is the check block validators run during
     /// transaction replay.
     pub fn verify(&self, expected_sender: &Address, payload_digest: H256) -> bool {
-        self.signed_digest == payload_digest && &self.pubkey.address() == expected_sender && !self.tag.is_zero()
+        self.signed_digest == payload_digest
+            && &self.pubkey.address() == expected_sender
+            && !self.tag.is_zero()
     }
 }
 

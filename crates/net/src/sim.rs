@@ -125,7 +125,11 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        Self { topology: TopologyKind::Complete, latency: LatencyModel::default(), faults: FaultModel::none() }
+        Self {
+            topology: TopologyKind::Complete,
+            latency: LatencyModel::default(),
+            faults: FaultModel::none(),
+        }
     }
 }
 
@@ -269,11 +273,7 @@ mod tests {
             Box::new(Recorder { received: vec![], reply_to: Some(1) }),
             Box::new(Recorder { received: vec![], reply_to: Some(0) }),
         ];
-        let config = NetworkConfig {
-            topology: TopologyKind::Complete,
-            latency,
-            faults: FaultModel::none(),
-        };
+        let config = NetworkConfig { topology: TopologyKind::Complete, latency, faults: FaultModel::none() };
         Simulation::new(actors, &config, seed)
     }
 
@@ -412,10 +412,8 @@ mod tests {
         }
 
         let deliveries = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
-        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
-            Box::new(Pinger { peer: 1 }),
-            Box::new(SharedRecorder { deliveries: deliveries.clone() }),
-        ];
+        let actors: Vec<Box<dyn Actor<TestMsg>>> =
+            vec![Box::new(Pinger { peer: 1 }), Box::new(SharedRecorder { deliveries: deliveries.clone() })];
         let config = NetworkConfig {
             topology: TopologyKind::Complete,
             latency: LatencyModel::Constant(1),
@@ -436,7 +434,8 @@ mod tests {
 
     #[test]
     fn run_until_advances_clock_even_when_idle() {
-        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![Box::new(Recorder { received: vec![], reply_to: None })];
+        let actors: Vec<Box<dyn Actor<TestMsg>>> =
+            vec![Box::new(Recorder { received: vec![], reply_to: None })];
         let mut sim = Simulation::new(actors, &NetworkConfig::default(), 1);
         sim.run_until(9_999);
         assert_eq!(sim.now(), 9_999);
@@ -445,7 +444,8 @@ mod tests {
 
     #[test]
     fn events_beyond_horizon_stay_queued() {
-        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![Box::new(Recorder { received: vec![], reply_to: None })];
+        let actors: Vec<Box<dyn Actor<TestMsg>>> =
+            vec![Box::new(Recorder { received: vec![], reply_to: None })];
         let mut sim = Simulation::new(actors, &NetworkConfig::default(), 1);
         sim.schedule(5_000, 0, TestMsg::Tick);
         sim.run_until(1_000);

@@ -110,7 +110,8 @@ impl Owner {
     /// order forces the buy to execute right after its set, so it always
     /// succeeds regardless of client kind or miner policy.
     pub fn next_own_buy(&mut self) -> Transaction {
-        let offer = Fpv { flag_word: Flag::Success.to_word(), prev_mark: self.last_mark, value: self.last_value };
+        let offer =
+            Fpv { flag_word: Flag::Success.to_word(), prev_mark: self.last_mark, value: self.last_value };
         let tx = Transaction::sign(
             TxPayload {
                 nonce: self.nonce,
@@ -252,6 +253,7 @@ mod tests {
         NodeHandle::new(
             genesis,
             NodeConfig {
+                raa_backend: Default::default(),
                 kind,
                 contract,
                 miner: Some(MinerSetup {

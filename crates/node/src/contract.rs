@@ -389,11 +389,7 @@ pub fn sereth_code(form: ContractForm) -> ContractCode {
 pub fn sereth_genesis_slots(owner: &Address, initial_value: H256) -> Vec<(H256, H256)> {
     let mut owner_word = [0u8; 32];
     owner_word[12..].copy_from_slice(owner.as_bytes());
-    vec![
-        (SLOT_ADDRESS, H256::new(owner_word)),
-        (SLOT_MARK, genesis_mark()),
-        (SLOT_VALUE, initial_value),
-    ]
+    vec![(SLOT_ADDRESS, H256::new(owner_word)), (SLOT_MARK, genesis_mark()), (SLOT_VALUE, initial_value)]
 }
 
 #[cfg(test)]
@@ -494,21 +490,11 @@ mod tests {
             let contract = default_contract_address();
             let mut storage = fresh_storage(&contract);
             let words = [H256::from_low_u64(1), H256::keccak(b"mark"), H256::from_low_u64(77)];
-            let outcome = call(
-                &code,
-                &mut storage,
-                Address::ZERO,
-                contract,
-                abi::encode_call(get_selector(), &words),
-            );
+            let outcome =
+                call(&code, &mut storage, Address::ZERO, contract, abi::encode_call(get_selector(), &words));
             assert_eq!(abi::decode_word(&outcome.return_data), Some(H256::from_low_u64(77)), "{form:?}");
-            let outcome = call(
-                &code,
-                &mut storage,
-                Address::ZERO,
-                contract,
-                abi::encode_call(mark_selector(), &words),
-            );
+            let outcome =
+                call(&code, &mut storage, Address::ZERO, contract, abi::encode_call(mark_selector(), &words));
             assert_eq!(abi::decode_word(&outcome.return_data), Some(H256::keccak(b"mark")), "{form:?}");
         }
     }

@@ -47,18 +47,21 @@ pub enum MinerPolicy {
     Pwv,
 }
 
+/// Converts one pool entry into the lightweight view HMS consumes (the
+/// calldata is shared, not copied).
+pub fn pending_tx(entry: &sereth_chain::txpool::PoolEntry) -> PendingTx {
+    PendingTx {
+        hash: entry.tx.hash(),
+        sender: entry.tx.sender(),
+        to: entry.tx.to(),
+        input: entry.tx.input().clone(),
+        arrival_seq: entry.arrival_seq,
+    }
+}
+
 /// Converts pool entries into the lightweight view HMS consumes.
 pub fn pending_view(pool: &TxPool) -> Vec<PendingTx> {
-    pool.pending_by_arrival()
-        .into_iter()
-        .map(|entry| PendingTx {
-            hash: entry.tx.hash(),
-            sender: entry.tx.sender(),
-            to: entry.tx.to(),
-            input: entry.tx.input().clone(),
-            arrival_seq: entry.arrival_seq,
-        })
-        .collect()
+    pool.entries_by_arrival().into_iter().map(pending_tx).collect()
 }
 
 /// Reads the committed `(mark, value)` of the Sereth contract.
@@ -137,9 +140,10 @@ fn pwv_order(pool: &TxPool, state: &StateDb, contract: &Address) -> Vec<Transact
             }
         }
         // (2) The first dependency-satisfied set advances the state.
-        let Some(next_set) = market.iter_mut().find(|slot| {
-            matches!(slot, Some(MarketTx::Set(_, fpv)) if fpv.prev_mark == mark)
-        }) else {
+        let Some(next_set) = market
+            .iter_mut()
+            .find(|slot| matches!(slot, Some(MarketTx::Set(_, fpv)) if fpv.prev_mark == mark))
+        else {
             break;
         };
         let Some(MarketTx::Set(tx, fpv)) = next_set.take() else { unreachable!("matched above") };
@@ -165,7 +169,12 @@ fn pwv_order(pool: &TxPool, state: &StateDb, contract: &Address) -> Vec<Transact
 /// 3. emit `buys(committed mark) ‖ set₁ ‖ buys(mark₁) ‖ set₂ ‖ …`;
 /// 4. append everything else (unmatched buys, foreign traffic) by fee;
 /// 5. repair per-sender nonce order, which interleaving may have broken.
-fn semantic_order(pool: &TxPool, state: &StateDb, contract: &Address, config: &HmsConfig) -> Vec<Transaction> {
+fn semantic_order(
+    pool: &TxPool,
+    state: &StateDb,
+    contract: &Address,
+    config: &HmsConfig,
+) -> Vec<Transaction> {
     let committed = committed_amv(state, contract);
     let pending = pending_view(pool);
     let outcome = hash_mark_set(&pending, contract, set_selector(), committed, config);
@@ -190,15 +199,16 @@ fn semantic_order(pool: &TxPool, state: &StateDb, contract: &Address, config: &H
     }
 
     let mut ordered: Vec<Transaction> = Vec::new();
-    let emit_bucket = |mark: &H256, ordered: &mut Vec<Transaction>, used: &mut std::collections::HashSet<H256>| {
-        if let Some(bucket) = buy_buckets.get(mark) {
-            for tx in bucket {
-                if used.insert(tx.hash()) {
-                    ordered.push((*tx).clone());
+    let emit_bucket =
+        |mark: &H256, ordered: &mut Vec<Transaction>, used: &mut std::collections::HashSet<H256>| {
+            if let Some(bucket) = buy_buckets.get(mark) {
+                for tx in bucket {
+                    if used.insert(tx.hash()) {
+                        ordered.push((*tx).clone());
+                    }
                 }
             }
-        }
-    };
+        };
 
     // Buys against the committed mark execute before any set.
     emit_bucket(&committed.0, &mut ordered, &mut used);
@@ -270,7 +280,14 @@ mod tests {
         (state, contract)
     }
 
-    fn sereth_tx(key: &SecretKey, nonce: u64, selector: [u8; 4], flag: Flag, prev: H256, value: u64) -> Transaction {
+    fn sereth_tx(
+        key: &SecretKey,
+        nonce: u64,
+        selector: [u8; 4],
+        flag: Flag,
+        prev: H256,
+        value: u64,
+    ) -> Transaction {
         let fpv = if matches!(flag, Flag::Rejected) {
             Fpv { flag_word: H256::from_low_u64(0xbad), prev_mark: prev, value: H256::from_low_u64(value) }
         } else {

@@ -25,6 +25,7 @@ use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_net::sim::{Actor, Context};
 use sereth_net::topology::ActorId;
+use sereth_raa::{RaaConfig, RaaDataSource, RaaService, ServiceRaaProvider};
 use sereth_types::block::Block;
 use sereth_types::transaction::Transaction;
 use sereth_types::SimTime;
@@ -81,6 +82,28 @@ pub struct MinerSetup {
     pub coinbase: Address,
 }
 
+/// Which implementation serves RAA views on a Sereth node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaaBackend {
+    /// The paper-literal path: snapshot the pool and rerun Algorithm 1
+    /// on every query (`HmsRaaProvider`). O(pool) per read; kept for
+    /// fidelity testing and as the A/B baseline in `sereth-bench`.
+    Recompute,
+    /// The incremental `sereth-raa` view service: pool events maintain
+    /// per-contract series caches; reads are O(1) when nothing relevant
+    /// changed. The default.
+    Service {
+        /// Contract-shard count of the service.
+        shards: usize,
+    },
+}
+
+impl Default for RaaBackend {
+    fn default() -> Self {
+        Self::Service { shards: 8 }
+    }
+}
+
 /// Per-node configuration.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -94,6 +117,8 @@ pub struct NodeConfig {
     pub limits: BlockLimits,
     /// HMS extensions (committed-head).
     pub hms: HmsConfig,
+    /// RAA serving strategy (Sereth nodes only).
+    pub raa_backend: RaaBackend,
 }
 
 /// The lock-protected node state.
@@ -106,6 +131,9 @@ pub struct NodeInner {
     pub raa: RaaRegistry,
     /// Static configuration.
     pub config: NodeConfig,
+    /// The incremental RAA view service, when
+    /// [`RaaBackend::Service`] is active (exposed for metrics).
+    pub raa_service: Option<Arc<RaaService>>,
     /// Blocks whose parents have not arrived yet.
     orphans: Vec<Block>,
     /// Gossip dedup for transactions.
@@ -143,10 +171,32 @@ impl HmsDataSource for NodeSource {
         crate::miner::pending_view(&inner.pool)
     }
 
+    fn for_each_pending(&self, visit: &mut dyn FnMut(&PendingTx)) {
+        let Some(node) = self.0.upgrade() else { return };
+        let inner = node.lock();
+        // Borrowed walk: no per-query clone of the pool (the provider
+        // filters as it goes, so only this contract's sets are copied).
+        for entry in inner.pool.entries_by_arrival() {
+            visit(&crate::miner::pending_tx(entry));
+        }
+    }
+
     fn committed(&self, contract: &Address) -> (H256, H256) {
         let Some(node) = self.0.upgrade() else { return (H256::ZERO, H256::ZERO) };
         let inner = node.lock();
         committed_amv(inner.chain.head_state(), contract)
+    }
+}
+
+impl RaaDataSource for NodeSource {
+    fn sync(&self, service: &RaaService) {
+        let Some(node) = self.0.upgrade() else { return };
+        let inner = node.lock();
+        service.sync(&inner.pool);
+    }
+
+    fn committed(&self, contract: &Address) -> (H256, H256) {
+        HmsDataSource::committed(self, contract)
     }
 }
 
@@ -160,6 +210,7 @@ impl NodeHandle {
             pool: TxPool::new(),
             raa: RaaRegistry::new(),
             config,
+            raa_service: None,
             orphans: Vec::new(),
             seen_txs: std::collections::HashSet::new(),
         };
@@ -167,16 +218,38 @@ impl NodeHandle {
         {
             let mut inner = handle.0.lock();
             if inner.config.kind == ClientKind::Sereth {
-                let source = NodeSource(Arc::downgrade(&handle.0));
-                let provider =
-                    HmsRaaProvider::new(Arc::new(source), set_selector(), inner.config.hms.clone());
+                let source = Arc::new(NodeSource(Arc::downgrade(&handle.0)));
+                let provider: Arc<dyn sereth_vm::raa::RaaProvider> = match inner.config.raa_backend {
+                    RaaBackend::Recompute => {
+                        Arc::new(HmsRaaProvider::new(source, set_selector(), inner.config.hms.clone()))
+                    }
+                    RaaBackend::Service { shards } => {
+                        let hms = inner.config.hms.clone();
+                        // Only the service backend pays for event
+                        // buffering; unwatched pools skip it entirely.
+                        inner.pool.subscribe();
+                        let service = Arc::new(RaaService::new(RaaConfig {
+                            shards,
+                            set_selector: set_selector(),
+                            hms,
+                        }));
+                        inner.raa_service = Some(service.clone());
+                        Arc::new(ServiceRaaProvider::new(service, source))
+                    }
+                };
                 let contract = inner.config.contract;
                 inner.raa.enable(contract, get_selector());
                 inner.raa.enable(contract, mark_selector());
-                inner.raa.set_provider(Arc::new(provider));
+                inner.raa.set_provider(provider);
             }
         }
         handle
+    }
+
+    /// The incremental RAA service's counters, when the node runs the
+    /// [`RaaBackend::Service`] backend.
+    pub fn raa_metrics(&self) -> Option<sereth_raa::RaaMetrics> {
+        self.0.lock().raa_service.as_ref().map(|service| service.metrics())
     }
 
     /// The node's client kind.
@@ -219,13 +292,21 @@ impl NodeHandle {
     /// zero arguments — callers should use [`NodeHandle::committed_amv`]
     /// instead, exactly as unmodified clients must.
     pub fn query_view(&self, caller: Address) -> Option<(H256, H256)> {
-        let (state, raa, contract, env) = {
+        let contract = self.0.lock().config.contract;
+        self.query_view_for(contract, caller)
+    }
+
+    /// Like [`NodeHandle::query_view`] but against an explicit contract —
+    /// one node (and one RAA provider) serves many independent markets,
+    /// provided RAA was enabled for that contract's selectors (see
+    /// [`NodeHandle::enable_market`]).
+    pub fn query_view_for(&self, contract: Address, caller: Address) -> Option<(H256, H256)> {
+        let (state, raa, env) = {
             let inner = self.0.lock();
             let head = inner.chain.head_block().header.clone();
             (
                 inner.chain.head_state().clone(),
                 inner.raa.clone(),
-                inner.config.contract,
                 BlockEnv {
                     number: head.number,
                     timestamp_ms: head.timestamp_ms,
@@ -244,6 +325,17 @@ impl NodeHandle {
             call_readonly(&state, caller, contract, abi::encode_call(get_selector(), &zero), &env, &raa);
         let value = abi::decode_word(&get_out.return_data)?;
         Some((mark, value))
+    }
+
+    /// Enables RAA on this node for an additional market contract's
+    /// `get`/`mark` selectors (the configured contract is enabled at
+    /// construction). No-op on Geth nodes.
+    pub fn enable_market(&self, contract: Address) {
+        let mut inner = self.0.lock();
+        if inner.config.kind == ClientKind::Sereth {
+            inner.raa.enable(contract, get_selector());
+            inner.raa.enable(contract, mark_selector());
+        }
     }
 
     /// Accepts a transaction from gossip or local submission. Returns
@@ -432,10 +524,8 @@ impl Actor<Msg> for NodeActor {
                         // Ancestor fetch: ask the network for the missing
                         // parent; each reply walks one block further back
                         // until the branches reconnect (partition heal).
-                        let request = Msg::GetBlock {
-                            hash: block.header.parent_hash,
-                            requester: ctx.self_id(),
-                        };
+                        let request =
+                            Msg::GetBlock { hash: block.header.parent_hash, requester: ctx.self_id() };
                         for &peer in &self.peers {
                             ctx.send_to(peer, request.clone());
                         }
@@ -454,9 +544,9 @@ impl Actor<Msg> for NodeActor {
                         ctx.send_to(peer, Msg::NewBlock(block.clone()));
                     }
                 }
-                let schedule = self.handle.with_inner(|inner| {
-                    inner.config.miner.as_ref().map(|setup| setup.schedule.clone())
-                });
+                let schedule = self
+                    .handle
+                    .with_inner(|inner| inner.config.miner.as_ref().map(|setup| setup.schedule.clone()));
                 if let Some(schedule) = schedule {
                     let delay = schedule.next_delay(ctx.rng());
                     ctx.wake_self(delay, Msg::MineTick);
@@ -494,6 +584,7 @@ mod tests {
         NodeHandle::new(
             test_genesis(owner),
             NodeConfig {
+                raa_backend: Default::default(),
                 kind,
                 contract: default_contract_address(),
                 miner: miner.then(|| MinerSetup {

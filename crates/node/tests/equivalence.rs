@@ -13,9 +13,8 @@ use sereth_core::mark::genesis_mark;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_node::contract::{
-    buy_selector, default_contract_address, get_selector, mark_selector, sereth_code,
-    sereth_genesis_slots, set_selector, ContractForm, SLOT_ADDRESS, SLOT_MARK, SLOT_N_BUY, SLOT_N_SET,
-    SLOT_VALUE,
+    buy_selector, default_contract_address, get_selector, mark_selector, sereth_code, sereth_genesis_slots,
+    set_selector, ContractForm, SLOT_ADDRESS, SLOT_MARK, SLOT_N_BUY, SLOT_N_SET, SLOT_VALUE,
 };
 use sereth_vm::abi::{self, Selector};
 use sereth_vm::exec::{CallEnv, ContractCode, MemStorage, Storage};
@@ -34,7 +33,7 @@ struct Call {
 fn call_strategy() -> impl Strategy<Value = Call> {
     (
         0usize..6,
-        0u64..8,    // caller label
+        0u64..8,      // caller label
         any::<u64>(), // word material
         any::<u64>(),
     )

@@ -1,0 +1,89 @@
+//! Service observability: per-shard counters, aggregated on read.
+//!
+//! Counters are plain relaxed atomics — they are monotone event counts
+//! with no cross-counter invariants, so readers may observe a torn
+//! aggregate mid-update; that is fine for monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard counters (updated lock-free on the read and event paths).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Views served straight from a clean cache.
+    pub hits: AtomicU64,
+    /// Views that had to rebuild the contract's series graph first.
+    pub rebuilds: AtomicU64,
+    /// Pool events applied to this shard.
+    pub events: AtomicU64,
+    /// Events ignored because the transaction is not a tracked Sereth
+    /// `set` (foreign traffic filtered by Algorithm 2).
+    pub filtered: AtomicU64,
+}
+
+impl ShardMetrics {
+    pub(crate) fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn event(&self) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn filter(&self) {
+        self.filtered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time aggregate of the service's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaaMetrics {
+    /// Views served from a clean cache (no graph work).
+    pub hits: u64,
+    /// Views that rebuilt a contract's series graph.
+    pub rebuilds: u64,
+    /// Pool events applied across all shards.
+    pub events_applied: u64,
+    /// Events dropped by the Algorithm 2 filter.
+    pub events_filtered: u64,
+    /// Full resynchronisations after event-buffer lag.
+    pub resyncs: u64,
+    /// Contracts currently holding a cache entry.
+    pub tracked_contracts: u64,
+    /// Filtered `set` transactions currently cached across contracts.
+    pub tracked_nodes: u64,
+}
+
+impl RaaMetrics {
+    /// Fraction of views served without graph work (`hits / views`), or
+    /// 1.0 when nothing was read yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.rebuilds;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl core::fmt::Display for RaaMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "raa: {} hits / {} rebuilds ({:.1}% hit), {} events (+{} filtered), \
+             {} resyncs, {} contracts, {} nodes",
+            self.hits,
+            self.rebuilds,
+            self.hit_rate() * 100.0,
+            self.events_applied,
+            self.events_filtered,
+            self.resyncs,
+            self.tracked_contracts,
+            self.tracked_nodes,
+        )
+    }
+}

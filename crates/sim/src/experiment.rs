@@ -1,7 +1,7 @@
 //! Parameter sweeps with seed replication — the machinery behind Figure 2
 //! and the ablation studies.
 
-use crossbeam::thread;
+use std::thread;
 
 use crate::metrics::RunMetrics;
 use crate::scenario::{run_scenario, ScenarioConfig};
@@ -36,12 +36,11 @@ pub fn run_point(config: &ScenarioConfig, seeds: &[u64]) -> SweepPoint {
             .iter()
             .map(|&seed| {
                 let config = config.clone();
-                scope.spawn(move |_| run_scenario(&config, seed).metrics)
+                scope.spawn(move || run_scenario(&config, seed).metrics)
             })
             .collect();
         handles.into_iter().map(|handle| handle.join().expect("scenario thread panicked")).collect()
-    })
-    .expect("thread scope");
+    });
 
     let etas: Vec<f64> = runs.iter().map(RunMetrics::eta_buys).collect();
     let buy_latencies: Vec<f64> = runs

@@ -5,6 +5,8 @@
 //! * [`scenario`] — the three Figure 2 scenarios (`geth_unmodified`,
 //!   `sereth_client`, `semantic_mining`) and the sequential-history
 //!   validation;
+//! * [`many_markets`] — the read-storm scenario exercising the
+//!   incremental `sereth-raa` view service across dozens of markets;
 //! * [`metrics`] — state throughput and transaction efficiency η (§III-A);
 //! * [`experiment`] — seed-replicated parameter sweeps (Figure 2's data);
 //! * [`stats`] — means, 90 % confidence intervals, smoothing;
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod many_markets;
 pub mod metrics;
 pub mod report;
 pub mod retry;
@@ -35,6 +38,7 @@ pub mod stats;
 pub mod workload;
 
 pub use experiment::{paper_scenarios, run_point, sweep, SweepPoint, PAPER_SET_COUNTS};
+pub use many_markets::{run_many_markets, ManyMarketsConfig, ManyMarketsReport};
 pub use metrics::{collect_metrics, RunMetrics, Submission, SubmissionLog};
 pub use retry::{RetryDriver, RetryStats};
 pub use scenario::{

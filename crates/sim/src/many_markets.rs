@@ -1,0 +1,276 @@
+//! The `many_markets` scenario: dozens of independent Sereth markets on
+//! one node, hundreds of reader clients hammering READ-UNCOMMITTED views
+//! while owners keep repricing and a miner keeps committing blocks.
+//!
+//! This is the workload the recompute-per-query RAA path collapses
+//! under — every read re-filtered the whole pool — and the one the
+//! incremental [`RaaService`](sereth_raa::RaaService) was built for:
+//! reads touch only the queried market's cached series. The scenario
+//! reports wall-clock read latency plus the service's hit/rebuild/resync
+//! counters, and (sampled) cross-checks every view against batch
+//! Algorithm 1 over a pool snapshot.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::genesis::GenesisBuilder;
+use sereth_core::hms::{hash_mark_set, HmsConfig};
+use sereth_core::mark::genesis_mark;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::client::Owner;
+use sereth_node::contract::{sereth_code, sereth_genesis_slots, set_selector, ContractForm};
+use sereth_node::miner::{pending_view, MinerPolicy};
+use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle, RaaBackend};
+use sereth_raa::RaaMetrics;
+use sereth_types::u256::U256;
+
+/// Configuration of the many-markets read storm.
+#[derive(Debug, Clone)]
+pub struct ManyMarketsConfig {
+    /// Independent Sereth market contracts (dozens).
+    pub markets: usize,
+    /// Reader clients issuing view queries (hundreds).
+    pub readers: usize,
+    /// Rounds of the workload loop.
+    pub rounds: usize,
+    /// Sets submitted per market per round.
+    pub sets_per_round: usize,
+    /// Reads issued per reader per round.
+    pub reads_per_round: usize,
+    /// A block is mined every `mine_every` rounds (commits pending sets).
+    pub mine_every: usize,
+    /// Which RAA backend the node runs.
+    pub backend: RaaBackend,
+    /// Every `verify_every`-th read is cross-checked against batch
+    /// Algorithm 1 over a fresh pool snapshot (0 disables checking).
+    pub verify_every: usize,
+    /// Initial price of every market.
+    pub initial_price: u64,
+}
+
+impl Default for ManyMarketsConfig {
+    fn default() -> Self {
+        Self {
+            markets: 24,
+            readers: 200,
+            rounds: 6,
+            sets_per_round: 4,
+            reads_per_round: 2,
+            mine_every: 2,
+            backend: RaaBackend::default(),
+            verify_every: 97,
+            initial_price: 50,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct ManyMarketsReport {
+    /// Scenario label (`many_markets/<backend>`).
+    pub name: String,
+    /// Total view reads issued.
+    pub reads: u64,
+    /// Mean wall-clock latency per read, in nanoseconds.
+    pub mean_read_ns: f64,
+    /// Reads that served an uncommitted (pending-series) view.
+    pub uncommitted_views: u64,
+    /// Reads cross-checked against batch Algorithm 1 (all must match —
+    /// the run panics otherwise).
+    pub verified_reads: u64,
+    /// Blocks mined during the run.
+    pub blocks: u64,
+    /// Final pool size.
+    pub pool_len: usize,
+    /// Incremental-service counters (None on the recompute backend).
+    pub raa: Option<RaaMetrics>,
+}
+
+/// Runs the scenario; identical `(config, seed)` pairs take identical
+/// decisions (wall-clock latencies vary, of course).
+pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsReport {
+    assert!(config.markets > 0 && config.readers > 0, "markets and readers required");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9a9a_33aa);
+
+    // Genesis: every market contract installed, every owner funded.
+    let owner_keys: Vec<SecretKey> =
+        (0..config.markets).map(|m| SecretKey::from_label(7_000 + m as u64)).collect();
+    let contracts: Vec<Address> =
+        (0..config.markets).map(|m| Address::from_low_u64(0x3a17_0000 + m as u64)).collect();
+    let mut genesis_builder = GenesisBuilder::new();
+    for (key, contract) in owner_keys.iter().zip(&contracts) {
+        genesis_builder =
+            genesis_builder.fund(key.address(), U256::from(u64::MAX / 2)).contract_with_storage(
+                *contract,
+                sereth_code(ContractForm::Native),
+                sereth_genesis_slots(&key.address(), H256::from_low_u64(config.initial_price)),
+            );
+    }
+    let genesis = genesis_builder.build();
+
+    let node = NodeHandle::new(
+        genesis,
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract: contracts[0],
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Standard,
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc0b0),
+            }),
+            limits: BlockLimits { gas_limit: 64_000_000, max_txs: None },
+            hms: HmsConfig::default(),
+            raa_backend: config.backend.clone(),
+        },
+    );
+    for contract in &contracts {
+        node.enable_market(*contract);
+    }
+
+    let mut owners: Vec<Owner> = owner_keys
+        .iter()
+        .zip(&contracts)
+        .map(|(key, contract)| {
+            Owner::with_value(
+                key.clone(),
+                *contract,
+                genesis_mark(),
+                H256::from_low_u64(config.initial_price),
+                1,
+            )
+        })
+        .collect();
+    let readers: Vec<Address> =
+        (0..config.readers).map(|r| Address::from_low_u64(0xbead_0000 + r as u64)).collect();
+
+    let mut reads = 0u64;
+    let mut uncommitted_views = 0u64;
+    let mut verified_reads = 0u64;
+    let mut blocks = 0u64;
+    let mut read_time_ns = 0u128;
+    let mut now = 0u64;
+
+    for round in 0..config.rounds {
+        // Owners reprice.
+        for (m, owner) in owners.iter_mut().enumerate() {
+            for s in 0..config.sets_per_round {
+                let price = 100 + (round * config.sets_per_round + s) as u64 * 3 + m as u64;
+                let tx = owner.next_set(&node, H256::from_low_u64(price));
+                node.receive_tx(tx, now);
+                now += 1;
+            }
+        }
+        // Readers hammer views, spread over random markets.
+        for reader in &readers {
+            for _ in 0..config.reads_per_round {
+                let market = rng.gen_range(0..config.markets);
+                let start = Instant::now();
+                let view = node.query_view_for(contracts[market], *reader);
+                read_time_ns += start.elapsed().as_nanos();
+                let (mark, value) = view.expect("sereth node always answers");
+                reads += 1;
+                let committed = node.with_inner(|inner| {
+                    sereth_node::miner::committed_amv(inner.chain.head_state(), &contracts[market])
+                });
+                if (mark, value) != committed {
+                    uncommitted_views += 1;
+                }
+                if config.verify_every > 0 && reads.is_multiple_of(config.verify_every as u64) {
+                    // Oracle: batch Algorithm 1 over a fresh snapshot.
+                    let snapshot = node.with_inner(|inner| pending_view(&inner.pool));
+                    let expected = hash_mark_set(
+                        &snapshot,
+                        &contracts[market],
+                        set_selector(),
+                        committed,
+                        &HmsConfig::default(),
+                    );
+                    assert_eq!(
+                        (mark, value),
+                        (expected.view.mark, expected.view.value),
+                        "read diverged from batch HMS on market {market}"
+                    );
+                    verified_reads += 1;
+                }
+            }
+        }
+        if config.mine_every > 0 && (round + 1).is_multiple_of(config.mine_every) {
+            now = now.max((blocks + 1) * 15_000);
+            if node.mine(now).is_some() {
+                blocks += 1;
+            }
+        }
+    }
+
+    let backend_label = match config.backend {
+        RaaBackend::Recompute => "recompute",
+        RaaBackend::Service { .. } => "service",
+    };
+    ManyMarketsReport {
+        name: format!("many_markets/{backend_label}"),
+        reads,
+        mean_read_ns: if reads == 0 { 0.0 } else { read_time_ns as f64 / reads as f64 },
+        uncommitted_views,
+        verified_reads,
+        blocks,
+        pool_len: node.pool_len(),
+        raa: node.raa_metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(backend: RaaBackend) -> ManyMarketsConfig {
+        ManyMarketsConfig {
+            markets: 6,
+            readers: 30,
+            rounds: 4,
+            sets_per_round: 3,
+            reads_per_round: 2,
+            verify_every: 17,
+            backend,
+            ..ManyMarketsConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_backend_serves_verified_uncommitted_views() {
+        let report = run_many_markets(&small(RaaBackend::default()), 11);
+        assert_eq!(report.reads, 30 * 2 * 4);
+        assert!(report.verified_reads > 0, "the oracle cross-check must actually run");
+        assert!(
+            report.uncommitted_views > 0,
+            "with pending sets every round, some views must be uncommitted"
+        );
+        let raa = report.raa.expect("service backend exposes metrics");
+        assert_eq!(raa.resyncs, 0, "event buffer is large enough for this workload");
+        assert!(raa.hits > 0, "repeat reads of an unchanged market must hit the cache");
+        assert!(raa.tracked_contracts as usize <= 6);
+    }
+
+    #[test]
+    fn recompute_backend_measures_but_has_no_service() {
+        let report = run_many_markets(&small(RaaBackend::Recompute), 11);
+        assert_eq!(report.reads, 30 * 2 * 4);
+        assert!(report.raa.is_none());
+        assert!(report.verified_reads > 0);
+    }
+
+    #[test]
+    fn backends_agree_on_what_readers_observe() {
+        // Same seed, same workload decisions: the per-read (mark, value)
+        // stream must be identical across backends, so the scenario-level
+        // aggregates must match too.
+        let service = run_many_markets(&small(RaaBackend::default()), 42);
+        let recompute = run_many_markets(&small(RaaBackend::Recompute), 42);
+        assert_eq!(service.uncommitted_views, recompute.uncommitted_views);
+        assert_eq!(service.blocks, recompute.blocks);
+        assert_eq!(service.pool_len, recompute.pool_len);
+    }
+}

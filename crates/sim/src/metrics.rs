@@ -166,18 +166,20 @@ pub fn collect_metrics(node: &NodeHandle, log: &SubmissionLog) -> RunMetrics {
                         metrics.buys_included += 1;
                         if receipt.has_event(buy_topic) {
                             metrics.buys_succeeded += 1;
-                            metrics
-                                .buy_latency_ms
-                                .push((stored.block.header.timestamp_ms.saturating_sub(submission.submitted_at)) as f64);
+                            metrics.buy_latency_ms.push(
+                                (stored.block.header.timestamp_ms.saturating_sub(submission.submitted_at))
+                                    as f64,
+                            );
                         }
                     }
                     SerethCall::Set => {
                         metrics.sets_included += 1;
                         if receipt.has_event(set_topic) {
                             metrics.sets_succeeded += 1;
-                            metrics
-                                .set_latency_ms
-                                .push((stored.block.header.timestamp_ms.saturating_sub(submission.submitted_at)) as f64);
+                            metrics.set_latency_ms.push(
+                                (stored.block.header.timestamp_ms.saturating_sub(submission.submitted_at))
+                                    as f64,
+                            );
                         }
                     }
                 }

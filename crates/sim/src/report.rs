@@ -14,7 +14,8 @@ pub fn table(points: &[SweepPoint]) -> String {
         "| {:<18} | {:>6} | {:>6} | {:>8} | {:>8} | {:>10} | {:>6} |",
         "scenario", "ratio", "sets", "eta_mean", "eta_ci90", "latency_ms", "seeds"
     );
-    let _ = writeln!(out, "|{:-<20}|{:-<8}|{:-<8}|{:-<10}|{:-<10}|{:-<12}|{:-<8}|", "", "", "", "", "", "", "");
+    let _ =
+        writeln!(out, "|{:-<20}|{:-<8}|{:-<8}|{:-<10}|{:-<10}|{:-<12}|{:-<8}|", "", "", "", "", "", "", "");
     for point in points {
         let _ = writeln!(
             out,
@@ -38,7 +39,13 @@ pub fn csv(points: &[SweepPoint]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{:.6},{:.6},{:.1},{}",
-            point.scenario, point.ratio, point.num_sets, point.eta.mean, point.eta.ci90, point.buy_latency_mean_ms, point.eta.n
+            point.scenario,
+            point.ratio,
+            point.num_sets,
+            point.eta.mean,
+            point.eta.ci90,
+            point.buy_latency_mean_ms,
+            point.eta.n
         );
     }
     out
@@ -129,10 +136,7 @@ mod tests {
 
     #[test]
     fn ascii_plot_places_series_markers() {
-        let series = vec![
-            ("low", vec![(1.0, 0.1), (2.0, 0.1)]),
-            ("high", vec![(1.0, 0.9), (2.0, 0.9)]),
-        ];
+        let series = vec![("low", vec![(1.0, 0.1), (2.0, 0.1)]), ("high", vec![(1.0, 0.9), (2.0, 0.9)])];
         let plot = ascii_plot(&series, 40, 10);
         assert!(plot.contains('A'));
         assert!(plot.contains('B'));

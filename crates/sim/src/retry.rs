@@ -235,10 +235,8 @@ mod tests {
 
     #[test]
     fn retry_stats_arithmetic() {
-        let stats = RetryStats {
-            attempts: vec![1, 3, 5, 2],
-            completed_at: vec![Some(10), Some(20), None, Some(30)],
-        };
+        let stats =
+            RetryStats { attempts: vec![1, 3, 5, 2], completed_at: vec![Some(10), Some(20), None, Some(30)] };
         assert!((stats.completion_rate() - 0.75).abs() < 1e-12);
         // Completed buyers used 1, 3, 2 attempts → mean 2.0 → abort 1.0.
         assert!((stats.mean_attempts_per_success() - 2.0).abs() < 1e-12);

@@ -169,11 +169,7 @@ pub struct RunOutput {
 /// Snapshots the canonical chain of `node` for [`RunOutput::chain`].
 fn snapshot_chain(node: &NodeHandle) -> Vec<(sereth_types::Block, Vec<sereth_types::Receipt>)> {
     node.with_inner(|inner| {
-        inner
-            .chain
-            .canonical_chain()
-            .map(|stored| (stored.block.clone(), stored.receipts.clone()))
-            .collect()
+        inner.chain.canonical_chain().map(|stored| (stored.block.clone(), stored.receipts.clone())).collect()
     })
 }
 
@@ -183,7 +179,8 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
     assert_eq!(config.node_kinds.len(), config.num_nodes, "one client kind per node");
     let contract = default_contract_address();
     let owner_key = SecretKey::from_label(1);
-    let buyer_keys: Vec<SecretKey> = (0..config.num_buyers).map(|i| SecretKey::from_label(1_000 + i as u64)).collect();
+    let buyer_keys: Vec<SecretKey> =
+        (0..config.num_buyers).map(|i| SecretKey::from_label(1_000 + i as u64)).collect();
 
     // Genesis: fund everyone, install the contract (native form for speed;
     // the bytecode form is equivalence-tested in sereth-node).
@@ -205,6 +202,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
@@ -233,13 +231,8 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
         buyer_nodes.push(nodes[node_index].clone());
         buyer_node_ids.push(node_index);
     }
-    let owner = Owner::with_value(
-        owner_key,
-        contract,
-        genesis_mark(),
-        H256::from_low_u64(config.initial_price),
-        1,
-    );
+    let owner =
+        Owner::with_value(owner_key, contract, genesis_mark(), H256::from_low_u64(config.initial_price), 1);
 
     let plan = market_plan(
         config.num_buys,
@@ -269,6 +262,7 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
@@ -284,13 +278,8 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
         .collect();
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x7090_7090);
     let node_topology = Topology::build(&config.topology, config.num_nodes, &mut topo_rng);
-    let owner = Owner::with_value(
-        owner_key,
-        contract,
-        genesis_mark(),
-        H256::from_low_u64(config.initial_price),
-        1,
-    );
+    let owner =
+        Owner::with_value(owner_key, contract, genesis_mark(), H256::from_low_u64(config.initial_price), 1);
     let plan = sequential_plan(pairs, config.tx_interval_ms, config.initial_price);
     run_plan(config, seed, nodes, node_topology, owner, vec![], vec![], vec![], plan)
 }
@@ -323,6 +312,7 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
@@ -348,13 +338,8 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
         buyer_nodes.push(nodes[node_index].clone());
         buyer_node_ids.push(node_index);
     }
-    let owner = Owner::with_value(
-        owner_key,
-        contract,
-        genesis_mark(),
-        H256::from_low_u64(config.initial_price),
-        1,
-    );
+    let owner =
+        Owner::with_value(owner_key, contract, genesis_mark(), H256::from_low_u64(config.initial_price), 1);
 
     let log = Arc::new(Mutex::new(crate::metrics::SubmissionLog::new()));
     let stats = Arc::new(Mutex::new(crate::retry::RetryStats::default()));
@@ -427,16 +412,8 @@ fn run_plan(
             peers: node_topology.neighbors_of(i).to_vec(),
         }));
     }
-    let driver = MarketDriver::new(
-        plan,
-        owner,
-        buyers,
-        buyer_nodes,
-        buyer_node_ids,
-        nodes[0].clone(),
-        0,
-        log.clone(),
-    );
+    let driver =
+        MarketDriver::new(plan, owner, buyers, buyer_nodes, buyer_node_ids, nodes[0].clone(), 0, log.clone());
     let first_tick = driver.first_tick_at();
     actors.push(Box::new(driver));
 

@@ -81,7 +81,10 @@ pub fn sequential_plan(pairs: u64, tx_interval_ms: SimTime, base_price: u64) -> 
             at: tx_interval_ms + 2 * k * tx_interval_ms,
             step: WorkloadStep::Set { value: base_price + k + 1 },
         });
-        steps.push(TimedStep { at: tx_interval_ms + (2 * k + 1) * tx_interval_ms, step: WorkloadStep::OwnerBuy });
+        steps.push(TimedStep {
+            at: tx_interval_ms + (2 * k + 1) * tx_interval_ms,
+            step: WorkloadStep::OwnerBuy,
+        });
     }
     steps
 }
@@ -192,11 +195,8 @@ mod tests {
     #[test]
     fn sets_are_evenly_spaced() {
         let plan = market_plan(100, 5, 1_000, 10, 50);
-        let set_times: Vec<SimTime> = plan
-            .iter()
-            .filter(|t| matches!(t.step, WorkloadStep::Set { .. }))
-            .map(|t| t.at)
-            .collect();
+        let set_times: Vec<SimTime> =
+            plan.iter().filter(|t| matches!(t.step, WorkloadStep::Set { .. })).map(|t| t.at).collect();
         assert_eq!(set_times, vec![11_000, 31_000, 51_000, 71_000, 91_000]);
     }
 

@@ -759,7 +759,10 @@ mod tests {
 
     #[test]
     fn display_and_parse_decimal() {
-        let value = U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639935").unwrap();
+        let value = U256::from_dec_str(
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        )
+        .unwrap();
         assert_eq!(value, U256::MAX);
         assert_eq!(
             value.to_string(),
@@ -783,7 +786,9 @@ mod tests {
         assert_eq!(U256::from_dec_str("12a"), Err(ParseU256Error::InvalidDigit('a')));
         // One more than U256::MAX.
         assert_eq!(
-            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            U256::from_dec_str(
+                "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+            ),
             Err(ParseU256Error::Overflow)
         );
     }
@@ -912,7 +917,7 @@ mod tests {
     }
 
     #[test]
-    fn sar_shifts_in_the_sign()  {
+    fn sar_shifts_in_the_sign() {
         assert_eq!(U256::from(8u64).sar(1), U256::from(4u64));
         assert_eq!(neg(8).sar(1), neg(4));
         assert_eq!(U256::MAX.sar(255), U256::MAX, "-1 sar anything is -1");

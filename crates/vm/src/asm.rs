@@ -146,7 +146,12 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                     let bytes = parse_hex_immediate(op, line_no)?;
                     Item::PushLiteral(bytes)
                 }
-                None => return Err(AsmError::BadImmediate { line: line_no, reason: "PUSH needs an operand".into() }),
+                None => {
+                    return Err(AsmError::BadImmediate {
+                        line: line_no,
+                        reason: "PUSH needs an operand".into(),
+                    })
+                }
             }
         } else if let Some(op) = Opcode::from_mnemonic(mnemonic) {
             if let Opcode::Push(n) = op {
@@ -197,7 +202,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 code.extend_from_slice(bytes);
             }
             Item::PushLabel(label) => {
-                let target = *labels.get(label).ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                let target =
+                    *labels.get(label).ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
                 code.push(Opcode::Push(2).to_byte());
                 code.extend_from_slice(&(target as u16).to_be_bytes());
             }

@@ -31,10 +31,8 @@ pub const CALL_DEPTH_LIMIT: u16 = 1024;
 
 /// Intrinsic gas of a transaction with the given calldata.
 pub fn intrinsic_gas(calldata: &[u8]) -> u64 {
-    let data: u64 = calldata
-        .iter()
-        .map(|&b| if b == 0 { TX_DATA_ZERO_GAS } else { TX_DATA_NONZERO_GAS })
-        .sum();
+    let data: u64 =
+        calldata.iter().map(|&b| if b == 0 { TX_DATA_ZERO_GAS } else { TX_DATA_NONZERO_GAS }).sum();
     TX_INTRINSIC_GAS + data
 }
 
@@ -45,9 +43,9 @@ pub fn static_cost(op: Opcode) -> u64 {
     match op {
         Stop | JumpDest => 1,
         ReturnDataSize => 2,
-        Add | Sub | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Not | Byte | Shl | Shr
-        | Sar | CallDataLoad | CallDataSize | Pop | Pc | MSize | Gas | Address | Caller
-        | CallValue | Timestamp | Number => 3,
+        Add | Sub | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Not | Byte | Shl | Shr | Sar
+        | CallDataLoad | CallDataSize | Pop | Pc | MSize | Gas | Address | Caller | CallValue | Timestamp
+        | Number => 3,
         Push(_) | Dup(_) | Swap(_) => 3,
         // ReturnDataCopy's per-word cost is applied in the interpreter.
         ReturnDataCopy => 3,
@@ -112,8 +110,7 @@ pub fn sstore_cost(was_zero: bool, new_is_zero: bool) -> u64 {
 /// Quadratic memory expansion cost for a memory of `words` 32-byte words
 /// (saturating; see [`sha3_word_cost`]).
 fn memory_cost(words: u64) -> u64 {
-    3u64.saturating_mul(words)
-        .saturating_add(words.saturating_mul(words) / 512)
+    3u64.saturating_mul(words).saturating_add(words.saturating_mul(words) / 512)
 }
 
 /// Tracks gas consumption for one call frame.

@@ -39,11 +39,7 @@ enum RunOutcome {
     Done(Bytes),
     /// The frame executed `CALL`/`STATICCALL` and is suspended awaiting
     /// the child's outcome.
-    SubCall {
-        request: SubCallRequest,
-        out_offset: usize,
-        out_len: usize,
-    },
+    SubCall { request: SubCallRequest, out_offset: usize, out_len: usize },
 }
 
 /// Bookkeeping for a suspended parent: where the child's output goes and
@@ -526,9 +522,7 @@ impl Frame {
                     let offset = self.pop_usize()?;
                     let len = self.pop_usize()?;
                     self.touch_memory(offset, len)?;
-                    return Ok(RunOutcome::Done(Bytes::copy_from_slice(
-                        &self.memory[offset..offset + len],
-                    )));
+                    return Ok(RunOutcome::Done(Bytes::copy_from_slice(&self.memory[offset..offset + len])));
                 }
                 Opcode::Revert => {
                     let offset = self.pop_usize()?;
@@ -625,19 +619,15 @@ mod tests {
     #[test]
     fn arithmetic_and_return() {
         // 3 + 4 = 7, returned as a word.
-        let outcome = run(
-            "PUSH1 0x04\nPUSH1 0x03\nADD\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
-            &[],
-        );
+        let outcome =
+            run("PUSH1 0x04\nPUSH1 0x03\nADD\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN", &[]);
         assert_eq!(returned_u64(&outcome), 7);
     }
 
     #[test]
     fn division_by_zero_yields_zero() {
-        let outcome = run(
-            "PUSH1 0x00\nPUSH1 0x09\nDIV\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
-            &[],
-        );
+        let outcome =
+            run("PUSH1 0x00\nPUSH1 0x09\nDIV\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN", &[]);
         assert_eq!(returned_u64(&outcome), 0);
     }
 
@@ -896,11 +886,8 @@ mod tests {
     #[test]
     fn selfbalance_and_balance_read_accounts() {
         let code = assemble(&returning("SELFBALANCE")).unwrap();
-        let env = CallEnv::test_env(
-            Address::from_low_u64(0xca11e4),
-            Address::from_low_u64(0xc0de),
-            Bytes::new(),
-        );
+        let env =
+            CallEnv::test_env(Address::from_low_u64(0xca11e4), Address::from_low_u64(0xc0de), Bytes::new());
         let mut storage = MemStorage::new();
         storage.set_balance(Address::from_low_u64(0xc0de), U256::from(777u64));
         let outcome = execute(&code, &env, &mut storage, GAS);
@@ -930,11 +917,7 @@ mod tests {
         let mut storage = MemStorage::new();
         let callee_code = assemble(callee_asm).expect("callee assembles");
         storage.set_code(Address::from_low_u64(0xbb), ContractCode::Bytecode(Bytes::from(callee_code)));
-        let env = CallEnv::test_env(
-            Address::from_low_u64(0xaa),
-            Address::from_low_u64(0xcc),
-            Bytes::new(),
-        );
+        let env = CallEnv::test_env(Address::from_low_u64(0xaa), Address::from_low_u64(0xcc), Bytes::new());
         (env, storage)
     }
 
@@ -1004,10 +987,7 @@ mod tests {
         // The callee's write was rolled back…
         assert_eq!(storage.storage_get(&Address::from_low_u64(0xbb), &H256::ZERO), H256::ZERO);
         // …while both parent writes survive.
-        assert_eq!(
-            storage.storage_get(&Address::from_low_u64(0xcc), &H256::ZERO),
-            H256::from_low_u64(5)
-        );
+        assert_eq!(storage.storage_get(&Address::from_low_u64(0xcc), &H256::ZERO), H256::from_low_u64(5));
         assert_eq!(
             storage.storage_get(&Address::from_low_u64(0xcc), &H256::from_low_u64(1)),
             H256::from_low_u64(6)
@@ -1017,9 +997,8 @@ mod tests {
     #[test]
     fn revert_payload_reaches_the_caller() {
         // Callee reverts with the word 0xdead as payload.
-        let (env, mut storage) = call_fixture(
-            "PUSH2 0xdead\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nREVERT",
-        );
+        let (env, mut storage) =
+            call_fixture("PUSH2 0xdead\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nREVERT");
         // Caller calls, then RETURNDATACOPYs the payload and returns it.
         let source = r#"
             PUSH1 0x00
@@ -1047,9 +1026,8 @@ mod tests {
     #[test]
     fn staticcall_denies_writes_in_the_callee() {
         let (env, mut storage) = call_fixture("PUSH1 0x01\nPUSH1 0x00\nSSTORE\nSTOP");
-        let source = returning(
-            "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nPUSH3 0xc350\nSTATICCALL",
-        );
+        let source =
+            returning("PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nPUSH3 0xc350\nSTATICCALL");
         let code = assemble(&source).unwrap();
         let outcome = execute(&code, &env, &mut storage, GAS);
         assert_eq!(returned_word(&outcome), U256::ZERO, "write inside STATICCALL fails the child");
@@ -1071,11 +1049,7 @@ mod tests {
     fn call_transfers_value_to_codeless_account() {
         let mut storage = MemStorage::new();
         storage.set_balance(Address::from_low_u64(0xcc), U256::from(500u64));
-        let env = CallEnv::test_env(
-            Address::from_low_u64(0xaa),
-            Address::from_low_u64(0xcc),
-            Bytes::new(),
-        );
+        let env = CallEnv::test_env(Address::from_low_u64(0xaa), Address::from_low_u64(0xcc), Bytes::new());
         let source = returning(
             "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH2 0x012c\nPUSH1 0xee\nPUSH3 0xc350\nCALL",
         );
@@ -1089,11 +1063,7 @@ mod tests {
     #[test]
     fn call_with_insufficient_balance_fails_flat() {
         let mut storage = MemStorage::new();
-        let env = CallEnv::test_env(
-            Address::from_low_u64(0xaa),
-            Address::from_low_u64(0xcc),
-            Bytes::new(),
-        );
+        let env = CallEnv::test_env(Address::from_low_u64(0xaa), Address::from_low_u64(0xcc), Bytes::new());
         let source = returning(
             "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH2 0x012c\nPUSH1 0xee\nPUSH3 0xc350\nCALL",
         );
@@ -1116,9 +1086,8 @@ mod tests {
 
     #[test]
     fn logs_of_a_reverting_callee_are_dropped() {
-        let (env, mut storage) = call_fixture(
-            "PUSH1 0x07\nPUSH1 0x00\nPUSH1 0x00\nLOG1\nPUSH1 0x00\nPUSH1 0x00\nREVERT",
-        );
+        let (env, mut storage) =
+            call_fixture("PUSH1 0x07\nPUSH1 0x00\nPUSH1 0x00\nLOG1\nPUSH1 0x00\nPUSH1 0x00\nREVERT");
         let source = "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nPUSH3 0xc350\nCALL\nPOP\nSTOP";
         let code = assemble(source).unwrap();
         let outcome = execute(&code, &env, &mut storage, GAS);
@@ -1132,7 +1101,8 @@ mod tests {
         // returns. Recursion must stop at the depth limit, not the stack.
         let mut storage = MemStorage::new();
         let this = Address::from_low_u64(0xbb);
-        let source = "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nGAS\nCALL\nPOP\nSTOP";
+        let source =
+            "PUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nGAS\nCALL\nPOP\nSTOP";
         let code = assemble(source).unwrap();
         storage.set_code(this, ContractCode::Bytecode(Bytes::from(code.clone())));
         let mut env = CallEnv::test_env(Address::from_low_u64(0xaa), this, Bytes::new());
@@ -1169,11 +1139,7 @@ mod tests {
 
         let mut storage = MemStorage::new();
         storage.set_code(Address::from_low_u64(0xbb), ContractCode::Native(std::sync::Arc::new(Const99)));
-        let env = CallEnv::test_env(
-            Address::from_low_u64(0xaa),
-            Address::from_low_u64(0xcc),
-            Bytes::new(),
-        );
+        let env = CallEnv::test_env(Address::from_low_u64(0xaa), Address::from_low_u64(0xcc), Bytes::new());
         let source = r#"
             PUSH1 0x20
             PUSH1 0x00

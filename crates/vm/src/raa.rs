@@ -94,12 +94,8 @@ impl RaaRegistry {
             return env;
         }
         let provider = self.provider.as_ref().expect("checked by is_enabled");
-        let request = RaaRequest {
-            contract: env.callee,
-            selector,
-            calldata: &env.calldata,
-            caller: env.caller,
-        };
+        let request =
+            RaaRequest { contract: env.callee, selector, calldata: &env.calldata, caller: env.caller };
         match provider.augment(&request) {
             Some(new_calldata) if new_calldata.len() >= 4 && new_calldata[..4] == selector => {
                 let mut env = env;
@@ -148,12 +144,9 @@ pub fn execute_call(
             let mut gas = GasMeter::new(gas_limit);
             let mut logs = Vec::new();
             match gas.charge(NATIVE_CALL_GAS).and_then(|()| native.call(&env, storage, &mut gas, &mut logs)) {
-                Ok(return_data) => CallOutcome {
-                    status: TxStatus::Success,
-                    return_data,
-                    gas_used: gas.used(),
-                    logs,
-                },
+                Ok(return_data) => {
+                    CallOutcome { status: TxStatus::Success, return_data, gas_used: gas.used(), logs }
+                }
                 Err(error) => CallOutcome::from_error(&error, gas.used()),
             }
         }

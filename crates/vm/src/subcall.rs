@@ -174,8 +174,7 @@ mod tests {
     use crate::exec::MemStorage;
 
     fn env_at_depth(depth: u16) -> CallEnv {
-        let mut env =
-            CallEnv::test_env(Address::from_low_u64(1), Address::from_low_u64(2), Bytes::new());
+        let mut env = CallEnv::test_env(Address::from_low_u64(1), Address::from_low_u64(2), Bytes::new());
         env.depth = depth;
         env
     }

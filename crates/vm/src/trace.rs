@@ -48,10 +48,7 @@ impl Trace {
         let mut out = String::new();
         for step in &self.steps {
             let name = step.op.map(|op| op.to_string()).unwrap_or_else(|| "INVALID".into());
-            let top = step
-                .stack_top
-                .map(|word| format!("0x{word:x}"))
-                .unwrap_or_else(|| "-".into());
+            let top = step.stack_top.map(|word| format!("0x{word:x}")).unwrap_or_else(|| "-".into());
             let _ = writeln!(
                 out,
                 "{pc:04x}: {name:<14} gas={gas:<8} depth={depth:<3} top={top}",
@@ -110,7 +107,13 @@ pub fn trace(
 ///
 /// Panics if the shadow interpreter and the real interpreter disagree on
 /// status or gas — that would be a tracer bug, and tests rely on it.
-pub fn trace_verified(code: &[u8], env: &CallEnv, storage_a: &mut dyn Storage, storage_b: &mut dyn Storage, gas_limit: u64) -> (Trace, CallOutcome) {
+pub fn trace_verified(
+    code: &[u8],
+    env: &CallEnv,
+    storage_a: &mut dyn Storage,
+    storage_b: &mut dyn Storage,
+    gas_limit: u64,
+) -> (Trace, CallOutcome) {
     let traced = trace(code, env, storage_a, gas_limit, usize::MAX >> 1);
     let real = interpreter::execute(code, env, storage_b, gas_limit);
     assert_eq!(traced.outcome.status, real.status, "tracer/interpreter status divergence");
@@ -585,10 +588,7 @@ mod tests {
         // Shadow storage effects match the real run's.
         use crate::exec::Storage as _;
         let slot = sereth_crypto::hash::H256::from_low_u64(1);
-        assert_eq!(
-            a.storage_get(&env.callee, &slot),
-            b.storage_get(&env.callee, &slot)
-        );
+        assert_eq!(a.storage_get(&env.callee, &slot), b.storage_get(&env.callee, &slot));
     }
 
     #[test]

@@ -33,11 +33,7 @@ fn main() {
     config.drain_ms = 6 * 15_000;
     println!("running `{}` (40 buys, 10 sets, seed 42)…", config.name);
     let output = run_scenario(&config, 42);
-    println!(
-        "committed {} blocks; eta = {:.2}\n",
-        output.metrics.blocks,
-        output.metrics.eta_buys()
-    );
+    println!("committed {} blocks; eta = {:.2}\n", output.metrics.blocks, output.metrics.eta_buys());
 
     // --- 2. Extract the market history from the canonical chain. ---------
     let spec = MarketSpec {

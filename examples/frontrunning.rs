@@ -48,6 +48,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,
             miner: Some(sereth::node::node::MinerSetup {

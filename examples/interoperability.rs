@@ -12,18 +12,14 @@ use sereth::sim::scenario::{run_scenario, ScenarioConfig};
 
 fn main() {
     println!("== one network, mixed clients: 4 nodes, 100 buys, 20 reprices ==\n");
-    println!(
-        "| {:>12} | {:>10} | {:>10} | {:>8} |",
-        "sereth_nodes", "buys_ok", "buys_sent", "eta"
-    );
+    println!("| {:>12} | {:>10} | {:>10} | {:>8} |", "sereth_nodes", "buys_ok", "buys_sent", "eta");
     println!("|{:-<14}|{:-<12}|{:-<12}|{:-<10}|", "", "", "", "");
 
     let mut etas = Vec::new();
     for sereth_nodes in 0..=4usize {
         let mut config = ScenarioConfig::sereth_client(100, 20);
-        config.node_kinds = (0..4)
-            .map(|i| if i < sereth_nodes { ClientKind::Sereth } else { ClientKind::Geth })
-            .collect();
+        config.node_kinds =
+            (0..4).map(|i| if i < sereth_nodes { ClientKind::Sereth } else { ClientKind::Geth }).collect();
         config.miner_policy = sereth::node::miner::MinerPolicy::Standard;
         config.name = format!("mixed_{sereth_nodes}_of_4");
         let out = run_scenario(&config, 2026);

@@ -88,6 +88,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract: grain(),
             miner: Some(MinerSetup {

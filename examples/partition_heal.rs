@@ -44,6 +44,7 @@ fn main() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
@@ -102,8 +103,7 @@ fn main() {
     println!("after the heal  : per-node heights {heights:?}");
     assert!(heads.windows(2).all(|w| w[0] == w[1]), "all nodes converged onto one head");
 
-    let (stored, canonical) =
-        nodes[3].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
+    let (stored, canonical) = nodes[3].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
     println!(
         "node 3 stores {stored} blocks of which {canonical} are canonical — the abandoned \
          branch ({} blocks) is preserved as a side chain",

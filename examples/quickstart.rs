@@ -39,6 +39,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,
             miner: Some(MinerSetup {

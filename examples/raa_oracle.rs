@@ -88,7 +88,10 @@ fn main() {
     let env = CallEnv::test_env(caller, contract_addr, calldata.clone());
     let outcome = execute_call(&code, env, &mut storage, 1_000_000, &registry);
     let word = abi::decode_word(&outcome.return_data).expect("one word");
-    println!("the same call as a transaction returns {} — signed calldata is never rewritten", word.low_u64());
+    println!(
+        "the same call as a transaction returns {} — signed calldata is never rewritten",
+        word.low_u64()
+    );
     assert_eq!(word, H256::ZERO);
 
     println!("raa_oracle OK");

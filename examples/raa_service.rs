@@ -1,0 +1,147 @@
+//! The incremental RAA view service under a many-client read storm.
+//!
+//! Part 1 runs the `many_markets` scenario twice — once on the
+//! paper-literal recompute-per-query backend, once on the incremental
+//! `sereth-raa` service — and compares read latency and the service's
+//! cache counters.
+//!
+//! Part 2 drives the service directly from many concurrent reader
+//! threads while the main thread keeps inserting `set`s and committing
+//! blocks, showing that views stay exact (equal to batch Algorithm 1)
+//! under concurrency.
+//!
+//! ```text
+//! cargo run --release --example raa_service
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sereth::chain::txpool::{PoolConfig, TxPool};
+use sereth::crypto::{Address, SecretKey, H256};
+use sereth::hms::hms::{hash_mark_set, HmsConfig};
+use sereth::hms::mark::genesis_mark;
+use sereth::node::contract::set_selector;
+use sereth::node::miner::pending_view;
+use sereth::node::node::RaaBackend;
+use sereth::raa::{RaaConfig, RaaService};
+use sereth::sim::many_markets::{run_many_markets, ManyMarketsConfig};
+use sereth::types::transaction::{Transaction, TxPayload};
+use sereth::types::U256;
+
+fn main() {
+    scenario_comparison();
+    concurrent_readers();
+}
+
+/// Part 1: the scenario-level A/B of the two backends.
+fn scenario_comparison() {
+    println!("== many_markets: recompute-per-query vs incremental service ==");
+    let base = ManyMarketsConfig {
+        markets: 24,
+        readers: 200,
+        rounds: 5,
+        sets_per_round: 4,
+        reads_per_round: 2,
+        ..ManyMarketsConfig::default()
+    };
+    for backend in [RaaBackend::Recompute, RaaBackend::default()] {
+        let config = ManyMarketsConfig { backend, ..base.clone() };
+        let report = run_many_markets(&config, 7);
+        println!(
+            "{:<24} {:>7} reads  mean {:>9.2} µs/read  {} uncommitted, {} verified, pool {}",
+            report.name,
+            report.reads,
+            report.mean_read_ns / 1e3,
+            report.uncommitted_views,
+            report.verified_reads,
+            report.pool_len,
+        );
+        if let Some(raa) = report.raa {
+            println!("  service counters: {raa}");
+        }
+    }
+}
+
+/// Part 2: concurrent readers over one shared service.
+fn concurrent_readers() {
+    println!();
+    println!("== concurrent readers vs a writing pool ==");
+    let markets: Vec<Address> = (0..8).map(|m| Address::from_low_u64(0xaaaa + m)).collect();
+    let committed = (genesis_mark(), H256::from_low_u64(50));
+    let service = Arc::new(RaaService::new(RaaConfig::new(set_selector())));
+    let mut fresh_pool = TxPool::with_config(PoolConfig::default());
+    fresh_pool.subscribe();
+    let pool = Arc::new(Mutex::new(fresh_pool));
+
+    // Reader threads: each hammers a fixed quota of views while the
+    // writer below streams sets into the pool concurrently.
+    const READS_PER_READER: u64 = 25_000;
+    let mut handles = Vec::new();
+    for reader in 0..8u64 {
+        let service = service.clone();
+        let markets = markets.clone();
+        handles.push(std::thread::spawn(move || {
+            for read in 0..READS_PER_READER {
+                let market = markets[(reader + read) as usize % markets.len()];
+                std::hint::black_box(service.view(&market, committed));
+            }
+            READS_PER_READER
+        }));
+    }
+
+    // Writer: chains sets across markets, committing periodically.
+    let owner_keys: Vec<SecretKey> =
+        (0..markets.len()).map(|m| SecretKey::from_label(900 + m as u64)).collect();
+    let mut prev: Vec<H256> = vec![genesis_mark(); markets.len()];
+    for step in 0..400u64 {
+        let market = (step as usize) % markets.len();
+        let value = H256::from_low_u64(1_000 + step);
+        let fpv = sereth::hms::fpv::Fpv::new(
+            if step / markets.len() as u64 == 0 {
+                sereth::hms::fpv::Flag::Head
+            } else {
+                sereth::hms::fpv::Flag::Success
+            },
+            prev[market],
+            value,
+        );
+        prev[market] = sereth::hms::mark::compute_mark(&prev[market], &value);
+        let tx = Transaction::sign(
+            TxPayload {
+                nonce: step / markets.len() as u64,
+                gas_price: 1,
+                gas_limit: 100_000,
+                to: Some(markets[market]),
+                value: U256::ZERO,
+                input: fpv.to_calldata(set_selector()),
+            },
+            &owner_keys[market],
+        );
+        let mut guard = pool.lock();
+        guard.insert(tx, step).expect("pool accepts the chain");
+        service.sync(&guard);
+        drop(guard);
+        if step % 8 == 0 {
+            // Pace the writer so reads genuinely interleave with the
+            // event stream instead of racing past it.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    let reads: u64 = handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
+
+    // Exactness after the storm: every market's view equals batch HMS.
+    let guard = pool.lock();
+    let snapshot = pending_view(&guard);
+    for market in &markets {
+        let expected = hash_mark_set(&snapshot, market, set_selector(), committed, &HmsConfig::default());
+        let view = service.view(market, committed);
+        assert_eq!(view, expected.view, "concurrent view diverged for {market:?}");
+    }
+    println!(
+        "{} concurrent reads while 400 sets streamed in; all {} market views exact",
+        reads,
+        markets.len()
+    );
+    println!("  service counters: {}", service.metrics());
+}

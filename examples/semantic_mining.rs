@@ -41,6 +41,7 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,
             miner: Some(MinerSetup {
@@ -106,10 +107,8 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
 fn main() {
     println!("Six buyers chase three price changes; all nine transactions meet in one block.\n");
     let (blind_ok, total) = run_with_policy(MinerPolicy::Standard, "standard (blind) miner");
-    let (semantic_ok, _) = run_with_policy(
-        MinerPolicy::Semantic(HmsConfig::default()),
-        "semantic (HMS-aware) miner",
-    );
+    let (semantic_ok, _) =
+        run_with_policy(MinerPolicy::Semantic(HmsConfig::default()), "semantic (HMS-aware) miner");
     println!("standard miner : {blind_ok}/{total} buys succeed");
     println!("semantic miner : {semantic_ok}/{total} buys succeed");
     assert!(semantic_ok >= blind_ok, "semantic mining must not do worse");

@@ -18,6 +18,7 @@
 //! | [`vm`] | `sereth-vm` | EVM-subset interpreter, assembler, gas, **RAA hook** |
 //! | [`chain`] | `sereth-chain` | state, executor, TxPool, validation, store |
 //! | [`hms`] | `sereth-core` | **the paper's contribution**: Algorithms 1–3 |
+//! | [`raa`] | `sereth-raa` | incremental, concurrent RAA view service over pool events |
 //! | [`consistency`] | `sereth-consistency` | sequential-consistency & SSS history checkers |
 //! | [`net`] | `sereth-net` | deterministic discrete-event network |
 //! | [`node`] | `sereth-node` | Sereth contract, Geth/Sereth clients, miners |
@@ -48,6 +49,7 @@ pub use sereth_core as hms;
 pub use sereth_crypto as crypto;
 pub use sereth_net as net;
 pub use sereth_node as node;
+pub use sereth_raa as raa;
 pub use sereth_sim as sim;
 pub use sereth_types as types;
 pub use sereth_vm as vm;

@@ -12,12 +12,12 @@
 
 use sereth::consistency::record::{History, MarketSpec};
 use sereth::consistency::{seqcon, sss};
+use sereth::crypto::H256;
 use sereth::hms::mark::genesis_mark;
 use sereth::node::contract::{
     buy_ok_topic, buy_selector, default_contract_address, set_ok_topic, set_selector,
 };
 use sereth::sim::scenario::{run_scenario, RunOutput, ScenarioConfig};
-use sereth::crypto::H256;
 
 fn spec(initial_price: u64) -> MarketSpec {
     MarketSpec {
@@ -54,13 +54,7 @@ fn audit(output: &RunOutput, initial_price: u64) {
     );
 
     let report = sss::check(&spec, &history);
-    assert!(
-        report.holds(),
-        "{} seed {}: SSS broken: {:?}",
-        output.scenario,
-        output.seed,
-        report.violations
-    );
+    assert!(report.holds(), "{} seed {}: SSS broken: {:?}", output.scenario, output.seed, report.violations);
 
     // Cross-check the audit against the run's own metrics: the checker's
     // tally of effective operations must equal what the metrics counted.

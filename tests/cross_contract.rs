@@ -16,8 +16,8 @@ use sereth::hms::fpv::{Flag, Fpv};
 use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::{compute_mark, genesis_mark};
 use sereth::node::contract::{
-    default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, set_selector,
-    ContractForm, SLOT_N_SET, SLOT_VALUE,
+    default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, set_selector, ContractForm,
+    SLOT_N_SET, SLOT_VALUE,
 };
 use sereth::node::miner::MinerPolicy;
 use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
@@ -70,6 +70,7 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract: market,
             miner: Some(MinerSetup {

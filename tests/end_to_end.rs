@@ -27,7 +27,10 @@ fn scenario_ordering_holds_in_aggregate() {
         "figure 2 ordering: semantic {semantic:.2} >= sereth {sereth:.2} > geth {geth:.2}"
     );
     // The paper's headline: a large multiple between baseline and HMS.
-    assert!(sereth >= 2.0 * geth, "HMS at least doubles efficiency in this regime (got {geth:.2} -> {sereth:.2})");
+    assert!(
+        sereth >= 2.0 * geth,
+        "HMS at least doubles efficiency in this regime (got {geth:.2} -> {sereth:.2})"
+    );
 }
 
 #[test]

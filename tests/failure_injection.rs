@@ -122,12 +122,12 @@ fn audit_holds(output: &RunOutput) {
 
 #[test]
 fn audits_hold_under_message_loss() {
-    for kind in [
-        ScenarioConfig::sereth_client as fn(u64, u64) -> ScenarioConfig,
-        ScenarioConfig::semantic_mining,
-    ] {
+    for kind in
+        [ScenarioConfig::sereth_client as fn(u64, u64) -> ScenarioConfig, ScenarioConfig::semantic_mining]
+    {
         let mut config = small(kind(24, 8));
-        config.faults = FaultModel { drop_probability: 0.15, duplicate_probability: 0.0, ..FaultModel::none() };
+        config.faults =
+            FaultModel { drop_probability: 0.15, duplicate_probability: 0.0, ..FaultModel::none() };
         config.name += "_loss_audit";
         audit_holds(&run_scenario(&config, 12));
     }

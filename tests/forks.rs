@@ -35,6 +35,7 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
@@ -54,10 +55,8 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
         .iter()
         .enumerate()
         .map(|(i, node)| {
-            Box::new(NodeActor {
-                handle: node.clone(),
-                peers: (0..n).filter(|&p| p != i).collect(),
-            }) as Box<dyn Actor<Msg>>
+            Box::new(NodeActor { handle: node.clone(), peers: (0..n).filter(|&p| p != i).collect() })
+                as Box<dyn Actor<Msg>>
         })
         .collect();
     let net = NetworkConfig {
@@ -88,8 +87,7 @@ fn competing_miners_fork_and_converge() {
 
     // Forks genuinely occurred: some stored blocks are off-canonical
     // (both miners tick simultaneously at t = 240 000 and 480 000).
-    let (stored, canonical) =
-        nodes[2].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
+    let (stored, canonical) = nodes[2].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
     assert!(stored > canonical, "side-chain blocks exist (stored {stored} > canonical {canonical})");
 
     // Longest-chain mining makes the two miners extend each other; both
@@ -160,8 +158,7 @@ fn reorg_rewinds_the_committed_amv() {
             gas_limit: 200_000,
             to: Some(default_contract_address()),
             value: U256::ZERO,
-            input: Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60))
-                .to_calldata(set_selector()),
+            input: Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector()),
         },
         &owner,
     );
@@ -214,6 +211,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
@@ -255,8 +253,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
 
     // The split genuinely produced side-chain blocks: the slower miner
     // sealed ~10 blocks during the cut that lost to the faster branch.
-    let (stored, canonical) =
-        nodes[3].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
+    let (stored, canonical) = nodes[3].with_inner(|i| (i.chain.len(), i.chain.canonical_chain().count()));
     assert!(
         stored >= canonical + 5,
         "the abandoned branch is still stored (stored {stored}, canonical {canonical})"
@@ -264,10 +261,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
 
     // The canonical chain is dominated by the faster miner.
     let fast = nodes[2].with_inner(|i| {
-        i.chain
-            .canonical_chain()
-            .filter(|b| b.block.header.miner == Address::from_low_u64(0xc000))
-            .count()
+        i.chain.canonical_chain().filter(|b| b.block.header.miner == Address::from_low_u64(0xc000)).count()
     });
     assert!(fast * 2 > canonical, "the faster miner holds the majority ({fast}/{canonical})");
 }
@@ -293,8 +287,5 @@ fn orphan_buffer_heals_deep_divergence_delivered_in_reverse() {
     // Block 1 connects to genesis and unblocks every buffered orphan.
     assert_eq!(peer.receive_block(blocks[0].clone()), BlockReceipt::Imported);
     assert_eq!(peer.head_number(), 5, "the orphan walk connected all five blocks");
-    assert_eq!(
-        peer.with_inner(|i| i.chain.head_hash()),
-        miner.with_inner(|i| i.chain.head_hash())
-    );
+    assert_eq!(peer.with_inner(|i| i.chain.head_hash()), miner.with_inner(|i| i.chain.head_hash()));
 }

@@ -42,6 +42,7 @@ fn fixture(policy: MinerPolicy) -> Fixture {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,
             miner: Some(MinerSetup {

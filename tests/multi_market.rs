@@ -50,6 +50,7 @@ fn setup() -> (NodeHandle, Owner, Owner) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract: market_a(),
             miner: Some(MinerSetup {
@@ -151,12 +152,7 @@ fn buys_commit_independently_per_market() {
     node.mine(15_000).expect("sealed");
 
     let buys_ok: Vec<Address> = node.with_inner(|inner| {
-        inner
-            .chain
-            .logs_with_topic(&buy_ok_topic())
-            .into_iter()
-            .map(|(_, log)| log.address)
-            .collect()
+        inner.chain.logs_with_topic(&buy_ok_topic()).into_iter().map(|(_, log)| log.address).collect()
     });
     assert!(buys_ok.contains(&market_a()), "market A's buy landed");
     assert!(buys_ok.contains(&market_b()), "market B's buy landed");

@@ -30,6 +30,7 @@ fn make_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract,
             miner: None,
@@ -47,7 +48,8 @@ fn signed_set(owner: &SecretKey, value: u64) -> Transaction {
             gas_limit: 200_000,
             to: Some(default_contract_address()),
             value: U256::ZERO,
-            input: Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(value)).to_calldata(set_selector()),
+            input: Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(value))
+                .to_calldata(set_selector()),
         },
         owner,
     )
@@ -71,8 +73,8 @@ fn tampered_transaction_blocks_are_rejected_by_honest_validators() {
     // controls its own builder — "the modified transactions would still
     // be mined"). We build the block structure by hand because the honest
     // builder refuses invalid transactions.
-    let (parent, parent_state) =
-        honest.with_inner(|inner| (inner.chain.head_block().header.clone(), inner.chain.head_state().clone()));
+    let (parent, parent_state) = honest
+        .with_inner(|inner| (inner.chain.head_block().header.clone(), inner.chain.head_state().clone()));
     let honest_block = build_block(
         &parent,
         &parent_state,
@@ -101,8 +103,8 @@ fn body_swaps_without_root_update_are_rejected_too() {
     let owner = SecretKey::from_label(1);
     let honest = make_node(&owner);
     let original = signed_set(&owner, 60);
-    let (parent, parent_state) =
-        honest.with_inner(|inner| (inner.chain.head_block().header.clone(), inner.chain.head_state().clone()));
+    let (parent, parent_state) = honest
+        .with_inner(|inner| (inner.chain.head_block().header.clone(), inner.chain.head_state().clone()));
     let built = build_block(
         &parent,
         &parent_state,
@@ -137,8 +139,7 @@ fn raa_never_rewrites_transaction_calldata() {
     registry.enable(contract, set_selector());
     registry.set_provider(Arc::new(Evil));
 
-    let calldata =
-        Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector());
+    let calldata = Fpv::new(Flag::Head, genesis_mark(), H256::from_low_u64(60)).to_calldata(set_selector());
     let mut env = sereth::vm::exec::CallEnv::test_env(Address::from_low_u64(1), contract, calldata.clone());
     env.is_static = false; // a transaction
     let env = registry.apply(env);
