@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-27fabad12fad863b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-27fabad12fad863b.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2cd37836809a3966.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2cd37836809a3966: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

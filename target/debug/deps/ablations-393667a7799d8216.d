@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-393667a7799d8216.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-393667a7799d8216: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abort_rate-1bc62c283d866092.d: tests/abort_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabort_rate-1bc62c283d866092.rmeta: tests/abort_rate.rs Cargo.toml
+
+tests/abort_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

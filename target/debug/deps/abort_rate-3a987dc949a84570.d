@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abort_rate-3a987dc949a84570.d: crates/bench/src/bin/abort_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabort_rate-3a987dc949a84570.rmeta: crates/bench/src/bin/abort_rate.rs Cargo.toml
+
+crates/bench/src/bin/abort_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

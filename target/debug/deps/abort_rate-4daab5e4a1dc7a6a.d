@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abort_rate-4daab5e4a1dc7a6a.d: crates/bench/src/bin/abort_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabort_rate-4daab5e4a1dc7a6a.rmeta: crates/bench/src/bin/abort_rate.rs Cargo.toml
+
+crates/bench/src/bin/abort_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abort_rate-726e187627c8d90d.d: crates/bench/src/bin/abort_rate.rs
+
+/root/repo/target/debug/deps/abort_rate-726e187627c8d90d: crates/bench/src/bin/abort_rate.rs
+
+crates/bench/src/bin/abort_rate.rs:

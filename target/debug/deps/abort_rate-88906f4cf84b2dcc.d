@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abort_rate-88906f4cf84b2dcc.d: crates/bench/src/bin/abort_rate.rs
+
+/root/repo/target/debug/deps/abort_rate-88906f4cf84b2dcc: crates/bench/src/bin/abort_rate.rs
+
+crates/bench/src/bin/abort_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abort_rate-a2d05c2b69230954.d: crates/bench/src/bin/abort_rate.rs
+
+/root/repo/target/debug/deps/libabort_rate-a2d05c2b69230954.rmeta: crates/bench/src/bin/abort_rate.rs
+
+crates/bench/src/bin/abort_rate.rs:

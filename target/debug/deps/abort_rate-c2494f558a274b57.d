@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abort_rate-c2494f558a274b57.d: tests/abort_rate.rs
+
+/root/repo/target/debug/deps/abort_rate-c2494f558a274b57: tests/abort_rate.rs
+
+tests/abort_rate.rs:

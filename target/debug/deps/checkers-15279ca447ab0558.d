@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkers-15279ca447ab0558.d: crates/bench/benches/checkers.rs
+
+/root/repo/target/debug/deps/checkers-15279ca447ab0558: crates/bench/benches/checkers.rs
+
+crates/bench/benches/checkers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-23f62713f0af142b.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-23f62713f0af142b: tests/consistency.rs
+
+tests/consistency.rs:

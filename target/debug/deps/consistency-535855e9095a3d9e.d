@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-535855e9095a3d9e.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-535855e9095a3d9e.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_contract-2efebd62460579be.d: tests/cross_contract.rs
+
+/root/repo/target/debug/deps/cross_contract-2efebd62460579be: tests/cross_contract.rs
+
+tests/cross_contract.rs:

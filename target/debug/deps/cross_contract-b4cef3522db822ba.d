@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_contract-b4cef3522db822ba.d: tests/cross_contract.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_contract-b4cef3522db822ba.rmeta: tests/cross_contract.rs Cargo.toml
+
+tests/cross_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

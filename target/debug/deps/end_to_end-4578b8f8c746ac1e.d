@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4578b8f8c746ac1e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4578b8f8c746ac1e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-8e0e30f6b65538b0.d: crates/node/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-8e0e30f6b65538b0.rmeta: crates/node/tests/equivalence.rs Cargo.toml
+
+crates/node/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

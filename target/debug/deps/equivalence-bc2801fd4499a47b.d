@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-bc2801fd4499a47b.d: crates/node/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-bc2801fd4499a47b: crates/node/tests/equivalence.rs
+
+crates/node/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-c8ab83c41c6a5da9.d: crates/raa/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-c8ab83c41c6a5da9: crates/raa/tests/equivalence.rs
+
+crates/raa/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-ee4eafc37d3e51ca.d: crates/raa/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-ee4eafc37d3e51ca.rmeta: crates/raa/tests/equivalence.rs Cargo.toml
+
+crates/raa/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extraction-0197cbb0e17a6b0a.d: crates/consistency/tests/extraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextraction-0197cbb0e17a6b0a.rmeta: crates/consistency/tests/extraction.rs Cargo.toml
+
+crates/consistency/tests/extraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

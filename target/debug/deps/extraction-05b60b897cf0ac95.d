@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extraction-05b60b897cf0ac95.d: crates/consistency/tests/extraction.rs
+
+/root/repo/target/debug/deps/extraction-05b60b897cf0ac95: crates/consistency/tests/extraction.rs
+
+crates/consistency/tests/extraction.rs:

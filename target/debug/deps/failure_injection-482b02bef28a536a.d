@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-482b02bef28a536a.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-482b02bef28a536a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-60c7152b36cd0a8e.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-60c7152b36cd0a8e: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-d12de1b00cd7c580.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-d12de1b00cd7c580: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-ee52f1bec4840941.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-ee52f1bec4840941.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

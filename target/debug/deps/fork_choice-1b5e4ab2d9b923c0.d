@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fork_choice-1b5e4ab2d9b923c0.d: crates/chain/tests/fork_choice.rs
+
+/root/repo/target/debug/deps/fork_choice-1b5e4ab2d9b923c0: crates/chain/tests/fork_choice.rs
+
+crates/chain/tests/fork_choice.rs:

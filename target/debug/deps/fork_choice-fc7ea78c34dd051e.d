@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fork_choice-fc7ea78c34dd051e.d: crates/chain/tests/fork_choice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfork_choice-fc7ea78c34dd051e.rmeta: crates/chain/tests/fork_choice.rs Cargo.toml
+
+crates/chain/tests/fork_choice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forks-14819e55e28e4965.d: tests/forks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforks-14819e55e28e4965.rmeta: tests/forks.rs Cargo.toml
+
+tests/forks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forks-47aa4f3f28bfb471.d: tests/forks.rs
+
+/root/repo/target/debug/deps/forks-47aa4f3f28bfb471: tests/forks.rs
+
+tests/forks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hms-99da97ccdb5cce58.d: crates/bench/benches/hms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhms-99da97ccdb5cce58.rmeta: crates/bench/benches/hms.rs Cargo.toml
+
+crates/bench/benches/hms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hms-f63d048492b0d9e8.d: crates/bench/benches/hms.rs
+
+/root/repo/target/debug/deps/hms-f63d048492b0d9e8: crates/bench/benches/hms.rs
+
+crates/bench/benches/hms.rs:

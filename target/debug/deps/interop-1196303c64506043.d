@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interop-1196303c64506043.d: tests/interop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterop-1196303c64506043.rmeta: tests/interop.rs Cargo.toml
+
+tests/interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interop-e965337b2160e7a5.d: tests/interop.rs
+
+/root/repo/target/debug/deps/interop-e965337b2160e7a5: tests/interop.rs
+
+tests/interop.rs:

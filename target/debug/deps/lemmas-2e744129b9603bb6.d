@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-2e744129b9603bb6.d: crates/core/tests/lemmas.rs
+
+/root/repo/target/debug/deps/lemmas-2e744129b9603bb6: crates/core/tests/lemmas.rs
+
+crates/core/tests/lemmas.rs:

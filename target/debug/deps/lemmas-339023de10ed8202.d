@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemmas-339023de10ed8202.d: crates/core/tests/lemmas.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemmas-339023de10ed8202.rmeta: crates/core/tests/lemmas.rs Cargo.toml
+
+crates/core/tests/lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lost_update-a8f4b2c21b24e59a.d: tests/lost_update.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblost_update-a8f4b2c21b24e59a.rmeta: tests/lost_update.rs Cargo.toml
+
+tests/lost_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lost_update-e3205808fe450d68.d: tests/lost_update.rs
+
+/root/repo/target/debug/deps/lost_update-e3205808fe450d68: tests/lost_update.rs
+
+tests/lost_update.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modular_ops-1b52096c1840de23.d: crates/vm/tests/modular_ops.rs
+
+/root/repo/target/debug/deps/modular_ops-1b52096c1840de23: crates/vm/tests/modular_ops.rs
+
+crates/vm/tests/modular_ops.rs:

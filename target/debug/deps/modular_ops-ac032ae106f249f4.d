@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modular_ops-ac032ae106f249f4.d: crates/vm/tests/modular_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodular_ops-ac032ae106f249f4.rmeta: crates/vm/tests/modular_ops.rs Cargo.toml
+
+crates/vm/tests/modular_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

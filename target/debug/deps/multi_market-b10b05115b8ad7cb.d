@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_market-b10b05115b8ad7cb.d: tests/multi_market.rs
+
+/root/repo/target/debug/deps/multi_market-b10b05115b8ad7cb: tests/multi_market.rs
+
+tests/multi_market.rs:

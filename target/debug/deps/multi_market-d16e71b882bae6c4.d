@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_market-d16e71b882bae6c4.d: tests/multi_market.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_market-d16e71b882bae6c4.rmeta: tests/multi_market.rs Cargo.toml
+
+tests/multi_market.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

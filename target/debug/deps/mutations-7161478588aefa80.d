@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutations-7161478588aefa80.d: crates/consistency/tests/mutations.rs
+
+/root/repo/target/debug/deps/mutations-7161478588aefa80: crates/consistency/tests/mutations.rs
+
+crates/consistency/tests/mutations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutations-f2c7083a164dbc83.d: crates/consistency/tests/mutations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutations-f2c7083a164dbc83.rmeta: crates/consistency/tests/mutations.rs Cargo.toml
+
+crates/consistency/tests/mutations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

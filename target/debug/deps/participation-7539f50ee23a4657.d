@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/participation-7539f50ee23a4657.d: crates/bench/src/bin/participation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparticipation-7539f50ee23a4657.rmeta: crates/bench/src/bin/participation.rs Cargo.toml
+
+crates/bench/src/bin/participation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/participation-b02a20f474eec47b.d: crates/bench/src/bin/participation.rs
+
+/root/repo/target/debug/deps/libparticipation-b02a20f474eec47b.rmeta: crates/bench/src/bin/participation.rs
+
+crates/bench/src/bin/participation.rs:

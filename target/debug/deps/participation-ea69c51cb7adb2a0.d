@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/participation-ea69c51cb7adb2a0.d: crates/bench/src/bin/participation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparticipation-ea69c51cb7adb2a0.rmeta: crates/bench/src/bin/participation.rs Cargo.toml
+
+crates/bench/src/bin/participation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/participation-ead42aca866287e5.d: crates/bench/src/bin/participation.rs
+
+/root/repo/target/debug/deps/participation-ead42aca866287e5: crates/bench/src/bin/participation.rs
+
+crates/bench/src/bin/participation.rs:

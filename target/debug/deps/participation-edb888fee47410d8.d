@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/participation-edb888fee47410d8.d: crates/bench/src/bin/participation.rs
+
+/root/repo/target/debug/deps/participation-edb888fee47410d8: crates/bench/src/bin/participation.rs
+
+crates/bench/src/bin/participation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0cbbe51a07e97b6e.d: crates/crypto/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0cbbe51a07e97b6e.rmeta: crates/crypto/tests/props.rs Cargo.toml
+
+crates/crypto/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

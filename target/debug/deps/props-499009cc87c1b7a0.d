@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-499009cc87c1b7a0.d: crates/chain/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-499009cc87c1b7a0.rmeta: crates/chain/tests/props.rs Cargo.toml
+
+crates/chain/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-60e87882485d4d24.d: crates/vm/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-60e87882485d4d24.rmeta: crates/vm/tests/props.rs Cargo.toml
+
+crates/vm/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-655daa47b15cfd3a.d: crates/chain/tests/props.rs
+
+/root/repo/target/debug/deps/props-655daa47b15cfd3a: crates/chain/tests/props.rs
+
+crates/chain/tests/props.rs:

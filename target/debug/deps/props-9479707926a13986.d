@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-9479707926a13986.d: crates/vm/tests/props.rs
+
+/root/repo/target/debug/deps/props-9479707926a13986: crates/vm/tests/props.rs
+
+crates/vm/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b572b8968af3df37.d: crates/crypto/tests/props.rs
+
+/root/repo/target/debug/deps/props-b572b8968af3df37: crates/crypto/tests/props.rs
+
+crates/crypto/tests/props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2418a6f8edf01f7c.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/libproptest-2418a6f8edf01f7c.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:

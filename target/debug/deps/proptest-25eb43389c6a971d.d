@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-25eb43389c6a971d.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:

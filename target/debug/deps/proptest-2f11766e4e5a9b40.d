@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2f11766e4e5a9b40.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+/root/repo/target/debug/deps/proptest-2f11766e4e5a9b40: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:

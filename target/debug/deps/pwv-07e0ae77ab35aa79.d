@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pwv-07e0ae77ab35aa79.d: crates/bench/src/bin/pwv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpwv-07e0ae77ab35aa79.rmeta: crates/bench/src/bin/pwv.rs Cargo.toml
+
+crates/bench/src/bin/pwv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

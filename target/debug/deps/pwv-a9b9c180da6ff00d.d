@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pwv-a9b9c180da6ff00d.d: crates/bench/src/bin/pwv.rs
+
+/root/repo/target/debug/deps/libpwv-a9b9c180da6ff00d.rmeta: crates/bench/src/bin/pwv.rs
+
+crates/bench/src/bin/pwv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pwv-f47e7638f95fd31c.d: crates/bench/src/bin/pwv.rs
+
+/root/repo/target/debug/deps/pwv-f47e7638f95fd31c: crates/bench/src/bin/pwv.rs
+
+crates/bench/src/bin/pwv.rs:

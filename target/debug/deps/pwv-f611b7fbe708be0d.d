@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pwv-f611b7fbe708be0d.d: crates/bench/src/bin/pwv.rs
+
+/root/repo/target/debug/deps/pwv-f611b7fbe708be0d: crates/bench/src/bin/pwv.rs
+
+crates/bench/src/bin/pwv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pwv-f6fad2d682fa9881.d: crates/bench/src/bin/pwv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpwv-f6fad2d682fa9881.rmeta: crates/bench/src/bin/pwv.rs Cargo.toml
+
+crates/bench/src/bin/pwv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/raa_scale-0ea4a3a9752887a2.d: crates/bench/src/bin/raa_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraa_scale-0ea4a3a9752887a2.rmeta: crates/bench/src/bin/raa_scale.rs Cargo.toml
+
+crates/bench/src/bin/raa_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

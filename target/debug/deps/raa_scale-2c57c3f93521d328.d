@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_scale-2c57c3f93521d328.d: crates/bench/src/bin/raa_scale.rs
+
+/root/repo/target/debug/deps/raa_scale-2c57c3f93521d328: crates/bench/src/bin/raa_scale.rs
+
+crates/bench/src/bin/raa_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_scale-77d37b2b98d21daf.d: crates/bench/src/bin/raa_scale.rs
+
+/root/repo/target/debug/deps/raa_scale-77d37b2b98d21daf: crates/bench/src/bin/raa_scale.rs
+
+crates/bench/src/bin/raa_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_scale-7ebf6c3e037e167d.d: crates/bench/src/bin/raa_scale.rs
+
+/root/repo/target/debug/deps/libraa_scale-7ebf6c3e037e167d.rmeta: crates/bench/src/bin/raa_scale.rs
+
+crates/bench/src/bin/raa_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_service-0ef4b5353b9bdf0c.d: crates/bench/benches/raa_service.rs
+
+/root/repo/target/debug/deps/raa_service-0ef4b5353b9bdf0c: crates/bench/benches/raa_service.rs
+
+crates/bench/benches/raa_service.rs:

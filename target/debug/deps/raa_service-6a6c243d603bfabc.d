@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/raa_service-6a6c243d603bfabc.d: crates/bench/benches/raa_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraa_service-6a6c243d603bfabc.rmeta: crates/bench/benches/raa_service.rs Cargo.toml
+
+crates/bench/benches/raa_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_service-7546ea7fd68d6b57.d: crates/bench/benches/raa_service.rs
+
+/root/repo/target/debug/deps/raa_service-7546ea7fd68d6b57: crates/bench/benches/raa_service.rs
+
+crates/bench/benches/raa_service.rs:

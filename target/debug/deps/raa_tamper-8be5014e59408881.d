@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/raa_tamper-8be5014e59408881.d: tests/raa_tamper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraa_tamper-8be5014e59408881.rmeta: tests/raa_tamper.rs Cargo.toml
+
+tests/raa_tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raa_tamper-aaba91820a2392cb.d: tests/raa_tamper.rs
+
+/root/repo/target/debug/deps/raa_tamper-aaba91820a2392cb: tests/raa_tamper.rs
+
+tests/raa_tamper.rs:

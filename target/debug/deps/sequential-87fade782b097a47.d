@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential-87fade782b097a47.d: crates/bench/src/bin/sequential.rs
+
+/root/repo/target/debug/deps/libsequential-87fade782b097a47.rmeta: crates/bench/src/bin/sequential.rs
+
+crates/bench/src/bin/sequential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential-898869b795c9f240.d: crates/bench/src/bin/sequential.rs
+
+/root/repo/target/debug/deps/sequential-898869b795c9f240: crates/bench/src/bin/sequential.rs
+
+crates/bench/src/bin/sequential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential-c3f5120b8a28b58a.d: crates/bench/src/bin/sequential.rs
+
+/root/repo/target/debug/deps/sequential-c3f5120b8a28b58a: crates/bench/src/bin/sequential.rs
+
+crates/bench/src/bin/sequential.rs:

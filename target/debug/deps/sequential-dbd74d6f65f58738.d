@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequential-dbd74d6f65f58738.d: crates/bench/src/bin/sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequential-dbd74d6f65f58738.rmeta: crates/bench/src/bin/sequential.rs Cargo.toml
+
+crates/bench/src/bin/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

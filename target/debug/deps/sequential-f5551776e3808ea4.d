@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequential-f5551776e3808ea4.d: crates/bench/src/bin/sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequential-f5551776e3808ea4.rmeta: crates/bench/src/bin/sequential.rs Cargo.toml
+
+crates/bench/src/bin/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

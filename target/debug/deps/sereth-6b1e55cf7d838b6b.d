@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sereth-6b1e55cf7d838b6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsereth-6b1e55cf7d838b6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sereth-96cd2cd6b71ab8a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsereth-96cd2cd6b71ab8a1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsereth-96cd2cd6b71ab8a1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sereth-c88538bf402fba5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/sereth-c88538bf402fba5f: src/lib.rs
+
+src/lib.rs:

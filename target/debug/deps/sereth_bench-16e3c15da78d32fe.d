@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sereth_bench-16e3c15da78d32fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsereth_bench-16e3c15da78d32fe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sereth_bench-18e5debaa7e9e9f1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_bench-18e5debaa7e9e9f1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sereth_bench-32353d7797966044.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsereth_bench-32353d7797966044.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsereth_bench-32353d7797966044.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

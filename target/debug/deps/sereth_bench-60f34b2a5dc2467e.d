@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sereth_bench-60f34b2a5dc2467e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_bench-60f34b2a5dc2467e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

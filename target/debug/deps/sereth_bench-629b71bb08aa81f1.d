@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sereth_bench-629b71bb08aa81f1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sereth_bench-629b71bb08aa81f1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_chain-828408544f7fcec5.d: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+/root/repo/target/debug/deps/libsereth_chain-828408544f7fcec5.rmeta: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/executor.rs:
+crates/chain/src/genesis.rs:
+crates/chain/src/state.rs:
+crates/chain/src/store.rs:
+crates/chain/src/txpool.rs:
+crates/chain/src/validation.rs:

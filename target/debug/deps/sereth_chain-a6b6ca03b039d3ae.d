@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sereth_chain-a6b6ca03b039d3ae.d: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_chain-a6b6ca03b039d3ae.rmeta: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs Cargo.toml
+
+crates/chain/src/lib.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/executor.rs:
+crates/chain/src/genesis.rs:
+crates/chain/src/state.rs:
+crates/chain/src/store.rs:
+crates/chain/src/txpool.rs:
+crates/chain/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_chain-f75171a9470f5f30.d: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+/root/repo/target/debug/deps/sereth_chain-f75171a9470f5f30: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/executor.rs:
+crates/chain/src/genesis.rs:
+crates/chain/src/state.rs:
+crates/chain/src/store.rs:
+crates/chain/src/txpool.rs:
+crates/chain/src/validation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_consistency-9268c369d0f90beb.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_consistency-9268c369d0f90beb.rmeta: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs Cargo.toml
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_consistency-99e507267eb57ef3.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/debug/deps/libsereth_consistency-99e507267eb57ef3.rmeta: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_consistency-b7f0567322d170ff.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/debug/deps/sereth_consistency-b7f0567322d170ff: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:

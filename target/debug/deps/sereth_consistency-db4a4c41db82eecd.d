@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_consistency-db4a4c41db82eecd.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_consistency-db4a4c41db82eecd.rmeta: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs Cargo.toml
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sereth_consistency-f576f109ee397fb6.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/debug/deps/libsereth_consistency-f576f109ee397fb6.rlib: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/debug/deps/libsereth_consistency-f576f109ee397fb6.rmeta: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:

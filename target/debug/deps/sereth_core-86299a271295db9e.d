@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sereth_core-86299a271295db9e.d: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+/root/repo/target/debug/deps/libsereth_core-86299a271295db9e.rlib: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+/root/repo/target/debug/deps/libsereth_core-86299a271295db9e.rmeta: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fpv.rs:
+crates/core/src/hms.rs:
+crates/core/src/mark.rs:
+crates/core/src/process.rs:
+crates/core/src/provider.rs:
+crates/core/src/series.rs:

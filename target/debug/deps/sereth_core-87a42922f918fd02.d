@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sereth_core-87a42922f918fd02.d: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_core-87a42922f918fd02.rmeta: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/fpv.rs:
+crates/core/src/hms.rs:
+crates/core/src/mark.rs:
+crates/core/src/process.rs:
+crates/core/src/provider.rs:
+crates/core/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

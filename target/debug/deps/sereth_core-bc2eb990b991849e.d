@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sereth_core-bc2eb990b991849e.d: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+/root/repo/target/debug/deps/sereth_core-bc2eb990b991849e: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fpv.rs:
+crates/core/src/hms.rs:
+crates/core/src/mark.rs:
+crates/core/src/process.rs:
+crates/core/src/provider.rs:
+crates/core/src/series.rs:

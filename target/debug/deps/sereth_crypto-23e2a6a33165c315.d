@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sereth_crypto-23e2a6a33165c315.d: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/libsereth_crypto-23e2a6a33165c315.rlib: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/libsereth_crypto-23e2a6a33165c315.rmeta: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/address.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/rlp.rs:
+crates/crypto/src/sig.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sereth_crypto-a6f7fa00588342ac.d: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_crypto-a6f7fa00588342ac.rmeta: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/address.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/rlp.rs:
+crates/crypto/src/sig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sereth_crypto-f1652a708d6a06e6.d: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/sereth_crypto-f1652a708d6a06e6: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/address.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/rlp.rs:
+crates/crypto/src/sig.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_net-1ea181602e5c3c91.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/sereth_net-1ea181602e5c3c91: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sereth_net-5cfb6f0e180cb786.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libsereth_net-5cfb6f0e180cb786.rlib: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libsereth_net-5cfb6f0e180cb786.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

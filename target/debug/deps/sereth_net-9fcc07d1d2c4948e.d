@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_net-9fcc07d1d2c4948e.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_net-9fcc07d1d2c4948e.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

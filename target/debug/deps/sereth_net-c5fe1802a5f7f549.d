@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_net-c5fe1802a5f7f549.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libsereth_net-c5fe1802a5f7f549.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sereth_node-190495ad127934d5.d: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_node-190495ad127934d5.rmeta: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs Cargo.toml
+
+crates/node/src/lib.rs:
+crates/node/src/client.rs:
+crates/node/src/contract.rs:
+crates/node/src/messages.rs:
+crates/node/src/miner.rs:
+crates/node/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

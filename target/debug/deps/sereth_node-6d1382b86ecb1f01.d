@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_node-6d1382b86ecb1f01.d: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/debug/deps/libsereth_node-6d1382b86ecb1f01.rlib: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/debug/deps/libsereth_node-6d1382b86ecb1f01.rmeta: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+crates/node/src/lib.rs:
+crates/node/src/client.rs:
+crates/node/src/contract.rs:
+crates/node/src/messages.rs:
+crates/node/src/miner.rs:
+crates/node/src/node.rs:

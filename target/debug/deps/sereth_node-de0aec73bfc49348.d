@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sereth_node-de0aec73bfc49348.d: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/debug/deps/sereth_node-de0aec73bfc49348: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+crates/node/src/lib.rs:
+crates/node/src/client.rs:
+crates/node/src/contract.rs:
+crates/node/src/messages.rs:
+crates/node/src/miner.rs:
+crates/node/src/node.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sereth_node-fc46338441859b5b.d: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/debug/deps/libsereth_node-fc46338441859b5b.rmeta: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+crates/node/src/lib.rs:
+crates/node/src/client.rs:
+crates/node/src/contract.rs:
+crates/node/src/messages.rs:
+crates/node/src/miner.rs:
+crates/node/src/node.rs:

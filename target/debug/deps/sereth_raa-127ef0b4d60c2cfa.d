@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sereth_raa-127ef0b4d60c2cfa.d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/debug/deps/libsereth_raa-127ef0b4d60c2cfa.rlib: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/debug/deps/libsereth_raa-127ef0b4d60c2cfa.rmeta: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+crates/raa/src/lib.rs:
+crates/raa/src/metrics.rs:
+crates/raa/src/provider.rs:
+crates/raa/src/service.rs:

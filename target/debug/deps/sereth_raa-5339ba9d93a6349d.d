@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_raa-5339ba9d93a6349d.d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/debug/deps/sereth_raa-5339ba9d93a6349d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+crates/raa/src/lib.rs:
+crates/raa/src/metrics.rs:
+crates/raa/src/provider.rs:
+crates/raa/src/service.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sereth_raa-9971db6788d423b8.d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/debug/deps/libsereth_raa-9971db6788d423b8.rmeta: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+crates/raa/src/lib.rs:
+crates/raa/src/metrics.rs:
+crates/raa/src/provider.rs:
+crates/raa/src/service.rs:

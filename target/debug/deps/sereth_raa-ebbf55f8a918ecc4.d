@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sereth_raa-ebbf55f8a918ecc4.d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_raa-ebbf55f8a918ecc4.rmeta: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs Cargo.toml
+
+crates/raa/src/lib.rs:
+crates/raa/src/metrics.rs:
+crates/raa/src/provider.rs:
+crates/raa/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

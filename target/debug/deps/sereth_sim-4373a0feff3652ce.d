@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sereth_sim-4373a0feff3652ce.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libsereth_sim-4373a0feff3652ce.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/many_markets.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/report.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/workload.rs:

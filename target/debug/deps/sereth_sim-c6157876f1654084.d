@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sereth_sim-c6157876f1654084.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_sim-c6157876f1654084.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/many_markets.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/report.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sereth_types-2360ff3227182cab.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/libsereth_types-2360ff3227182cab.rlib: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/libsereth_types-2360ff3227182cab.rmeta: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/receipt.rs:
+crates/types/src/transaction.rs:
+crates/types/src/u256.rs:

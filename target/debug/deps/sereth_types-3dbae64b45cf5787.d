@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sereth_types-3dbae64b45cf5787.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+/root/repo/target/debug/deps/sereth_types-3dbae64b45cf5787: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/receipt.rs:
+crates/types/src/transaction.rs:
+crates/types/src/u256.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sereth_types-d9c1be5c77e31a04.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_types-d9c1be5c77e31a04.rmeta: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/receipt.rs:
+crates/types/src/transaction.rs:
+crates/types/src/u256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sereth_vm-526f9bc534cccf4d.d: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/debug/deps/libsereth_vm-526f9bc534cccf4d.rlib: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/debug/deps/libsereth_vm-526f9bc534cccf4d.rmeta: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/abi.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/gas.rs:
+crates/vm/src/interpreter.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/raa.rs:
+crates/vm/src/subcall.rs:
+crates/vm/src/trace.rs:

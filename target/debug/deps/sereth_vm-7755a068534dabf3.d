@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sereth_vm-7755a068534dabf3.d: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/debug/deps/sereth_vm-7755a068534dabf3: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/abi.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/gas.rs:
+crates/vm/src/interpreter.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/raa.rs:
+crates/vm/src/subcall.rs:
+crates/vm/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sereth_vm-c0f657b2b1fa4ba8.d: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/debug/deps/libsereth_vm-c0f657b2b1fa4ba8.rmeta: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/abi.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/gas.rs:
+crates/vm/src/interpreter.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/raa.rs:
+crates/vm/src/subcall.rs:
+crates/vm/src/trace.rs:

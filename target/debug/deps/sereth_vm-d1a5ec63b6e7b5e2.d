@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sereth_vm-d1a5ec63b6e7b5e2.d: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsereth_vm-d1a5ec63b6e7b5e2.rmeta: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/abi.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/gas.rs:
+crates/vm/src/interpreter.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/raa.rs:
+crates/vm/src/subcall.rs:
+crates/vm/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

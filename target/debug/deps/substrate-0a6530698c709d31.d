@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-0a6530698c709d31.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-0a6530698c709d31.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

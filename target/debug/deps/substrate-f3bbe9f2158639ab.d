@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-f3bbe9f2158639ab.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-f3bbe9f2158639ab: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

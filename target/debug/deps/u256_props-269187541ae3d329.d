@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/u256_props-269187541ae3d329.d: crates/types/tests/u256_props.rs
+
+/root/repo/target/debug/deps/u256_props-269187541ae3d329: crates/types/tests/u256_props.rs
+
+crates/types/tests/u256_props.rs:

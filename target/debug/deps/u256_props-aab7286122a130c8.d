@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/u256_props-aab7286122a130c8.d: crates/types/tests/u256_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libu256_props-aab7286122a130c8.rmeta: crates/types/tests/u256_props.rs Cargo.toml
+
+crates/types/tests/u256_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/consistency_audit-41dc28b73e3ab771.d: examples/consistency_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconsistency_audit-41dc28b73e3ab771.rmeta: examples/consistency_audit.rs Cargo.toml
+
+examples/consistency_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistency_audit-58a6859e914c60cf.d: examples/consistency_audit.rs
+
+/root/repo/target/debug/examples/consistency_audit-58a6859e914c60cf: examples/consistency_audit.rs
+
+examples/consistency_audit.rs:

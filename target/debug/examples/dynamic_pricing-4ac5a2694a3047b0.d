@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_pricing-4ac5a2694a3047b0.d: examples/dynamic_pricing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_pricing-4ac5a2694a3047b0.rmeta: examples/dynamic_pricing.rs Cargo.toml
+
+examples/dynamic_pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_pricing-ed7b3819ffe5fb0b.d: examples/dynamic_pricing.rs
+
+/root/repo/target/debug/examples/dynamic_pricing-ed7b3819ffe5fb0b: examples/dynamic_pricing.rs
+
+examples/dynamic_pricing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frontrunning-02d8127868201d38.d: examples/frontrunning.rs
+
+/root/repo/target/debug/examples/frontrunning-02d8127868201d38: examples/frontrunning.rs
+
+examples/frontrunning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/frontrunning-95120bc98ce3f41c.d: examples/frontrunning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfrontrunning-95120bc98ce3f41c.rmeta: examples/frontrunning.rs Cargo.toml
+
+examples/frontrunning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

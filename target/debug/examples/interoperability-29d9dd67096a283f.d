@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interoperability-29d9dd67096a283f.d: examples/interoperability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteroperability-29d9dd67096a283f.rmeta: examples/interoperability.rs Cargo.toml
+
+examples/interoperability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

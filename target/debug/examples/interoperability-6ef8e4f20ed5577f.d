@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interoperability-6ef8e4f20ed5577f.d: examples/interoperability.rs
+
+/root/repo/target/debug/examples/interoperability-6ef8e4f20ed5577f: examples/interoperability.rs
+
+examples/interoperability.rs:

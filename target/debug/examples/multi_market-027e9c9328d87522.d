@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_market-027e9c9328d87522.d: examples/multi_market.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_market-027e9c9328d87522.rmeta: examples/multi_market.rs Cargo.toml
+
+examples/multi_market.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

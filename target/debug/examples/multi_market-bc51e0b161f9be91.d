@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_market-bc51e0b161f9be91.d: examples/multi_market.rs
+
+/root/repo/target/debug/examples/multi_market-bc51e0b161f9be91: examples/multi_market.rs
+
+examples/multi_market.rs:

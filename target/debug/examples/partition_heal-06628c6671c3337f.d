@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_heal-06628c6671c3337f.d: examples/partition_heal.rs
+
+/root/repo/target/debug/examples/partition_heal-06628c6671c3337f: examples/partition_heal.rs
+
+examples/partition_heal.rs:

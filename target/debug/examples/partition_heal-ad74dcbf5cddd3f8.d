@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_heal-ad74dcbf5cddd3f8.d: examples/partition_heal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_heal-ad74dcbf5cddd3f8.rmeta: examples/partition_heal.rs Cargo.toml
+
+examples/partition_heal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

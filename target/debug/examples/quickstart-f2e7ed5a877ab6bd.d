@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2e7ed5a877ab6bd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f2e7ed5a877ab6bd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/raa_oracle-c3ab5f6a23acb494.d: examples/raa_oracle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libraa_oracle-c3ab5f6a23acb494.rmeta: examples/raa_oracle.rs Cargo.toml
+
+examples/raa_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

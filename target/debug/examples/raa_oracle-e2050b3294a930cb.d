@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raa_oracle-e2050b3294a930cb.d: examples/raa_oracle.rs
+
+/root/repo/target/debug/examples/raa_oracle-e2050b3294a930cb: examples/raa_oracle.rs
+
+examples/raa_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/raa_service-039232a024eceb42.d: examples/raa_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libraa_service-039232a024eceb42.rmeta: examples/raa_service.rs Cargo.toml
+
+examples/raa_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

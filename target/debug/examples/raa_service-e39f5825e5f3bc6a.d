@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raa_service-e39f5825e5f3bc6a.d: examples/raa_service.rs
+
+/root/repo/target/debug/examples/raa_service-e39f5825e5f3bc6a: examples/raa_service.rs
+
+examples/raa_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/semantic_mining-52a5e981bc597fef.d: examples/semantic_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsemantic_mining-52a5e981bc597fef.rmeta: examples/semantic_mining.rs Cargo.toml
+
+examples/semantic_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/semantic_mining-eb89da6a3d0cc97e.d: examples/semantic_mining.rs
+
+/root/repo/target/debug/examples/semantic_mining-eb89da6a3d0cc97e: examples/semantic_mining.rs
+
+examples/semantic_mining.rs:

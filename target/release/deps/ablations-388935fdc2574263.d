@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-388935fdc2574263.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-388935fdc2574263: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

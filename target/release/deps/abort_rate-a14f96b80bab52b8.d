@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abort_rate-a14f96b80bab52b8.d: crates/bench/src/bin/abort_rate.rs
+
+/root/repo/target/release/deps/abort_rate-a14f96b80bab52b8: crates/bench/src/bin/abort_rate.rs
+
+crates/bench/src/bin/abort_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-56d260705f586be3.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-56d260705f586be3: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/participation-52a0a6ba29fe674f.d: crates/bench/src/bin/participation.rs
+
+/root/repo/target/release/deps/participation-52a0a6ba29fe674f: crates/bench/src/bin/participation.rs
+
+crates/bench/src/bin/participation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pwv-a05c355c6f9b2098.d: crates/bench/src/bin/pwv.rs
+
+/root/repo/target/release/deps/pwv-a05c355c6f9b2098: crates/bench/src/bin/pwv.rs
+
+crates/bench/src/bin/pwv.rs:

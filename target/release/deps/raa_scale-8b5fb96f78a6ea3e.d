@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/raa_scale-8b5fb96f78a6ea3e.d: crates/bench/src/bin/raa_scale.rs
+
+/root/repo/target/release/deps/raa_scale-8b5fb96f78a6ea3e: crates/bench/src/bin/raa_scale.rs
+
+crates/bench/src/bin/raa_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/raa_service-11cbf2bbd07b5e0d.d: crates/bench/benches/raa_service.rs
+
+/root/repo/target/release/deps/raa_service-11cbf2bbd07b5e0d: crates/bench/benches/raa_service.rs
+
+crates/bench/benches/raa_service.rs:

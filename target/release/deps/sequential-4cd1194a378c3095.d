@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequential-4cd1194a378c3095.d: crates/bench/src/bin/sequential.rs
+
+/root/repo/target/release/deps/sequential-4cd1194a378c3095: crates/bench/src/bin/sequential.rs
+
+crates/bench/src/bin/sequential.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sereth-236804e3ac73f5dd.d: src/lib.rs
+
+/root/repo/target/release/deps/libsereth-236804e3ac73f5dd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsereth-236804e3ac73f5dd.rmeta: src/lib.rs
+
+src/lib.rs:

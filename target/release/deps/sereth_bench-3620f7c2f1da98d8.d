@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sereth_bench-3620f7c2f1da98d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsereth_bench-3620f7c2f1da98d8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsereth_bench-3620f7c2f1da98d8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sereth_chain-eeaf883245f41582.d: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+/root/repo/target/release/deps/libsereth_chain-eeaf883245f41582.rlib: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+/root/repo/target/release/deps/libsereth_chain-eeaf883245f41582.rmeta: crates/chain/src/lib.rs crates/chain/src/builder.rs crates/chain/src/executor.rs crates/chain/src/genesis.rs crates/chain/src/state.rs crates/chain/src/store.rs crates/chain/src/txpool.rs crates/chain/src/validation.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/executor.rs:
+crates/chain/src/genesis.rs:
+crates/chain/src/state.rs:
+crates/chain/src/store.rs:
+crates/chain/src/txpool.rs:
+crates/chain/src/validation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sereth_consistency-7c07b1194518394e.d: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/release/deps/libsereth_consistency-7c07b1194518394e.rlib: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+/root/repo/target/release/deps/libsereth_consistency-7c07b1194518394e.rmeta: crates/consistency/src/lib.rs crates/consistency/src/record.rs crates/consistency/src/seqcon.rs crates/consistency/src/sss.rs
+
+crates/consistency/src/lib.rs:
+crates/consistency/src/record.rs:
+crates/consistency/src/seqcon.rs:
+crates/consistency/src/sss.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sereth_core-7fb7910a3436885d.d: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+/root/repo/target/release/deps/libsereth_core-7fb7910a3436885d.rlib: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+/root/repo/target/release/deps/libsereth_core-7fb7910a3436885d.rmeta: crates/core/src/lib.rs crates/core/src/fpv.rs crates/core/src/hms.rs crates/core/src/mark.rs crates/core/src/process.rs crates/core/src/provider.rs crates/core/src/series.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fpv.rs:
+crates/core/src/hms.rs:
+crates/core/src/mark.rs:
+crates/core/src/process.rs:
+crates/core/src/provider.rs:
+crates/core/src/series.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sereth_crypto-abc66ddcfa705517.d: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+/root/repo/target/release/deps/libsereth_crypto-abc66ddcfa705517.rlib: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+/root/repo/target/release/deps/libsereth_crypto-abc66ddcfa705517.rmeta: crates/crypto/src/lib.rs crates/crypto/src/address.rs crates/crypto/src/hash.rs crates/crypto/src/keccak.rs crates/crypto/src/merkle.rs crates/crypto/src/rlp.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/address.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keccak.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/rlp.rs:
+crates/crypto/src/sig.rs:

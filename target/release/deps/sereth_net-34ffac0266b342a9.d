@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sereth_net-34ffac0266b342a9.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libsereth_net-34ffac0266b342a9.rlib: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libsereth_net-34ffac0266b342a9.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

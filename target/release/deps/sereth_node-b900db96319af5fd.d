@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sereth_node-b900db96319af5fd.d: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/release/deps/libsereth_node-b900db96319af5fd.rlib: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+/root/repo/target/release/deps/libsereth_node-b900db96319af5fd.rmeta: crates/node/src/lib.rs crates/node/src/client.rs crates/node/src/contract.rs crates/node/src/messages.rs crates/node/src/miner.rs crates/node/src/node.rs
+
+crates/node/src/lib.rs:
+crates/node/src/client.rs:
+crates/node/src/contract.rs:
+crates/node/src/messages.rs:
+crates/node/src/miner.rs:
+crates/node/src/node.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sereth_raa-721872020222c6bd.d: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/release/deps/libsereth_raa-721872020222c6bd.rlib: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+/root/repo/target/release/deps/libsereth_raa-721872020222c6bd.rmeta: crates/raa/src/lib.rs crates/raa/src/metrics.rs crates/raa/src/provider.rs crates/raa/src/service.rs
+
+crates/raa/src/lib.rs:
+crates/raa/src/metrics.rs:
+crates/raa/src/provider.rs:
+crates/raa/src/service.rs:

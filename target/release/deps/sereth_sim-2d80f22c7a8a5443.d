@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sereth_sim-2d80f22c7a8a5443.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libsereth_sim-2d80f22c7a8a5443.rlib: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libsereth_sim-2d80f22c7a8a5443.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/many_markets.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/retry.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/many_markets.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/report.rs:
+crates/sim/src/retry.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/workload.rs:

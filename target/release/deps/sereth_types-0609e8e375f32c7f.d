@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sereth_types-0609e8e375f32c7f.d: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+/root/repo/target/release/deps/libsereth_types-0609e8e375f32c7f.rlib: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+/root/repo/target/release/deps/libsereth_types-0609e8e375f32c7f.rmeta: crates/types/src/lib.rs crates/types/src/block.rs crates/types/src/receipt.rs crates/types/src/transaction.rs crates/types/src/u256.rs
+
+crates/types/src/lib.rs:
+crates/types/src/block.rs:
+crates/types/src/receipt.rs:
+crates/types/src/transaction.rs:
+crates/types/src/u256.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sereth_vm-dcb1fca23c3a9d9d.d: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/release/deps/libsereth_vm-dcb1fca23c3a9d9d.rlib: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+/root/repo/target/release/deps/libsereth_vm-dcb1fca23c3a9d9d.rmeta: crates/vm/src/lib.rs crates/vm/src/abi.rs crates/vm/src/asm.rs crates/vm/src/error.rs crates/vm/src/exec.rs crates/vm/src/gas.rs crates/vm/src/interpreter.rs crates/vm/src/opcode.rs crates/vm/src/raa.rs crates/vm/src/subcall.rs crates/vm/src/trace.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/abi.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/error.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/gas.rs:
+crates/vm/src/interpreter.rs:
+crates/vm/src/opcode.rs:
+crates/vm/src/raa.rs:
+crates/vm/src/subcall.rs:
+crates/vm/src/trace.rs:

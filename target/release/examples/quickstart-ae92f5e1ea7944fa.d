@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ae92f5e1ea7944fa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ae92f5e1ea7944fa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/raa_service-888aa641aad4ff3f.d: examples/raa_service.rs
+
+/root/repo/target/release/examples/raa_service-888aa641aad4ff3f: examples/raa_service.rs
+
+examples/raa_service.rs:

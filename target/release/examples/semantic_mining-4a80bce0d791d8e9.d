@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/semantic_mining-4a80bce0d791d8e9.d: examples/semantic_mining.rs
+
+/root/repo/target/release/examples/semantic_mining-4a80bce0d791d8e9: examples/semantic_mining.rs
+
+examples/semantic_mining.rs:
