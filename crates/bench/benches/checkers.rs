@@ -141,10 +141,10 @@ fn bench_pwv_scheduler(c: &mut Criterion) {
     for &(sets, buys) in &[(10usize, 90usize), (50, 450), (100, 900)] {
         let (pool, state, contract) = pwv_fixture(sets, buys);
         group.bench_with_input(BenchmarkId::new("pwv", sets + buys), &pool, |b, pool| {
-            b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Pwv))
+            b.iter(|| order_candidates(black_box(pool), &state.view(), &contract, &MinerPolicy::Pwv))
         });
         group.bench_with_input(BenchmarkId::new("standard", sets + buys), &pool, |b, pool| {
-            b.iter(|| order_candidates(black_box(pool), &state, &contract, &MinerPolicy::Standard))
+            b.iter(|| order_candidates(black_box(pool), &state.view(), &contract, &MinerPolicy::Standard))
         });
     }
     group.finish();

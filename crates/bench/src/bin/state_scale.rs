@@ -1,0 +1,137 @@
+//! RAA-STATE: node read latency vs account count — the deep-clone baseline
+//! (what `query_view_for` did before copy-on-write state) against the O(1)
+//! `StateView` path it runs on now.
+//!
+//! Each read issues the full two-call `mark()`/`get()` query against a
+//! Sereth node whose genesis carries N funded accounts. The baseline
+//! rebuilds the historical cost: `StateDb::deep_clone()` of the head
+//! state per read, then the same two `call_readonly` executions. The
+//! snapshot path is `NodeHandle::query_view`, which takes one lock, one
+//! O(1) view, and executes outside the lock.
+//!
+//! Prints a markdown table of mean per-read latency and the speedup.
+//! Knobs (env): `STATE_ACCOUNTS` (comma list of account counts; default
+//! `1024,16384,65536,262144`), `STATE_READS` (snapshot-path reads per
+//! size; default 2000), `STATE_BASE_READS` (deep-clone reads per size;
+//! default 40 — the baseline is O(state) per read, so it gets fewer),
+//! `STATE_MIN_SPEEDUP` (if > 0, exit nonzero unless the snapshot path
+//! beats the deep-clone baseline by at least this factor at the largest
+//! account count — the CI regression gate).
+
+use std::time::Instant;
+
+use sereth_bench::{env_list_or, env_or};
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::executor::{call_readonly, BlockEnv};
+use sereth_chain::genesis::GenesisBuilder;
+use sereth_core::hms::HmsConfig;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    default_contract_address, get_selector, mark_selector, sereth_code, sereth_genesis_slots, ContractForm,
+};
+use sereth_node::node::{ClientKind, NodeConfig, NodeHandle};
+use sereth_types::u256::U256;
+use sereth_vm::abi;
+
+fn build_node(accounts: usize) -> NodeHandle {
+    let owner = SecretKey::from_label(1);
+    let mut genesis_builder =
+        GenesisBuilder::new().fund(owner.address(), U256::from(1_000_000_000u64)).contract_with_storage(
+            default_contract_address(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+        );
+    for i in 0..accounts as u64 {
+        genesis_builder = genesis_builder.fund(Address::from_low_u64(0x1_0000_0000 + i), U256::from(1u64));
+    }
+    NodeHandle::new(
+        genesis_builder.build(),
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract: default_contract_address(),
+            miner: None,
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+            raa_backend: Default::default(),
+        },
+    )
+}
+
+/// The pre-COW read path, reconstructed: deep-clone the whole head state,
+/// then run the two augmented read-only calls against the copy.
+fn deep_clone_query(node: &NodeHandle, caller: Address) -> (H256, H256) {
+    let contract = default_contract_address();
+    let (state, raa, env) = node.with_inner(|inner| {
+        let head = inner.chain.head_block().header.clone();
+        (
+            inner.chain.head_state().deep_clone(),
+            inner.raa.clone(),
+            BlockEnv {
+                number: head.number,
+                timestamp_ms: head.timestamp_ms,
+                gas_limit: head.gas_limit,
+                miner: head.miner,
+            },
+        )
+    });
+    let view = state.view();
+    let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
+    let mark_out =
+        call_readonly(&view, caller, contract, abi::encode_call(mark_selector(), &zero), &env, &raa);
+    let get_out = call_readonly(&view, caller, contract, abi::encode_call(get_selector(), &zero), &env, &raa);
+    (
+        abi::decode_word(&mark_out.return_data).expect("one word"),
+        abi::decode_word(&get_out.return_data).expect("one word"),
+    )
+}
+
+fn main() {
+    let account_counts = env_list_or("STATE_ACCOUNTS", &[1_024, 16_384, 65_536, 262_144]);
+    let reads = env_or("STATE_READS", 2_000usize);
+    let base_reads = env_or("STATE_BASE_READS", 40usize);
+    let min_speedup = env_or("STATE_MIN_SPEEDUP", 0.0f64);
+    let caller = Address::from_low_u64(0x11);
+    let mut last_speedup = f64::INFINITY;
+
+    println!("Node read latency vs state size: full mark()/get() query per read");
+    println!("| accounts | deep-clone/read | cow-view/read | speedup |");
+    println!("|----------|-----------------|---------------|---------|");
+    for &accounts in &account_counts {
+        let node = build_node(accounts as usize);
+        let expected = node.query_view(caller).expect("sereth node answers");
+
+        // Baseline: deep clone per read (the historical path).
+        std::hint::black_box(deep_clone_query(&node, caller));
+        let start = Instant::now();
+        for _ in 0..base_reads {
+            assert_eq!(std::hint::black_box(deep_clone_query(&node, caller)), expected);
+        }
+        let deep = start.elapsed() / base_reads.max(1) as u32;
+
+        // Snapshot path: O(1) view per read.
+        std::hint::black_box(node.query_view(caller));
+        let start = Instant::now();
+        for _ in 0..reads {
+            assert_eq!(std::hint::black_box(node.query_view(caller)).expect("answers"), expected);
+        }
+        let cow = start.elapsed() / reads.max(1) as u32;
+
+        let speedup = deep.as_nanos() as f64 / cow.as_nanos().max(1) as f64;
+        last_speedup = speedup;
+        println!(
+            "| {accounts:>8} | {:>12.2} µs | {:>10.2} µs | {speedup:>6.1}x |",
+            deep.as_nanos() as f64 / 1e3,
+            cow.as_nanos() as f64 / 1e3,
+        );
+    }
+
+    // The regression gate: if the snapshot path ever degrades back to
+    // O(state) (e.g. a deep copy sneaks into `query_view_inner`), its
+    // advantage at the largest size collapses toward 1x and this fails.
+    assert!(
+        last_speedup >= min_speedup,
+        "snapshot path regressed: {last_speedup:.1}x < required {min_speedup:.1}x at the largest size"
+    );
+}

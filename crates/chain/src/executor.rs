@@ -12,7 +12,7 @@ use sereth_vm::exec::{CallEnv, CallOutcome, ContractCode};
 use sereth_vm::gas::intrinsic_gas;
 use sereth_vm::raa::{execute_call, RaaRegistry};
 
-use crate::state::StateDb;
+use crate::state::{StateDb, StateView};
 
 /// Block-level facts visible to executing transactions.
 #[derive(Debug, Clone)]
@@ -155,19 +155,25 @@ pub fn apply_transaction(
     Ok(Receipt { tx_hash: tx.hash(), index, status: outcome.status, gas_used, logs: outcome.logs })
 }
 
-/// Runs a read-only call against a clone of `state` (the `eth_call`
+/// Runs a read-only call against an immutable state view (the `eth_call`
 /// analogue). This is the path on which RAA augmentation happens; the
 /// Sereth client's `get`/`mark` queries go through here (paper Fig. 1).
+///
+/// The view is never copied: execution runs over an
+/// [`OverlayStorage`](sereth_vm::exec::OverlayStorage) whose construction
+/// is O(1) in state size, so read latency is independent of how many
+/// accounts exist. Obtain the view in O(1) via [`StateDb::view`] or
+/// [`crate::store::ChainStore::head_state_view`].
 pub fn call_readonly(
-    state: &StateDb,
+    view: &StateView,
     caller: Address,
     contract: Address,
     calldata: Bytes,
     env: &BlockEnv,
     raa: &RaaRegistry,
 ) -> CallOutcome {
-    let mut scratch = state.clone();
-    let code = scratch.code_of(&contract);
+    let code = view.code_of(&contract);
+    let mut scratch = sereth_vm::exec::OverlayStorage::new(view);
     let call_env = CallEnv {
         caller,
         callee: contract,
@@ -388,7 +394,7 @@ mod tests {
         let root = state.state_root();
 
         let outcome =
-            call_readonly(&state, Address::ZERO, contract, Bytes::new(), &env(), &RaaRegistry::new());
+            call_readonly(&state.view(), Address::ZERO, contract, Bytes::new(), &env(), &RaaRegistry::new());
         assert_eq!(outcome.status, TxStatus::Success);
         assert_eq!(outcome.return_data[31], 5);
         assert_eq!(state.state_root(), root);

@@ -29,7 +29,7 @@ pub mod validation;
 pub use builder::{build_block, BlockLimits, BuiltBlock};
 pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxApplyError};
 pub use genesis::{Genesis, GenesisBuilder};
-pub use state::{Account, Snapshot, StateDb};
+pub use state::{Account, Snapshot, StateDb, StateView};
 pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};
 pub use validation::{validate_block, ValidationError};

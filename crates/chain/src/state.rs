@@ -4,6 +4,7 @@
 //! no effect on the system state").
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -70,15 +71,110 @@ enum JournalEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot(usize);
 
+/// The persistent account map both [`StateDb`] and [`StateView`] hang off:
+/// an `Arc` over the map, `Arc` per account. Sharing either level is O(1);
+/// mutation clones lazily (the map of pointers on the first write after a
+/// share, one account on the first write to it).
+type Accounts = BTreeMap<Address, Arc<Account>>;
+
+fn accounts_root(accounts: &Accounts) -> H256 {
+    let leaves: Vec<H256> = accounts.iter().map(|(address, account)| account.account_hash(address)).collect();
+    merkle_root(&leaves)
+}
+
 /// The journaled world state.
 ///
 /// All mutation goes through methods that append to the journal, so any
 /// prefix of work can be undone with [`StateDb::revert_to`]. The journal is
 /// cleared wholesale with [`StateDb::clear_journal`] once a block is sealed.
+///
+/// The account map is copy-on-write: [`StateDb::view`] (and `clone`) share
+/// it in O(1), and the first mutation after a share unshares the map —
+/// clones of pointers, not of accounts — then unshares single accounts as
+/// they are touched. Held [`StateView`]s therefore stay frozen at the
+/// moment they were taken, including across [`StateDb::revert_to`].
 #[derive(Debug, Clone, Default)]
 pub struct StateDb {
-    accounts: BTreeMap<Address, Account>,
+    accounts: Arc<Accounts>,
     journal: Vec<JournalEntry>,
+}
+
+/// An immutable, cheaply shareable snapshot of a [`StateDb`].
+///
+/// Taking one is O(1) (an `Arc` clone); it can outlive locks, cross
+/// threads, and survive arbitrary mutation of the live state. This is what
+/// every read-only consumer (node queries, miner pre-execution reads, sim
+/// oracles) works against.
+#[derive(Debug, Clone, Default)]
+pub struct StateView {
+    accounts: Arc<Accounts>,
+}
+
+impl StateView {
+    /// Read-only view of an account, if it exists.
+    pub fn account(&self, address: &Address) -> Option<&Account> {
+        self.accounts.get(address).map(Arc::as_ref)
+    }
+
+    /// The account's nonce (0 if absent).
+    pub fn nonce_of(&self, address: &Address) -> u64 {
+        self.account(address).map_or(0, |a| a.nonce)
+    }
+
+    /// The account's balance (0 if absent).
+    pub fn balance_of(&self, address: &Address) -> U256 {
+        self.account(address).map_or(U256::ZERO, |a| a.balance)
+    }
+
+    /// The account's code (empty if absent).
+    pub fn code_of(&self, address: &Address) -> ContractCode {
+        self.account(address).map_or(ContractCode::None, |a| a.code.clone())
+    }
+
+    /// Reads a storage slot; absent slots read as zero.
+    pub fn storage_get(&self, address: &Address, key: &H256) -> H256 {
+        self.account(address).and_then(|account| account.storage.get(key)).copied().unwrap_or(H256::ZERO)
+    }
+
+    /// Number of accounts in the view.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// `true` if no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Deterministic commitment to the viewed state (same function as
+    /// [`StateDb::state_root`]).
+    pub fn state_root(&self) -> H256 {
+        accounts_root(&self.accounts)
+    }
+
+    /// Iterates accounts in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter().map(|(address, account)| (address, account.as_ref()))
+    }
+
+    /// `true` if both views share the same underlying account map.
+    pub fn ptr_eq(&self, other: &StateView) -> bool {
+        Arc::ptr_eq(&self.accounts, &other.accounts)
+    }
+}
+
+impl sereth_vm::exec::ReadStorage for StateView {
+    fn storage_get(&self, address: &Address, key: &H256) -> H256 {
+        StateView::storage_get(self, address, key)
+    }
+
+    fn code_get(&self, address: &Address) -> ContractCode {
+        self.code_of(address)
+    }
+
+    fn balance_get(&self, address: &Address) -> U256 {
+        self.balance_of(address)
+    }
 }
 
 impl StateDb {
@@ -87,9 +183,40 @@ impl StateDb {
         Self::default()
     }
 
+    /// Takes an immutable O(1) snapshot of the current accounts. The view
+    /// is unaffected by any later mutation of `self` (writes unshare).
+    pub fn view(&self) -> StateView {
+        StateView { accounts: Arc::clone(&self.accounts) }
+    }
+
+    /// A structurally independent copy: every account duplicated, nothing
+    /// shared with `self`. This is the old `clone` semantics — O(state
+    /// size) — kept as the baseline for the RAA-STATE benchmark and as the
+    /// eager oracle in the view-equivalence property suite.
+    pub fn deep_clone(&self) -> StateDb {
+        let accounts: Accounts = self
+            .accounts
+            .iter()
+            .map(|(address, account)| (*address, Arc::new(Account::clone(account))))
+            .collect();
+        StateDb { accounts: Arc::new(accounts), journal: self.journal.clone() }
+    }
+
+    /// The mutable account map, unsharing it first if any view or clone
+    /// still holds the previous version.
+    fn accounts_mut(&mut self) -> &mut Accounts {
+        Arc::make_mut(&mut self.accounts)
+    }
+
+    /// Mutable access to an existing account (unshares map and account).
+    fn account_mut(&mut self, address: &Address) -> &mut Account {
+        let account = Arc::make_mut(&mut self.accounts).get_mut(address).expect("journaled account exists");
+        Arc::make_mut(account)
+    }
+
     /// Read-only view of an account, if it exists.
     pub fn account(&self, address: &Address) -> Option<&Account> {
-        self.accounts.get(address)
+        self.accounts.get(address).map(Arc::as_ref)
     }
 
     /// The account's nonce (0 if absent).
@@ -120,9 +247,9 @@ impl StateDb {
     fn ensure_account(&mut self, address: &Address) -> &mut Account {
         if !self.accounts.contains_key(address) {
             self.journal.push(JournalEntry::AccountCreated { address: *address });
-            self.accounts.insert(*address, Account::default());
+            self.accounts_mut().insert(*address, Arc::new(Account::default()));
         }
-        self.accounts.get_mut(address).expect("just inserted")
+        self.account_mut(address)
     }
 
     /// Sets the balance, journaled.
@@ -179,7 +306,7 @@ impl StateDb {
         while self.journal.len() > snapshot.0 {
             match self.journal.pop().expect("length checked") {
                 JournalEntry::StorageChanged { address, key, prev } => {
-                    let account = self.accounts.get_mut(&address).expect("journaled account exists");
+                    let account = self.account_mut(&address);
                     if prev.is_zero() {
                         account.storage.remove(&key);
                     } else {
@@ -187,16 +314,16 @@ impl StateDb {
                     }
                 }
                 JournalEntry::BalanceChanged { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled account exists").balance = prev;
+                    self.account_mut(&address).balance = prev;
                 }
                 JournalEntry::NonceChanged { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled account exists").nonce = prev;
+                    self.account_mut(&address).nonce = prev;
                 }
                 JournalEntry::CodeChanged { address, prev } => {
-                    self.accounts.get_mut(&address).expect("journaled account exists").code = prev;
+                    self.account_mut(&address).code = prev;
                 }
                 JournalEntry::AccountCreated { address } => {
-                    self.accounts.remove(&address);
+                    self.accounts_mut().remove(&address);
                 }
             }
         }
@@ -211,14 +338,12 @@ impl StateDb {
     /// Deterministic commitment to the entire state: a Merkle root over the
     /// sorted account hashes (see `DESIGN.md` §7 for the trie substitution).
     pub fn state_root(&self) -> H256 {
-        let leaves: Vec<H256> =
-            self.accounts.iter().map(|(address, account)| account.account_hash(address)).collect();
-        merkle_root(&leaves)
+        accounts_root(&self.accounts)
     }
 
     /// Iterates accounts in address order.
     pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
-        self.accounts.iter()
+        self.accounts.iter().map(|(address, account)| (address, account.as_ref()))
     }
 }
 
@@ -370,6 +495,85 @@ mod tests {
         let before = state.state_root();
         state.storage_set(&addr(1), H256::from_low_u64(7), H256::from_low_u64(8));
         assert_ne!(state.state_root(), before);
+    }
+
+    #[test]
+    fn views_freeze_at_the_moment_taken() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(10u64));
+        state.storage_set(&addr(2), H256::from_low_u64(1), H256::from_low_u64(5));
+        state.clear_journal();
+
+        let view = state.view();
+        let frozen_root = state.state_root();
+        assert!(view.ptr_eq(&state.view()), "no mutation yet: the map is shared");
+
+        // Every kind of mutation after the view was taken…
+        state.credit(&addr(1), U256::from(90u64));
+        state.set_nonce(&addr(1), 7);
+        state.storage_set(&addr(2), H256::from_low_u64(1), H256::from_low_u64(6));
+        state.set_code(&addr(3), ContractCode::Bytecode(bytes::Bytes::from_static(&[0x01])));
+        state.clear_journal();
+
+        // …leaves the view byte-identical to the moment of capture.
+        assert_eq!(view.state_root(), frozen_root);
+        assert_eq!(view.balance_of(&addr(1)), U256::from(10u64));
+        assert_eq!(view.nonce_of(&addr(1)), 0);
+        assert_eq!(view.storage_get(&addr(2), &H256::from_low_u64(1)), H256::from_low_u64(5));
+        assert!(view.account(&addr(3)).is_none());
+        assert!(!view.ptr_eq(&state.view()), "the write unshared the map");
+        // The live state moved on.
+        assert_eq!(state.balance_of(&addr(1)), U256::from(100u64));
+    }
+
+    #[test]
+    fn views_survive_revert_across_the_cow_boundary() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(10u64));
+        state.clear_journal();
+
+        let snapshot = state.snapshot();
+        state.credit(&addr(1), U256::from(5u64));
+        state.storage_set(&addr(2), H256::from_low_u64(1), H256::from_low_u64(9));
+
+        // View taken mid-journal, before the revert.
+        let view = state.view();
+        assert_eq!(view.balance_of(&addr(1)), U256::from(15u64));
+
+        // The revert happens on the live state only: it COWs away from the
+        // view instead of mutating through it.
+        state.revert_to(snapshot);
+        assert_eq!(state.balance_of(&addr(1)), U256::from(10u64));
+        assert!(state.account(&addr(2)).is_none());
+        assert_eq!(view.balance_of(&addr(1)), U256::from(15u64));
+        assert_eq!(view.storage_get(&addr(2), &H256::from_low_u64(1)), H256::from_low_u64(9));
+    }
+
+    #[test]
+    fn clones_share_until_either_side_writes() {
+        let mut a = StateDb::new();
+        a.credit(&addr(1), U256::from(10u64));
+        a.clear_journal();
+        let mut b = a.clone();
+        assert!(a.view().ptr_eq(&b.view()));
+
+        // Writing the clone leaves the original untouched, and vice versa.
+        b.credit(&addr(1), U256::from(1u64));
+        assert_eq!(a.balance_of(&addr(1)), U256::from(10u64));
+        a.set_nonce(&addr(1), 3);
+        assert_eq!(b.nonce_of(&addr(1)), 0);
+        assert_eq!(b.balance_of(&addr(1)), U256::from(11u64));
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut state = StateDb::new();
+        state.credit(&addr(1), U256::from(10u64));
+        state.clear_journal();
+        let copy = state.deep_clone();
+        assert!(!state.view().ptr_eq(&copy.view()));
+        assert_eq!(copy.state_root(), state.state_root());
+        assert_eq!(copy.balance_of(&addr(1)), U256::from(10u64));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use sereth_types::block::Block;
 use sereth_types::receipt::Receipt;
 
 use crate::genesis::Genesis;
-use crate::state::StateDb;
+use crate::state::{StateDb, StateView};
 use crate::validation::{validate_block, ValidationError};
 
 /// A block retained with its replay artifacts.
@@ -91,6 +91,19 @@ impl ChainStore {
     /// State at the canonical head.
     pub fn head_state(&self) -> &StateDb {
         &self.blocks[&self.head].post_state
+    }
+
+    /// An O(1) immutable snapshot of the canonical head state. This is the
+    /// read path: the view can be handed out of any lock guarding the
+    /// store and stays frozen while the chain advances.
+    pub fn head_state_view(&self) -> StateView {
+        self.blocks[&self.head].post_state.view()
+    }
+
+    /// An O(1) immutable snapshot of the canonical state at `number`, if
+    /// that height exists.
+    pub fn state_view_at(&self, number: u64) -> Option<StateView> {
+        self.canonical_block(number).map(|stored| stored.post_state.view())
     }
 
     /// Height of the canonical head.

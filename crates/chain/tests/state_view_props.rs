@@ -1,0 +1,196 @@
+//! Equivalence properties for copy-on-write state views.
+//!
+//! The contract under test: a [`StateView`] taken at any point in an
+//! arbitrary interleaving of mutations, snapshots, reverts, and seals is
+//! byte-equal to an **eagerly deep-cloned** `StateDb` taken at the same
+//! instant — and stays that way while the live state keeps mutating.
+//! `deep_clone` is the old O(state) clone semantics, kept precisely to
+//! serve as the oracle here (and as the RAA-STATE bench baseline).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sereth_chain::state::{Account, Snapshot, StateDb, StateView};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_types::u256::U256;
+use sereth_vm::exec::{ContractCode, Storage};
+
+/// One step of the interleaved workload. Mutations mirror every journaled
+/// entry kind; the control ops exercise the journal machinery around the
+/// COW boundary.
+#[derive(Debug, Clone)]
+enum Op {
+    Credit(u8, u64),
+    Debit(u8, u64),
+    SetNonce(u8, u64),
+    SetCode(u8, u8),
+    Store(u8, u8, u64),
+    /// Push a journal snapshot.
+    Snapshot,
+    /// Revert to the most recent unconsumed snapshot (no-op if none).
+    Revert,
+    /// Seal: clear the journal, dropping all snapshots (block boundary).
+    Seal,
+    /// Capture a `StateView` plus its eager deep-clone oracle.
+    TakeView,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Credit(a, v % 1_000_000)),
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Debit(a, v % 1_000_000)),
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::SetNonce(a, v % 100)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::SetCode(a, b)),
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, k, v)| Op::Store(a, k, v % 1_000)),
+        Just(Op::Snapshot),
+        Just(Op::Revert),
+        Just(Op::Seal),
+        Just(Op::TakeView),
+    ]
+}
+
+fn addr(n: u8) -> Address {
+    Address::from_low_u64(n as u64)
+}
+
+/// A captured (view, oracle) pair, tagged with the op index it was taken
+/// at for failure messages.
+struct Capture {
+    at: usize,
+    view: StateView,
+    oracle: StateDb,
+}
+
+/// Applies one *mutation* op (the journaled kinds); the control ops are
+/// the interpreter loop's job in [`run_ops`].
+fn run_one(state: &mut StateDb, op: &Op) {
+    match op {
+        Op::Credit(a, v) => state.credit(&addr(*a), U256::from(*v)),
+        Op::Debit(a, v) => {
+            let _ = state.debit(&addr(*a), U256::from(*v));
+        }
+        Op::SetNonce(a, v) => state.set_nonce(&addr(*a), *v),
+        Op::SetCode(a, b) => {
+            let code =
+                if *b == 0 { ContractCode::None } else { ContractCode::Bytecode(Bytes::from(vec![*b])) };
+            state.set_code(&addr(*a), code);
+        }
+        Op::Store(a, k, v) => {
+            state.storage_set(&addr(*a), H256::from_low_u64(*k as u64), H256::from_low_u64(*v));
+        }
+        Op::Snapshot | Op::Revert | Op::Seal | Op::TakeView => unreachable!("control op given to run_one"),
+    }
+}
+
+fn run_ops(ops: &[Op]) -> (StateDb, Vec<Capture>) {
+    let mut state = StateDb::new();
+    let mut snapshots: Vec<Snapshot> = Vec::new();
+    let mut captures = Vec::new();
+    for (at, op) in ops.iter().enumerate() {
+        match op {
+            Op::Snapshot => snapshots.push(state.snapshot()),
+            Op::Revert => {
+                if let Some(snapshot) = snapshots.pop() {
+                    state.revert_to(snapshot);
+                }
+            }
+            Op::Seal => {
+                state.clear_journal();
+                snapshots.clear();
+            }
+            Op::TakeView => {
+                captures.push(Capture { at, view: state.view(), oracle: state.deep_clone() });
+            }
+            mutation => run_one(&mut state, mutation),
+        }
+    }
+    (state, captures)
+}
+
+/// Full byte-level comparison: same addresses, same nonce/balance/code,
+/// same storage maps — not just matching commitments.
+fn assert_view_matches(view: &StateView, oracle: &StateDb, at: usize) -> Result<(), TestCaseError> {
+    let viewed: Vec<(Address, Account)> = view.iter().map(|(a, acct)| (*a, acct.clone())).collect();
+    let expected: Vec<(Address, Account)> = oracle.iter().map(|(a, acct)| (*a, acct.clone())).collect();
+    prop_assert_eq!(&viewed, &expected, "account content diverged for view taken at op {}", at);
+    prop_assert_eq!(view.state_root(), oracle.state_root(), "root diverged for view taken at op {}", at);
+    prop_assert_eq!(view.len(), oracle.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// The headline property: every view captured during an arbitrary
+    /// interleaving — including reverts that cross the COW boundary and
+    /// seals that drop the journal — equals its eager deep-clone oracle
+    /// once the whole sequence has run.
+    #[test]
+    fn views_equal_eager_deep_clones_at_every_capture_point(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let (live, captures) = run_ops(&ops);
+        for capture in &captures {
+            assert_view_matches(&capture.view, &capture.oracle, capture.at)?;
+        }
+        // And a view of the final state equals a deep clone of it.
+        assert_view_matches(&live.view(), &live.deep_clone(), ops.len())?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Focused variant: force the revert-across-COW-boundary shape — a
+    /// snapshot, mutations, a view *inside* the journaled region, then a
+    /// revert. The view must keep the pre-revert bytes; the live state
+    /// must equal a state that never had the suffix applied.
+    #[test]
+    fn revert_after_view_capture_unshares_instead_of_rewriting(
+        prefix in proptest::collection::vec(op_strategy(), 0..20),
+        suffix in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        // Strip control ops from the suffix so the revert window is pure
+        // mutation (snapshots inside it would be consumed by our revert).
+        let suffix: Vec<Op> = suffix
+            .into_iter()
+            .filter(|op| !matches!(op, Op::Snapshot | Op::Revert | Op::Seal | Op::TakeView))
+            .collect();
+
+        let (mut state, _) = run_ops(&prefix);
+        let root_before = state.state_root();
+        let snapshot = state.snapshot();
+        for op in &suffix {
+            run_one(&mut state, op);
+        }
+        let view = state.view();
+        let oracle = state.deep_clone();
+
+        state.revert_to(snapshot);
+        prop_assert_eq!(state.state_root(), root_before, "revert restored the live state");
+        // The held view is untouched by the revert.
+        assert_view_matches(&view, &oracle, prefix.len() + suffix.len())?;
+    }
+
+    /// Views are first-class for the executor's read path: storage reads
+    /// through the view agree with the oracle for every (account, slot)
+    /// the workload ever touched.
+    #[test]
+    fn view_reads_agree_with_oracle_reads(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (state, _) = run_ops(&ops);
+        let view = state.view();
+        let oracle = state.deep_clone();
+        for a in 0u8..=255 {
+            let address = addr(a);
+            prop_assert_eq!(view.nonce_of(&address), oracle.nonce_of(&address));
+            prop_assert_eq!(view.balance_of(&address), oracle.balance_of(&address));
+            prop_assert_eq!(view.code_of(&address), oracle.code_of(&address));
+            for k in 0u8..4 {
+                let key = H256::from_low_u64(k as u64);
+                prop_assert_eq!(view.storage_get(&address, &key), oracle.storage_get(&address, &key));
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use sereth_chain::state::StateDb;
+use sereth_chain::state::StateView;
 use sereth_chain::txpool::TxPool;
 use sereth_core::fpv::Fpv;
 use sereth_core::hms::{hash_mark_set, HmsConfig};
@@ -20,7 +20,6 @@ use sereth_core::process::PendingTx;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_types::transaction::Transaction;
-use sereth_vm::exec::Storage;
 
 use crate::contract::{buy_selector, set_selector, SLOT_MARK, SLOT_VALUE};
 
@@ -64,15 +63,17 @@ pub fn pending_view(pool: &TxPool) -> Vec<PendingTx> {
     pool.entries_by_arrival().into_iter().map(pending_tx).collect()
 }
 
-/// Reads the committed `(mark, value)` of the Sereth contract.
-pub fn committed_amv(state: &StateDb, contract: &Address) -> (H256, H256) {
+/// Reads the committed `(mark, value)` of the Sereth contract from an
+/// immutable state view (taken in O(1) via [`StateDb::view`] or
+/// `ChainStore::head_state_view`).
+pub fn committed_amv(state: &StateView, contract: &Address) -> (H256, H256) {
     (state.storage_get(contract, &SLOT_MARK), state.storage_get(contract, &SLOT_VALUE))
 }
 
 /// Orders the pool's candidates according to `policy`.
 pub fn order_candidates(
     pool: &TxPool,
-    state: &StateDb,
+    state: &StateView,
     contract: &Address,
     policy: &MinerPolicy,
 ) -> Vec<Transaction> {
@@ -94,7 +95,7 @@ pub fn order_candidates(
 /// the rest of the pool follows by fee priority (those transactions'
 /// dependencies cannot be satisfied by any visible write, so they will
 /// no-op exactly as they would under the standard policy).
-fn pwv_order(pool: &TxPool, state: &StateDb, contract: &Address) -> Vec<Transaction> {
+fn pwv_order(pool: &TxPool, state: &StateView, contract: &Address) -> Vec<Transaction> {
     use sereth_core::mark::compute_mark;
 
     let (mut mark, mut value) = committed_amv(state, contract);
@@ -171,7 +172,7 @@ fn pwv_order(pool: &TxPool, state: &StateDb, contract: &Address) -> Vec<Transact
 /// 5. repair per-sender nonce order, which interleaving may have broken.
 fn semantic_order(
     pool: &TxPool,
-    state: &StateDb,
+    state: &StateView,
     contract: &Address,
     config: &HmsConfig,
 ) -> Vec<Transaction> {
@@ -264,11 +265,13 @@ mod tests {
     use super::*;
     use crate::contract::{default_contract_address, sereth_genesis_slots};
     use bytes::Bytes;
+    use sereth_chain::state::StateDb;
     use sereth_core::fpv::Flag;
     use sereth_core::mark::{compute_mark, genesis_mark};
     use sereth_crypto::sig::SecretKey;
     use sereth_types::transaction::TxPayload;
     use sereth_types::u256::U256;
+    use sereth_vm::exec::Storage;
 
     fn state_with_contract() -> (StateDb, Address) {
         let mut state = StateDb::new();
@@ -328,7 +331,7 @@ mod tests {
         let b = SecretKey::from_label(2);
         pool.insert(plain_tx(&a, 0, 5), 0).unwrap();
         pool.insert(plain_tx(&b, 0, 50), 1).unwrap();
-        let ordered = order_candidates(&pool, &state, &contract, &MinerPolicy::Standard);
+        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Standard);
         assert_eq!(ordered[0].gas_price(), 50);
         assert_eq!(ordered[1].gas_price(), 5);
     }
@@ -358,7 +361,7 @@ mod tests {
         pool.insert(buy_at_m0.clone(), 4).unwrap();
 
         let ordered =
-            order_candidates(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         // Expected semantic order before nonce repair:
         //   buy@m0, set1, buy@m1, set2, buy@m2
@@ -393,7 +396,7 @@ mod tests {
         pool.insert(set1.clone(), 99).unwrap();
 
         let ordered =
-            order_candidates(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         assert_eq!(ordered[0].hash(), set1.hash());
         assert_eq!(ordered.len(), 11);
         for (i, buy) in buys.iter().enumerate() {
@@ -416,7 +419,7 @@ mod tests {
         pool.insert(transfer.clone(), 2).unwrap();
 
         let ordered =
-            order_candidates(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         assert_eq!(ordered.len(), 3);
         assert_eq!(ordered[0].hash(), set1.hash(), "series first");
         let tail: Vec<H256> = ordered[1..].iter().map(Transaction::hash).collect();
@@ -443,7 +446,7 @@ mod tests {
         pool.insert(buy_a.clone(), 1).unwrap();
         pool.insert(buy_b.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state, &contract, &MinerPolicy::Pwv);
+        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         assert_eq!(hashes, vec![buy_a.hash(), buy_b.hash(), set1.hash()]);
     }
@@ -467,7 +470,7 @@ mod tests {
         pool.insert(buy_mid.clone(), 1).unwrap();
         pool.insert(set1.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state, &contract, &MinerPolicy::Pwv);
+        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         assert_eq!(hashes, vec![set1.hash(), buy_mid.hash(), set2.hash()]);
     }
@@ -488,7 +491,7 @@ mod tests {
         pool.insert(transfer.clone(), 1).unwrap();
         pool.insert(set1.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state, &contract, &MinerPolicy::Pwv);
+        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
         assert_eq!(ordered.len(), 3);
         assert_eq!(ordered[0].hash(), set1.hash());
         let tail: Vec<H256> = ordered[1..].iter().map(Transaction::hash).collect();
@@ -515,7 +518,7 @@ mod tests {
         let stale_buy = sereth_tx(&buyer, 0, buy_selector(), Flag::Success, m0, 50);
         pool.insert(stale_buy.clone(), 0).unwrap();
 
-        let ordered = order_candidates(&pool, &state, &contract, &MinerPolicy::Pwv);
+        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
         // Scheduled (it occupies block space) but only via the fee-order
         // tail — the dependency loop never picked it up.
         assert_eq!(ordered.len(), 1);
@@ -539,7 +542,7 @@ mod tests {
     #[test]
     fn committed_amv_reads_contract_slots() {
         let (state, contract) = state_with_contract();
-        let (mark, value) = committed_amv(&state, &contract);
+        let (mark, value) = committed_amv(&state.view(), &contract);
         assert_eq!(mark, genesis_mark());
         assert_eq!(value, H256::from_low_u64(50));
     }

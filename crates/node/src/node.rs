@@ -10,9 +10,10 @@
 //! both kinds interoperate on one network here too, which
 //! `tests/interop.rs` exercises.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use sereth_chain::builder::{build_block, BlockLimits};
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::Genesis;
@@ -158,7 +159,29 @@ pub enum BlockReceipt {
 /// paper's smart-contract users) query through this handle — the analogue
 /// of local RPC against one's own client process.
 #[derive(Clone)]
-pub struct NodeHandle(Arc<Mutex<NodeInner>>);
+pub struct NodeHandle {
+    inner: Arc<Mutex<NodeInner>>,
+    /// Counts every acquisition of the node lock through this handle —
+    /// instrumentation the lock-discipline regression tests key on (the
+    /// RAA provider's data source locks separately, by design).
+    locks: Arc<AtomicU64>,
+}
+
+impl NodeHandle {
+    /// Acquires the node lock, counting the acquisition.
+    fn lock(&self) -> MutexGuard<'_, NodeInner> {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
+    }
+
+    /// How many times this handle (any clone of it) has acquired the node
+    /// lock. Read-only queries must cost exactly one acquisition — the
+    /// regression test for the historical double-lock in
+    /// [`NodeHandle::query_view`] asserts on deltas of this counter.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.locks.load(Ordering::Relaxed)
+    }
+}
 
 /// [`HmsDataSource`] over a node, held weakly by the RAA provider to avoid
 /// a reference cycle.
@@ -183,8 +206,8 @@ impl HmsDataSource for NodeSource {
 
     fn committed(&self, contract: &Address) -> (H256, H256) {
         let Some(node) = self.0.upgrade() else { return (H256::ZERO, H256::ZERO) };
-        let inner = node.lock();
-        committed_amv(inner.chain.head_state(), contract)
+        let view = node.lock().chain.head_state_view();
+        committed_amv(&view, contract)
     }
 }
 
@@ -214,11 +237,11 @@ impl NodeHandle {
             orphans: Vec::new(),
             seen_txs: std::collections::HashSet::new(),
         };
-        let handle = Self(Arc::new(Mutex::new(inner)));
+        let handle = Self { inner: Arc::new(Mutex::new(inner)), locks: Arc::new(AtomicU64::new(0)) };
         {
-            let mut inner = handle.0.lock();
+            let mut inner = handle.inner.lock();
             if inner.config.kind == ClientKind::Sereth {
-                let source = Arc::new(NodeSource(Arc::downgrade(&handle.0)));
+                let source = Arc::new(NodeSource(Arc::downgrade(&handle.inner)));
                 let provider: Arc<dyn sereth_vm::raa::RaaProvider> = match inner.config.raa_backend {
                     RaaBackend::Recompute => {
                         Arc::new(HmsRaaProvider::new(source, set_selector(), inner.config.hms.clone()))
@@ -249,39 +272,50 @@ impl NodeHandle {
     /// The incremental RAA service's counters, when the node runs the
     /// [`RaaBackend::Service`] backend.
     pub fn raa_metrics(&self) -> Option<sereth_raa::RaaMetrics> {
-        self.0.lock().raa_service.as_ref().map(|service| service.metrics())
+        self.lock().raa_service.as_ref().map(|service| service.metrics())
     }
 
     /// The node's client kind.
     pub fn kind(&self) -> ClientKind {
-        self.0.lock().config.kind
+        self.lock().config.kind
     }
 
     /// Canonical head height.
     pub fn head_number(&self) -> u64 {
-        self.0.lock().chain.head_number()
+        self.lock().chain.head_number()
     }
 
     /// Number of pooled transactions.
     pub fn pool_len(&self) -> usize {
-        self.0.lock().pool.len()
+        self.lock().pool.len()
     }
 
     /// `true` if the pool currently holds `hash`.
     pub fn pool_contains(&self, hash: &H256) -> bool {
-        self.0.lock().pool.contains(hash)
+        self.lock().pool.contains(hash)
     }
 
     /// The committed `(mark, value)` of the managed contract — what a
     /// standard Geth client sees (READ-COMMITTED).
     pub fn committed_amv(&self) -> (H256, H256) {
-        let inner = self.0.lock();
-        committed_amv(inner.chain.head_state(), &inner.config.contract)
+        let (view, contract) = {
+            let inner = self.lock();
+            (inner.chain.head_state_view(), inner.config.contract)
+        };
+        committed_amv(&view, &contract)
     }
 
     /// Account nonce at the canonical head.
     pub fn account_nonce(&self, address: &Address) -> u64 {
-        self.0.lock().chain.head_state().nonce_of(address)
+        self.lock().chain.head_state_view().nonce_of(address)
+    }
+
+    /// An O(1) immutable snapshot of the canonical head state, plus the
+    /// height it was taken at. The view can be held across blocks: it
+    /// stays frozen while the node keeps sealing.
+    pub fn head_state_view(&self) -> (u64, sereth_chain::state::StateView) {
+        let inner = self.lock();
+        (inner.chain.head_number(), inner.chain.head_state_view())
     }
 
     /// Issues the two read-only calls `mark(...)` and `get(...)` against
@@ -292,8 +326,7 @@ impl NodeHandle {
     /// zero arguments — callers should use [`NodeHandle::committed_amv`]
     /// instead, exactly as unmodified clients must.
     pub fn query_view(&self, caller: Address) -> Option<(H256, H256)> {
-        let contract = self.0.lock().config.contract;
-        self.query_view_for(contract, caller)
+        self.query_view_inner(None, caller)
     }
 
     /// Like [`NodeHandle::query_view`] but against an explicit contract —
@@ -301,11 +334,22 @@ impl NodeHandle {
     /// provided RAA was enabled for that contract's selectors (see
     /// [`NodeHandle::enable_market`]).
     pub fn query_view_for(&self, contract: Address, caller: Address) -> Option<(H256, H256)> {
-        let (state, raa, env) = {
-            let inner = self.0.lock();
+        self.query_view_inner(Some(contract), caller)
+    }
+
+    /// The single-lock read path shared by [`NodeHandle::query_view`] and
+    /// [`NodeHandle::query_view_for`]: ONE lock acquisition captures the
+    /// configured contract (when none was given), an O(1) state view, the
+    /// registry, and the head's block environment. The calls themselves
+    /// execute outside the lock against the frozen view, so read latency
+    /// is independent of both state size and writer activity.
+    fn query_view_inner(&self, contract: Option<Address>, caller: Address) -> Option<(H256, H256)> {
+        let (contract, state, raa, env) = {
+            let inner = self.lock();
             let head = inner.chain.head_block().header.clone();
             (
-                inner.chain.head_state().clone(),
+                contract.unwrap_or(inner.config.contract),
+                inner.chain.head_state_view(),
                 inner.raa.clone(),
                 BlockEnv {
                     number: head.number,
@@ -331,7 +375,7 @@ impl NodeHandle {
     /// `get`/`mark` selectors (the configured contract is enabled at
     /// construction). No-op on Geth nodes.
     pub fn enable_market(&self, contract: Address) {
-        let mut inner = self.0.lock();
+        let mut inner = self.lock();
         if inner.config.kind == ClientKind::Sereth {
             inner.raa.enable(contract, get_selector());
             inner.raa.enable(contract, mark_selector());
@@ -341,7 +385,7 @@ impl NodeHandle {
     /// Accepts a transaction from gossip or local submission. Returns
     /// `true` when newly accepted (the caller should gossip it onward).
     pub fn receive_tx(&self, tx: Transaction, now: SimTime) -> bool {
-        let mut inner = self.0.lock();
+        let mut inner = self.lock();
         if !inner.seen_txs.insert(tx.hash()) {
             return false;
         }
@@ -357,7 +401,7 @@ impl NodeHandle {
     /// Accepts a block from gossip, importing it and any orphans it
     /// unblocks.
     pub fn receive_block(&self, block: Block) -> BlockReceipt {
-        let mut inner = self.0.lock();
+        let mut inner = self.lock();
         if inner.chain.get(&block.hash()).is_some() {
             return BlockReceipt::Known;
         }
@@ -413,12 +457,12 @@ impl NodeHandle {
 
     /// Seals a block at `now` (miner nodes only) and imports it locally.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
-        let mut inner = self.0.lock();
+        let mut inner = self.lock();
         let setup = inner.config.miner.clone()?;
         let parent = inner.chain.head_block().header.clone();
         let NodeInner { chain, pool, config, .. } = &mut *inner;
         let state = chain.head_state();
-        let candidates = order_candidates(pool, state, &config.contract, &setup.policy);
+        let candidates = order_candidates(pool, &state.view(), &config.contract, &setup.policy);
         let timestamp = now.max(parent.timestamp_ms + 1);
         let built = build_block(&parent, state, candidates, setup.coinbase, timestamp, &config.limits);
         let block = built.block.clone();
@@ -434,25 +478,25 @@ impl NodeHandle {
     /// Looks up a block by hash (canonical or side-chain), for sync
     /// replies.
     pub fn block_by_hash(&self, hash: &H256) -> Option<Block> {
-        self.0.lock().chain.get(hash).map(|stored| stored.block.clone())
+        self.lock().chain.get(hash).map(|stored| stored.block.clone())
     }
 
     /// Runs `f` with the locked inner state (post-run inspection).
     pub fn with_inner<T>(&self, f: impl FnOnce(&NodeInner) -> T) -> T {
-        f(&self.0.lock())
+        f(&self.lock())
     }
 
     /// Runs `f` with mutable access to the inner state — for wiring beyond
     /// the standard configuration, e.g. enabling RAA for additional
     /// contracts (one HMS provider can serve many markets).
     pub fn with_inner_mut<T>(&self, f: impl FnOnce(&mut NodeInner) -> T) -> T {
-        f(&mut self.0.lock())
+        f(&mut self.lock())
     }
 
     /// Where a submitted transaction stands from this node's view — what a
     /// client polls to decide whether to retry (the abort-rate workload).
     pub fn tx_commit_status(&self, tx_hash: &H256, success_topic: H256) -> TxCommitStatus {
-        let inner = self.0.lock();
+        let inner = self.lock();
         match inner.chain.find_receipt(tx_hash) {
             Some((stored, receipt)) => {
                 if receipt.has_event(success_topic) {
@@ -486,7 +530,7 @@ pub enum TxCommitStatus {
 
 impl std::fmt::Debug for NodeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.0.lock();
+        let inner = self.lock();
         f.debug_struct("NodeHandle")
             .field("kind", &inner.config.kind)
             .field("head", &inner.chain.head_number())
@@ -651,6 +695,60 @@ mod tests {
         let (mark, value) = node.query_view(owner.address()).unwrap();
         assert_eq!(mark, compute_mark(&genesis_mark(), &H256::from_low_u64(75)));
         assert_eq!(value, H256::from_low_u64(75));
+    }
+
+    #[test]
+    fn query_view_acquires_the_node_lock_exactly_once() {
+        // Regression for the historical double-lock: `query_view` used to
+        // lock once to read `config.contract` and then again inside
+        // `query_view_for`. Both entry points must now cost exactly one
+        // handle-lock round-trip per query, on both client kinds. (On a
+        // Sereth node the RAA provider's data source takes its own locks
+        // via a separate path; the handle's discipline is what is pinned
+        // here.)
+        let owner = SecretKey::from_label(1);
+        for kind in [ClientKind::Geth, ClientKind::Sereth] {
+            let node = node(kind, &owner, false);
+            let before = node.lock_acquisitions();
+            node.query_view(owner.address()).unwrap();
+            assert_eq!(node.lock_acquisitions() - before, 1, "query_view on {kind:?}");
+
+            let before = node.lock_acquisitions();
+            node.query_view_for(default_contract_address(), owner.address()).unwrap();
+            assert_eq!(node.lock_acquisitions() - before, 1, "query_view_for on {kind:?}");
+        }
+    }
+
+    #[test]
+    fn committed_reads_cost_one_lock_each() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, false);
+        let before = node.lock_acquisitions();
+        node.committed_amv();
+        node.account_nonce(&owner.address());
+        node.head_state_view();
+        assert_eq!(node.lock_acquisitions() - before, 3, "one acquisition per read API call");
+    }
+
+    #[test]
+    fn held_views_stay_frozen_while_the_node_seals() {
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, true);
+        let (height, view) = node.head_state_view();
+        assert_eq!(height, 0);
+        let root_at_genesis = view.state_root();
+
+        node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100);
+        node.mine(15_000).expect("miner seals");
+        assert_eq!(node.head_number(), 1);
+
+        // The held view still shows genesis; a fresh view shows block 1.
+        assert_eq!(view.state_root(), root_at_genesis);
+        assert_eq!(view.nonce_of(&owner.address()), 0);
+        let (new_height, new_view) = node.head_state_view();
+        assert_eq!(new_height, 1);
+        assert_eq!(new_view.nonce_of(&owner.address()), 1);
+        assert_ne!(new_view.state_root(), root_at_genesis);
     }
 
     #[test]

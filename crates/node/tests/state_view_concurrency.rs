@@ -1,0 +1,211 @@
+//! Concurrent readers against copy-on-write state views.
+//!
+//! N reader threads issue `query_view_for` and capture O(1) `StateView`s
+//! while a writer thread keeps sealing blocks. The COW contract under
+//! load: no torn reads (every captured view's recomputed root equals the
+//! header root it was captured with), every view's committed AMV matches
+//! the deterministic oracle for its block height, and every served
+//! `(mark, value)` pair is a member of the precomputed mark chain — a torn
+//! or aliased read would fabricate a pair outside it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::genesis::{Genesis, GenesisBuilder};
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::hms::HmsConfig;
+use sereth_core::mark::{compute_mark, genesis_mark};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
+};
+use sereth_node::miner::{committed_amv, MinerPolicy};
+use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+
+const INITIAL_PRICE: u64 = 50;
+
+fn test_genesis(owner: &SecretKey) -> Genesis {
+    GenesisBuilder::new()
+        .fund(owner.address(), U256::from(1_000_000_000u64))
+        .contract_with_storage(
+            default_contract_address(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(INITIAL_PRICE)),
+        )
+        .build()
+}
+
+fn sereth_node(owner: &SecretKey) -> NodeHandle {
+    NodeHandle::new(
+        test_genesis(owner),
+        NodeConfig {
+            kind: ClientKind::Sereth,
+            contract: default_contract_address(),
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Standard,
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc01),
+            }),
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+            raa_backend: Default::default(),
+        },
+    )
+}
+
+fn set_tx(owner: &SecretKey, nonce: u64, prev: H256, value: H256) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 1,
+            gas_limit: 200_000,
+            to: Some(default_contract_address()),
+            value: U256::ZERO,
+            input: Fpv::new(if nonce == 0 { Flag::Head } else { Flag::Success }, prev, value)
+                .to_calldata(set_selector()),
+        },
+        owner,
+    )
+}
+
+/// The deterministic oracle: `(mark, value)` after `h` sealed blocks, one
+/// set per block, values `100 + h`.
+fn amv_chain(blocks: usize) -> Vec<(H256, H256)> {
+    let mut chain = vec![(genesis_mark(), H256::from_low_u64(INITIAL_PRICE))];
+    for b in 0..blocks {
+        let (prev_mark, _) = chain[b];
+        let value = H256::from_low_u64(100 + b as u64);
+        chain.push((compute_mark(&prev_mark, &value), value));
+    }
+    chain
+}
+
+#[test]
+fn readers_never_observe_torn_state_while_writer_seals() {
+    const BLOCKS: usize = 24;
+    const READERS: usize = 4;
+
+    let owner = SecretKey::from_label(1);
+    let node = sereth_node(&owner);
+    let contract = default_contract_address();
+    let chain = amv_chain(BLOCKS);
+    // The `mark()` and `get()` calls of one query are two separate
+    // read-only executions; a block can seal between them, so the *pair*
+    // may straddle two adjacent pool states. Each component, however, must
+    // be a member of the deterministic chain — anything else is a torn or
+    // fabricated read.
+    let valid_marks: std::collections::HashSet<H256> = chain.iter().map(|(m, _)| *m).collect();
+    let valid_values: std::collections::HashSet<H256> = chain.iter().map(|(_, v)| *v).collect();
+
+    let done = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    // Views the writer holds across the whole run, re-verified at the end:
+    // (height, header state root, view).
+    let held: Mutex<Vec<(u64, H256, sereth_chain::state::StateView)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        // Writer: submit one set, seal it, record the held view.
+        scope.spawn(|| {
+            for (b, &(prev_mark, _)) in chain.iter().take(BLOCKS).enumerate() {
+                let tx = set_tx(&owner, b as u64, prev_mark, H256::from_low_u64(100 + b as u64));
+                assert!(node.receive_tx(tx, (b as u64) * 100 + 1));
+                let block = node.mine((b as u64 + 1) * 15_000).expect("miner seals");
+                assert_eq!(block.transactions.len(), 1, "the set committed in block {b}");
+                let (height, view) = node.head_state_view();
+                held.lock().unwrap().push((height, block.header.state_root, view));
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        // Readers: capture consistent (height, root, view) triples and
+        // issue RAA queries, all while the writer seals.
+        for r in 0..READERS {
+            let reads = &reads;
+            let done = &done;
+            let node = &node;
+            let valid_marks = &valid_marks;
+            let valid_values = &valid_values;
+            let chain = &chain;
+            scope.spawn(move || {
+                let caller = Address::from_low_u64(0xbead + r as u64);
+                while !done.load(Ordering::Acquire) {
+                    // One lock: height, header root, and the O(1) view.
+                    let (height, header_root, view) = node.with_inner(|inner| {
+                        (
+                            inner.chain.head_number(),
+                            inner.chain.head_block().header.state_root,
+                            inner.chain.head_state_view(),
+                        )
+                    });
+                    // No torn reads: the view recomputes the sealed root.
+                    assert_eq!(view.state_root(), header_root, "torn view at height {height}");
+                    // The view matches the oracle for its height.
+                    assert_eq!(
+                        committed_amv(&view, &contract),
+                        chain[height as usize],
+                        "view AMV diverged from oracle at height {height}"
+                    );
+                    // The RAA read path (uncommitted views included) only
+                    // ever serves pairs from the deterministic mark chain.
+                    let (mark, value) = node.query_view_for(contract, caller).expect("sereth answers");
+                    assert!(valid_marks.contains(&mark), "query served a mark outside the chain: {mark:?}");
+                    assert!(
+                        valid_values.contains(&value),
+                        "query served a value outside the chain: {value:?}"
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(node.head_number(), BLOCKS as u64);
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers actually ran");
+
+    // Views held since each seal are still byte-exact for their height —
+    // O(BLOCKS) live snapshots coexisting is the whole point of COW.
+    let held = held.into_inner().unwrap();
+    assert_eq!(held.len(), BLOCKS);
+    for (height, root, view) in &held {
+        assert_eq!(view.state_root(), *root, "held view for height {height} drifted");
+        assert_eq!(committed_amv(view, &contract), chain[*height as usize]);
+    }
+}
+
+#[test]
+fn a_view_held_across_the_whole_run_is_immune_to_the_writer() {
+    const BLOCKS: usize = 8;
+    let owner = SecretKey::from_label(1);
+    let node = sereth_node(&owner);
+    let contract = default_contract_address();
+    let chain = amv_chain(BLOCKS);
+
+    let (height, genesis_view) = node.head_state_view();
+    assert_eq!(height, 0);
+    let genesis_root = genesis_view.state_root();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for (b, &(prev_mark, _)) in chain.iter().take(BLOCKS).enumerate() {
+                let tx = set_tx(&owner, b as u64, prev_mark, H256::from_low_u64(100 + b as u64));
+                node.receive_tx(tx, (b as u64) * 100 + 1);
+                node.mine((b as u64 + 1) * 15_000).expect("miner seals");
+            }
+        });
+        // Poll the frozen view from this thread while the writer runs.
+        for _ in 0..200 {
+            assert_eq!(committed_amv(&genesis_view, &contract), chain[0]);
+        }
+    });
+
+    assert_eq!(node.head_number(), BLOCKS as u64);
+    assert_eq!(genesis_view.state_root(), genesis_root);
+    assert_eq!(committed_amv(&genesis_view, &contract), chain[0]);
+    // And the live chain did move to the oracle's final entry.
+    assert_eq!(node.committed_amv(), chain[BLOCKS]);
+}

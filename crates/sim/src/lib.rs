@@ -38,7 +38,10 @@ pub mod stats;
 pub mod workload;
 
 pub use experiment::{paper_scenarios, run_point, sweep, SweepPoint, PAPER_SET_COUNTS};
-pub use many_markets::{run_many_markets, ManyMarketsConfig, ManyMarketsReport};
+pub use many_markets::{
+    run_many_markets, run_many_markets_concurrent, ConcurrentMarketsReport, ManyMarketsConfig,
+    ManyMarketsReport,
+};
 pub use metrics::{collect_metrics, RunMetrics, Submission, SubmissionLog};
 pub use retry::{RetryDriver, RetryStats};
 pub use scenario::{

@@ -90,13 +90,11 @@ pub struct ManyMarketsReport {
     pub raa: Option<RaaMetrics>,
 }
 
-/// Runs the scenario; identical `(config, seed)` pairs take identical
-/// decisions (wall-clock latencies vary, of course).
-pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsReport {
-    assert!(config.markets > 0 && config.readers > 0, "markets and readers required");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9a9a_33aa);
-
-    // Genesis: every market contract installed, every owner funded.
+/// Builds the scenario fixture shared by the scripted and concurrent
+/// variants: one Sereth mining node with every market contract installed,
+/// every owner funded, and RAA enabled for all markets. Both variants MUST
+/// use this — their oracles assume the same genesis shape.
+fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, NodeHandle) {
     let owner_keys: Vec<SecretKey> =
         (0..config.markets).map(|m| SecretKey::from_label(7_000 + m as u64)).collect();
     let contracts: Vec<Address> =
@@ -110,10 +108,8 @@ pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsRep
                 sereth_genesis_slots(&key.address(), H256::from_low_u64(config.initial_price)),
             );
     }
-    let genesis = genesis_builder.build();
-
     let node = NodeHandle::new(
-        genesis,
+        genesis_builder.build(),
         NodeConfig {
             kind: ClientKind::Sereth,
             contract: contracts[0],
@@ -130,10 +126,13 @@ pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsRep
     for contract in &contracts {
         node.enable_market(*contract);
     }
+    (owner_keys, contracts, node)
+}
 
-    let mut owners: Vec<Owner> = owner_keys
-        .iter()
-        .zip(&contracts)
+/// The owners driving each market's repricing, built from the fixture.
+fn market_owners(config: &ManyMarketsConfig, keys: &[SecretKey], contracts: &[Address]) -> Vec<Owner> {
+    keys.iter()
+        .zip(contracts)
         .map(|(key, contract)| {
             Owner::with_value(
                 key.clone(),
@@ -143,7 +142,17 @@ pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsRep
                 1,
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Runs the scenario; identical `(config, seed)` pairs take identical
+/// decisions (wall-clock latencies vary, of course).
+pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsReport {
+    assert!(config.markets > 0 && config.readers > 0, "markets and readers required");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9a9a_33aa);
+
+    let (owner_keys, contracts, node) = market_fixture(config);
+    let mut owners = market_owners(config, &owner_keys, &contracts);
     let readers: Vec<Address> =
         (0..config.readers).map(|r| Address::from_low_u64(0xbead_0000 + r as u64)).collect();
 
@@ -174,7 +183,7 @@ pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsRep
                 let (mark, value) = view.expect("sereth node always answers");
                 reads += 1;
                 let committed = node.with_inner(|inner| {
-                    sereth_node::miner::committed_amv(inner.chain.head_state(), &contracts[market])
+                    sereth_node::miner::committed_amv(&inner.chain.head_state_view(), &contracts[market])
                 });
                 if (mark, value) != committed {
                     uncommitted_views += 1;
@@ -222,6 +231,157 @@ pub fn run_many_markets(config: &ManyMarketsConfig, seed: u64) -> ManyMarketsRep
     }
 }
 
+/// What the concurrent variant measured.
+#[derive(Debug, Clone)]
+pub struct ConcurrentMarketsReport {
+    /// Total view reads issued across all reader threads.
+    pub reads: u64,
+    /// Reads whose `(mark, value)` components were cross-checked against
+    /// the market's deterministic price chain (all of them — the run
+    /// panics on a miss).
+    pub verified_reads: u64,
+    /// State-view integrity checks (view root vs header root).
+    pub view_checks: u64,
+    /// Blocks the sealer committed during the run.
+    pub blocks: u64,
+}
+
+/// The concurrent read-storm variant: real OS threads instead of scripted
+/// rounds. A sealer thread keeps repricing every market and committing
+/// blocks while `reader_threads` threads hammer `query_view_for` and
+/// capture O(1) `StateView`s.
+///
+/// Cross-checks under true concurrency:
+/// * every captured view recomputes exactly the state root its header
+///   committed to (no torn state reads);
+/// * every served mark/value is a member of that market's deterministic
+///   price chain (the sealer's prices are a pure function of the round, so
+///   the full chain is known up front);
+/// * held views from early blocks stay byte-stable to the end of the run.
+pub fn run_many_markets_concurrent(
+    config: &ManyMarketsConfig,
+    reader_threads: usize,
+    seed: u64,
+) -> ConcurrentMarketsReport {
+    use sereth_core::mark::compute_mark;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    assert!(config.markets > 0 && reader_threads > 0, "markets and reader threads required");
+
+    let (owner_keys, contracts, node) = market_fixture(config);
+
+    // The oracle: each market's full deterministic price chain. Prices are
+    // a pure function of (round, s, market), so every mark/value a reader
+    // can legally observe — committed or uncommitted — is known up front.
+    let total_sets = config.rounds * config.sets_per_round;
+    let mut valid_marks: Vec<std::collections::HashSet<H256>> = Vec::with_capacity(config.markets);
+    let mut valid_values: Vec<std::collections::HashSet<H256>> = Vec::with_capacity(config.markets);
+    for m in 0..config.markets {
+        let mut mark = genesis_mark();
+        let mut marks = std::collections::HashSet::from([mark]);
+        let mut values = std::collections::HashSet::from([H256::from_low_u64(config.initial_price)]);
+        for i in 0..total_sets {
+            let value = H256::from_low_u64(100 + i as u64 * 3 + m as u64);
+            mark = compute_mark(&mark, &value);
+            marks.insert(mark);
+            values.insert(value);
+        }
+        valid_marks.push(marks);
+        valid_values.push(values);
+    }
+
+    let done = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let verified = AtomicU64::new(0);
+    let view_checks = AtomicU64::new(0);
+    let mut blocks = 0u64;
+
+    std::thread::scope(|scope| {
+        // Readers first; they spin until the sealer raises `done`.
+        for r in 0..reader_threads {
+            let node = &node;
+            let contracts = &contracts;
+            let valid_marks = &valid_marks;
+            let valid_values = &valid_values;
+            let done = &done;
+            let reads = &reads;
+            let verified = &verified;
+            let view_checks = &view_checks;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (0xbead_0000 + r as u64));
+                let caller = Address::from_low_u64(0xbead_0000 + r as u64);
+                while !done.load(Ordering::Acquire) {
+                    let market = rng.gen_range(0..contracts.len());
+                    let (mark, value) =
+                        node.query_view_for(contracts[market], caller).expect("sereth node answers");
+                    assert!(
+                        valid_marks[market].contains(&mark),
+                        "market {market} served a mark outside its chain"
+                    );
+                    assert!(
+                        valid_values[market].contains(&value),
+                        "market {market} served a value outside its chain"
+                    );
+                    // Counted only after both membership checks passed, so
+                    // the report's verified count is earned, not assumed.
+                    verified.fetch_add(1, Ordering::Relaxed);
+                    reads.fetch_add(1, Ordering::Relaxed);
+
+                    // Every few reads, audit a captured state view against
+                    // the header it was taken with.
+                    if reads.load(Ordering::Relaxed).is_multiple_of(16) {
+                        let (height, header_root, view) = node.with_inner(|inner| {
+                            (
+                                inner.chain.head_number(),
+                                inner.chain.head_block().header.state_root,
+                                inner.chain.head_state_view(),
+                            )
+                        });
+                        assert_eq!(view.state_root(), header_root, "torn view at height {height}");
+                        view_checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // The sealer: same repricing schedule as the scripted scenario,
+        // committing every `mine_every` rounds, holding one view per block
+        // and re-verifying them all at the end.
+        let mut owners = market_owners(config, &owner_keys, &contracts);
+        let mut held: Vec<(H256, sereth_chain::state::StateView)> = Vec::new();
+        let mut now = 0u64;
+        for round in 0..config.rounds {
+            for (m, owner) in owners.iter_mut().enumerate() {
+                for s in 0..config.sets_per_round {
+                    let price = 100 + (round * config.sets_per_round + s) as u64 * 3 + m as u64;
+                    let tx = owner.next_set(&node, H256::from_low_u64(price));
+                    node.receive_tx(tx, now);
+                    now += 1;
+                }
+            }
+            if config.mine_every > 0 && (round + 1).is_multiple_of(config.mine_every) {
+                now = now.max((blocks + 1) * 15_000);
+                if let Some(block) = node.mine(now) {
+                    blocks += 1;
+                    let (_, view) = node.head_state_view();
+                    held.push((block.header.state_root, view));
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+        for (root, view) in &held {
+            assert_eq!(view.state_root(), *root, "held per-block view drifted during the run");
+        }
+    });
+
+    ConcurrentMarketsReport {
+        reads: reads.load(Ordering::Relaxed),
+        verified_reads: verified.load(Ordering::Relaxed),
+        view_checks: view_checks.load(Ordering::Relaxed),
+        blocks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +420,36 @@ mod tests {
         assert_eq!(report.reads, 30 * 2 * 4);
         assert!(report.raa.is_none());
         assert!(report.verified_reads > 0);
+    }
+
+    #[test]
+    fn concurrent_variant_cross_checks_views_under_live_sealing() {
+        let config = ManyMarketsConfig {
+            markets: 4,
+            rounds: 12,
+            sets_per_round: 3,
+            mine_every: 2,
+            ..ManyMarketsConfig::default()
+        };
+        let report = run_many_markets_concurrent(&config, 3, 7);
+        assert_eq!(report.blocks, 6, "sealer committed every other round");
+        assert!(report.reads > 0, "reader threads actually queried");
+        assert_eq!(report.verified_reads, report.reads, "every read was oracle-checked");
+    }
+
+    #[test]
+    fn concurrent_variant_verifies_on_the_recompute_backend_too() {
+        let config = ManyMarketsConfig {
+            markets: 3,
+            rounds: 8,
+            sets_per_round: 2,
+            mine_every: 2,
+            backend: RaaBackend::Recompute,
+            ..ManyMarketsConfig::default()
+        };
+        let report = run_many_markets_concurrent(&config, 2, 13);
+        assert_eq!(report.blocks, 4);
+        assert!(report.reads > 0);
     }
 
     #[test]

@@ -71,6 +71,27 @@ enum MemUndo {
     Balance { address: Address, prev: U256 },
 }
 
+/// Pops and re-applies every [`MemUndo`] recorded after `checkpoint` —
+/// the one undo-log algorithm shared by [`MemStorage`] and
+/// [`OverlayStorage`].
+fn replay_undo(
+    undo: &mut Vec<MemUndo>,
+    checkpoint: usize,
+    slots: &mut std::collections::HashMap<(Address, H256), H256>,
+    balances: &mut std::collections::HashMap<Address, U256>,
+) {
+    while undo.len() > checkpoint {
+        match undo.pop().expect("length checked") {
+            MemUndo::Slot { address, key, prev } => {
+                slots.insert((address, key), prev);
+            }
+            MemUndo::Balance { address, prev } => {
+                balances.insert(address, prev);
+            }
+        }
+    }
+}
+
 impl MemStorage {
     /// An empty storage.
     pub fn new() -> Self {
@@ -128,16 +149,109 @@ impl Storage for MemStorage {
     }
 
     fn revert_checkpoint(&mut self, checkpoint: usize) {
-        while self.undo.len() > checkpoint {
-            match self.undo.pop().expect("length checked") {
-                MemUndo::Slot { address, key, prev } => {
-                    self.slots.insert((address, key), prev);
-                }
-                MemUndo::Balance { address, prev } => {
-                    self.balances.insert(address, prev);
-                }
-            }
+        replay_undo(&mut self.undo, checkpoint, &mut self.slots, &mut self.balances);
+    }
+}
+
+/// Read-only world state — the subset of [`Storage`] a frozen snapshot can
+/// serve. Implemented by the chain's O(1) state views; [`OverlayStorage`]
+/// lifts any implementor into a full [`Storage`] without copying it.
+pub trait ReadStorage {
+    /// Reads a storage slot; absent slots read as zero.
+    fn storage_get(&self, address: &Address, key: &H256) -> H256;
+
+    /// The executable code of an account.
+    fn code_get(&self, _address: &Address) -> ContractCode {
+        ContractCode::None
+    }
+
+    /// The balance of an account.
+    fn balance_get(&self, _address: &Address) -> U256 {
+        U256::ZERO
+    }
+}
+
+/// A mutable [`Storage`] over a borrowed [`ReadStorage`] base: reads fall
+/// through to the base, writes land in a journaled in-memory overlay.
+///
+/// Construction is O(1) regardless of base size, which is what keeps the
+/// read-only call path (`call_readonly`) free of any state copy: a frame
+/// that never writes costs nothing beyond the base reads, and a frame that
+/// does write (a non-static call against a snapshot) pays only for the
+/// slots it touches. The base is never mutated.
+#[derive(Debug)]
+pub struct OverlayStorage<'a, B: ReadStorage + ?Sized> {
+    base: &'a B,
+    slots: std::collections::HashMap<(Address, H256), H256>,
+    balances: std::collections::HashMap<Address, U256>,
+    undo: Vec<MemUndo>,
+}
+
+impl<'a, B: ReadStorage + ?Sized> OverlayStorage<'a, B> {
+    /// An empty overlay over `base`.
+    pub fn new(base: &'a B) -> Self {
+        Self {
+            base,
+            slots: std::collections::HashMap::new(),
+            balances: std::collections::HashMap::new(),
+            undo: Vec::new(),
         }
+    }
+
+    /// Number of overlaid (written) storage slots.
+    pub fn written_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<B: ReadStorage + ?Sized> Storage for OverlayStorage<'_, B> {
+    fn storage_get(&self, address: &Address, key: &H256) -> H256 {
+        match self.slots.get(&(*address, *key)) {
+            Some(value) => *value,
+            None => self.base.storage_get(address, key),
+        }
+    }
+
+    fn storage_set(&mut self, address: &Address, key: H256, value: H256) {
+        let prev = Storage::storage_get(self, address, &key);
+        self.undo.push(MemUndo::Slot { address: *address, key, prev });
+        self.slots.insert((*address, key), value);
+    }
+
+    fn code_get(&self, address: &Address) -> ContractCode {
+        // Code is immutable within a call frame; no overlay needed.
+        self.base.code_get(address)
+    }
+
+    fn balance_get(&self, address: &Address) -> U256 {
+        match self.balances.get(address) {
+            Some(balance) => *balance,
+            None => self.base.balance_get(address),
+        }
+    }
+
+    fn transfer(&mut self, from: &Address, to: &Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        let from_balance = Storage::balance_get(self, from);
+        let Some(from_next) = from_balance.checked_sub(value) else {
+            return false;
+        };
+        self.undo.push(MemUndo::Balance { address: *from, prev: from_balance });
+        self.balances.insert(*from, from_next);
+        let to_balance = Storage::balance_get(self, to);
+        self.undo.push(MemUndo::Balance { address: *to, prev: to_balance });
+        self.balances.insert(*to, to_balance + value);
+        true
+    }
+
+    fn checkpoint(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn revert_checkpoint(&mut self, checkpoint: usize) {
+        replay_undo(&mut self.undo, checkpoint, &mut self.slots, &mut self.balances);
     }
 }
 
@@ -295,6 +409,26 @@ impl fmt::Debug for ContractCode {
 mod tests {
     use super::*;
 
+    /// Lifts a [`MemStorage`] into a [`ReadStorage`] base for overlay
+    /// tests (the production base is the chain's `StateView`; `MemStorage`
+    /// deliberately does not implement `ReadStorage` itself to keep its
+    /// `Storage` methods unambiguous at call sites).
+    struct ReadOnly(MemStorage);
+
+    impl ReadStorage for ReadOnly {
+        fn storage_get(&self, address: &Address, key: &H256) -> H256 {
+            self.0.storage_get(address, key)
+        }
+
+        fn code_get(&self, address: &Address) -> ContractCode {
+            self.0.code_get(address)
+        }
+
+        fn balance_get(&self, address: &Address) -> U256 {
+            self.0.balance_get(address)
+        }
+    }
+
     #[test]
     fn mem_storage_defaults_to_zero() {
         let storage = MemStorage::new();
@@ -309,6 +443,48 @@ mod tests {
         assert_eq!(storage.storage_get(&addr, &H256::from_low_u64(1)), H256::from_low_u64(42));
         // Slots are per-address.
         assert_eq!(storage.storage_get(&Address::from_low_u64(2), &H256::from_low_u64(1)), H256::ZERO);
+    }
+
+    #[test]
+    fn overlay_reads_fall_through_and_writes_stay_local() {
+        let mut inner = MemStorage::new();
+        let addr = Address::from_low_u64(1);
+        inner.storage_set(&addr, H256::from_low_u64(1), H256::from_low_u64(7));
+        inner.set_balance(addr, U256::from(100u64));
+        let base = ReadOnly(inner);
+
+        let mut overlay = OverlayStorage::new(&base);
+        // Reads fall through to the base.
+        assert_eq!(overlay.storage_get(&addr, &H256::from_low_u64(1)), H256::from_low_u64(7));
+        assert_eq!(overlay.balance_get(&addr), U256::from(100u64));
+        // Writes land only in the overlay.
+        overlay.storage_set(&addr, H256::from_low_u64(1), H256::from_low_u64(9));
+        assert_eq!(overlay.storage_get(&addr, &H256::from_low_u64(1)), H256::from_low_u64(9));
+        assert_eq!(overlay.written_slots(), 1);
+        drop(overlay);
+        assert_eq!(base.0.storage_get(&addr, &H256::from_low_u64(1)), H256::from_low_u64(7));
+    }
+
+    #[test]
+    fn overlay_checkpoints_revert_writes_and_transfers() {
+        let mut inner = MemStorage::new();
+        let a = Address::from_low_u64(1);
+        let b = Address::from_low_u64(2);
+        inner.set_balance(a, U256::from(50u64));
+        let base = ReadOnly(inner);
+
+        let mut overlay = OverlayStorage::new(&base);
+        let checkpoint = overlay.checkpoint();
+        overlay.storage_set(&a, H256::from_low_u64(3), H256::from_low_u64(4));
+        assert!(overlay.transfer(&a, &b, U256::from(20u64)));
+        assert_eq!(overlay.balance_get(&b), U256::from(20u64));
+        overlay.revert_checkpoint(checkpoint);
+        assert_eq!(overlay.storage_get(&a, &H256::from_low_u64(3)), H256::ZERO);
+        assert_eq!(overlay.balance_get(&a), U256::from(50u64));
+        assert_eq!(overlay.balance_get(&b), U256::ZERO);
+        // Insufficient funds leave everything untouched.
+        assert!(!overlay.transfer(&a, &b, U256::from(1_000u64)));
+        assert_eq!(overlay.balance_get(&a), U256::from(50u64));
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod trace;
 
 pub use abi::Selector;
 pub use error::VmError;
-pub use exec::{CallEnv, CallOutcome, ContractCode, MemStorage, NativeContract, Storage};
+pub use exec::{
+    CallEnv, CallOutcome, ContractCode, MemStorage, NativeContract, OverlayStorage, ReadStorage, Storage,
+};
 pub use gas::{intrinsic_gas, GasMeter};
 pub use opcode::Opcode;
 pub use raa::{execute_call, RaaProvider, RaaRegistry, RaaRequest};

@@ -42,12 +42,12 @@ fn energy() -> Address {
 fn hms_view(node: &NodeHandle, market: Address) -> (H256, H256) {
     let caller = Address::from_low_u64(0x11);
     let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
-    // State and registry are cloned out of the node lock: the HMS provider
-    // re-enters the node inside `augment`.
+    // An O(1) state view and the registry are taken out of the node lock:
+    // the HMS provider re-enters the node inside `augment`.
     let (state, raa, env) = node.with_inner(|inner| {
         let head = inner.chain.head_block().header.clone();
         (
-            inner.chain.head_state().clone(),
+            inner.chain.head_state_view(),
             inner.raa.clone(),
             BlockEnv {
                 number: head.number,

@@ -78,13 +78,14 @@ fn setup() -> (NodeHandle, Owner, Owner) {
 fn view_of(node: &NodeHandle, market: Address) -> (H256, H256) {
     let caller = Address::from_low_u64(0x11);
     let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
-    // Clone state and registry OUT of the lock: the RAA provider re-locks
-    // the node inside `augment`, so running the call under `with_inner`
-    // would deadlock (the same discipline `NodeHandle::query_view` uses).
+    // Take an O(1) state view and the registry OUT of the lock: the RAA
+    // provider re-locks the node inside `augment`, so running the call
+    // under `with_inner` would deadlock (the same discipline
+    // `NodeHandle::query_view` uses).
     let (state, raa, env) = node.with_inner(|inner| {
         let head = inner.chain.head_block().header.clone();
         (
-            inner.chain.head_state().clone(),
+            inner.chain.head_state_view(),
             inner.raa.clone(),
             sereth::chain::executor::BlockEnv {
                 number: head.number,
