@@ -1,0 +1,214 @@
+//! EXEC-PAR: block execution latency, sequential vs the conflict-aware
+//! parallel executor, across block sizes and conflict ratios.
+//!
+//! Each point builds the same candidate list twice on the same parent
+//! state — `build_block` (sequential baseline) and `build_block_with_mode`
+//! with `ExecMode::Parallel` — asserts the sealed blocks are identical,
+//! and reports mean wall-clock per build. The workload is `size` contract
+//! calls from distinct senders; a `conflict_pct`% subset (spread evenly
+//! through the list) hits one shared counter contract, the rest each hit
+//! their own — so 0 % is embarrassingly parallel and 100 % is the
+//! adversarial case the adaptive sequential degradation must absorb.
+//!
+//! Prints a markdown table and writes the `BENCH_exec.json` artifact
+//! (conflict-free sweep) for CI upload. Knobs (env): `EXEC_TXS` (comma
+//! list of block sizes; default `64,256,512`), `EXEC_CONFLICTS` (percent
+//! list; default `0,50,100`), `EXEC_THREADS` (4), `EXEC_REPS` (builds per
+//! measurement; default 3), `EXEC_MIN_SPEEDUP` (if > 0, exit nonzero
+//! unless parallel beats sequential by this factor at the largest
+//! conflict-free size — the CI gate), `EXEC_MAX_SLOWDOWN` (if > 0, exit
+//! nonzero if the 100 % point is more than this factor slower than
+//! sequential — the graceful-degradation gate).
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::builder::{build_block, build_block_with_mode, BlockLimits};
+use sereth_chain::genesis::GenesisBuilder;
+use sereth_chain::parallel::ExecMode;
+use sereth_chain::state::StateDb;
+use sereth_crypto::address::Address;
+use sereth_crypto::sig::SecretKey;
+use sereth_types::block::BlockHeader;
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+use sereth_vm::asm::assemble;
+use sereth_vm::exec::ContractCode;
+
+/// Reads slot 0, does a little keccak work, increments the slot — enough
+/// VM time per transaction that scheduling overhead does not dominate.
+fn counter_code() -> Bytes {
+    Bytes::from(
+        assemble(
+            "PUSH1 0x00\nSLOAD\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x01\nADD\nPUSH1 0x00\nSSTORE\nSTOP",
+        )
+        .unwrap(),
+    )
+}
+
+fn contract_address(i: u64) -> Address {
+    Address::from_low_u64(0xE0_0000 + i)
+}
+
+/// Parent state: `size` funded senders plus `size + 1` counter contracts
+/// (index 0 is the shared hot one).
+fn fixture(size: u64) -> (BlockHeader, StateDb, Vec<SecretKey>) {
+    let keys: Vec<SecretKey> = (0..size).map(|i| SecretKey::from_label(20_000 + i)).collect();
+    let mut builder = GenesisBuilder::new();
+    for key in &keys {
+        builder = builder.fund(key.address(), U256::from(100_000_000u64));
+    }
+    let genesis = builder.build();
+    let mut state = genesis.state;
+    let code = counter_code();
+    for i in 0..=size {
+        state.set_code(&contract_address(i), ContractCode::Bytecode(code.clone()));
+    }
+    state.clear_journal();
+    (genesis.block.header, state, keys)
+}
+
+/// `size` calls from distinct senders; `conflict_pct`% of them (spread
+/// evenly by a stride) target the shared contract 0.
+fn candidates(keys: &[SecretKey], conflict_pct: u64) -> Vec<Transaction> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, key)| {
+            let conflicting = (i as u64 * 997) % 100 < conflict_pct;
+            let target = if conflicting { contract_address(0) } else { contract_address(1 + i as u64) };
+            Transaction::sign(
+                TxPayload {
+                    nonce: 0,
+                    gas_price: 1,
+                    gas_limit: 120_000,
+                    to: Some(target),
+                    value: U256::ZERO,
+                    input: Bytes::new(),
+                },
+                key,
+            )
+        })
+        .collect()
+}
+
+struct Measured {
+    sequential: Duration,
+    parallel: Duration,
+    speedup: f64,
+}
+
+fn measure(size: u64, conflict_pct: u64, threads: usize, reps: usize) -> Measured {
+    let (parent, state, keys) = fixture(size);
+    let txs = candidates(&keys, conflict_pct);
+    let miner = Address::from_low_u64(0xfee);
+    let limits = BlockLimits { gas_limit: u64::MAX / 2, max_txs: None };
+    let mode = ExecMode::Parallel { threads };
+
+    // Sanity before timing: the two modes seal the same block.
+    let seq = build_block(&parent, &state, txs.clone(), miner, 15_000, &limits);
+    let par = build_block_with_mode(&parent, &state, &txs, miner, 15_000, &limits, &mode);
+    assert_eq!(par.block.hash(), seq.block.hash(), "parallel/sequential divergence in the bench fixture");
+    assert_eq!(seq.block.transactions.len() as u64, size, "every candidate must execute");
+
+    let time = |mode: Option<&ExecMode>| {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let built = match mode {
+                None => build_block_with_mode(
+                    &parent,
+                    &state,
+                    &txs,
+                    miner,
+                    15_000,
+                    &limits,
+                    &ExecMode::Sequential,
+                ),
+                Some(mode) => build_block_with_mode(&parent, &state, &txs, miner, 15_000, &limits, mode),
+            };
+            std::hint::black_box(built.block.header.state_root);
+        }
+        start.elapsed() / reps.max(1) as u32
+    };
+    let sequential = time(None);
+    let parallel = time(Some(&mode));
+    let speedup = sequential.as_nanos() as f64 / parallel.as_nanos().max(1) as f64;
+    Measured { sequential, parallel, speedup }
+}
+
+fn main() {
+    let sizes = env_list_or("EXEC_TXS", &[64, 256, 512]);
+    let conflicts = env_list_or("EXEC_CONFLICTS", &[0, 50, 100]);
+    let threads = env_or("EXEC_THREADS", 4usize);
+    let reps = env_or("EXEC_REPS", 3usize);
+    let min_speedup = env_or("EXEC_MIN_SPEEDUP", 0.0f64);
+    let max_slowdown = env_or("EXEC_MAX_SLOWDOWN", 0.0f64);
+
+    println!("Block execution: sequential vs parallel ({threads} threads), {reps} builds per point");
+    println!("| txs | conflict | sequential/block | parallel/block | speedup |");
+    println!("|-----|----------|------------------|----------------|---------|");
+
+    let mut clean_points: Vec<BenchPoint> = Vec::new();
+    // Gate on the conflict-free point at the LARGEST size measured (the
+    // size list is a free-form env knob, so track the max explicitly).
+    let mut clean_gate: Option<(u64, f64)> = None;
+    let mut worst_conflicted_speedup = f64::INFINITY;
+    for &size in &sizes {
+        for &conflict_pct in &conflicts {
+            let m = measure(size, conflict_pct, threads, reps);
+            println!(
+                "| {size:>3} | {conflict_pct:>7}% | {:>13.1} µs | {:>11.1} µs | {:>6.2}x |",
+                m.sequential.as_nanos() as f64 / 1e3,
+                m.parallel.as_nanos() as f64 / 1e3,
+                m.speedup,
+            );
+            if conflict_pct == 0 {
+                clean_points.push(BenchPoint::from_durations(size, m.sequential, m.parallel));
+                if clean_gate.is_none_or(|(gate_size, _)| size >= gate_size) {
+                    clean_gate = Some((size, m.speedup));
+                }
+            } else if conflict_pct == 100 {
+                worst_conflicted_speedup = worst_conflicted_speedup.min(m.speedup);
+            }
+        }
+    }
+    let gate_speedup_clean = clean_gate.map_or(f64::INFINITY, |(_, speedup)| speedup);
+
+    match write_bench_artifact(
+        "exec",
+        "exec_scale",
+        &[("threads", threads.to_string()), ("reps", reps.to_string()), ("conflict_pct", "0".to_string())],
+        &clean_points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_exec.json: {error}"),
+    }
+
+    // CI gates, mirroring STATE_MIN_SPEEDUP: speedup on the conflict-free
+    // block at the largest size, and bounded slowdown at 100 % conflicts.
+    // A gate without its measurement is a config error, not a pass — an
+    // EXEC_CONFLICTS edit must not silently disable regression checking.
+    if min_speedup > 0.0 {
+        assert!(
+            clean_gate.is_some(),
+            "EXEC_MIN_SPEEDUP is set but EXEC_CONFLICTS={conflicts:?} has no 0% point to gate on"
+        );
+        assert!(
+            gate_speedup_clean >= min_speedup,
+            "parallel executor regressed: {gate_speedup_clean:.2}x < required {min_speedup:.2}x \
+             on the conflict-free block at the largest size"
+        );
+    }
+    if max_slowdown > 0.0 {
+        assert!(
+            worst_conflicted_speedup.is_finite(),
+            "EXEC_MAX_SLOWDOWN is set but EXEC_CONFLICTS={conflicts:?} has no 100% point to gate on"
+        );
+        let floor = 1.0 / max_slowdown;
+        assert!(
+            worst_conflicted_speedup >= floor,
+            "graceful degradation violated: {worst_conflicted_speedup:.2}x speedup at 100% conflicts \
+             means more than {max_slowdown:.2}x slower than sequential"
+        );
+    }
+}

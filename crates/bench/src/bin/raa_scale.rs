@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
-use sereth_bench::{env_list_or, env_or, market_txpool, PoolSource};
+use sereth_bench::{env_list_or, env_or, market_txpool, write_bench_artifact, BenchPoint, PoolSource};
 use sereth_core::hms::HmsConfig;
 use sereth_core::mark::genesis_mark;
 use sereth_core::provider::HmsRaaProvider;
@@ -29,6 +29,7 @@ fn main() {
     println!("RAA read latency: {markets} markets x {sets} sets, {reads} reads round-robin over markets");
     println!("| pool size | recompute/read | service/read | speedup |");
     println!("|-----------|----------------|--------------|---------|");
+    let mut points: Vec<BenchPoint> = Vec::new();
     for &noise in &noises {
         let (pool, contracts) = market_txpool(markets, sets, noise as usize);
         let pool_len = pool.len();
@@ -58,10 +59,21 @@ fn main() {
         let service_read = start.elapsed() / reads as u32;
 
         let speedup = recompute.as_nanos() as f64 / service_read.as_nanos().max(1) as f64;
+        points.push(BenchPoint::from_durations(pool_len as u64, recompute, service_read));
         println!(
             "| {pool_len:>9} | {:>11.2} µs | {:>9.2} µs | {speedup:>6.1}x |",
             recompute.as_nanos() as f64 / 1e3,
             service_read.as_nanos() as f64 / 1e3,
         );
+    }
+
+    match write_bench_artifact(
+        "raa",
+        "raa_scale",
+        &[("markets", markets.to_string()), ("sets", sets.to_string()), ("reads", reads.to_string())],
+        &points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_raa.json: {error}"),
     }
 }

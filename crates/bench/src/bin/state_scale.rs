@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use sereth_bench::{env_list_or, env_or};
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
 use sereth_chain::builder::BlockLimits;
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::GenesisBuilder;
@@ -49,6 +49,7 @@ fn build_node(accounts: usize) -> NodeHandle {
     NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            exec_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: default_contract_address(),
             miner: None,
@@ -94,6 +95,7 @@ fn main() {
     let min_speedup = env_or("STATE_MIN_SPEEDUP", 0.0f64);
     let caller = Address::from_low_u64(0x11);
     let mut last_speedup = f64::INFINITY;
+    let mut points: Vec<BenchPoint> = Vec::new();
 
     println!("Node read latency vs state size: full mark()/get() query per read");
     println!("| accounts | deep-clone/read | cow-view/read | speedup |");
@@ -120,11 +122,22 @@ fn main() {
 
         let speedup = deep.as_nanos() as f64 / cow.as_nanos().max(1) as f64;
         last_speedup = speedup;
+        points.push(BenchPoint::from_durations(accounts, deep, cow));
         println!(
             "| {accounts:>8} | {:>12.2} µs | {:>10.2} µs | {speedup:>6.1}x |",
             deep.as_nanos() as f64 / 1e3,
             cow.as_nanos() as f64 / 1e3,
         );
+    }
+
+    match write_bench_artifact(
+        "state",
+        "state_scale",
+        &[("reads", reads.to_string()), ("base_reads", base_reads.to_string())],
+        &points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_state.json: {error}"),
     }
 
     // The regression gate: if the snapshot path ever degrades back to

@@ -142,6 +142,91 @@ impl sereth_core::provider::HmsDataSource for PoolSource {
     }
 }
 
+/// One measured point of a scale benchmark: workload `size`, baseline and
+/// fast-path mean latencies in microseconds, and their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPoint {
+    /// Workload size (accounts, pool entries, transactions, …).
+    pub size: u64,
+    /// Baseline latency, µs.
+    pub base_us: f64,
+    /// Fast-path latency, µs.
+    pub fast_us: f64,
+    /// `base_us / fast_us`.
+    pub speedup: f64,
+}
+
+impl BenchPoint {
+    /// Builds a point from two mean durations.
+    pub fn from_durations(size: u64, base: std::time::Duration, fast: std::time::Duration) -> Self {
+        let base_us = base.as_nanos() as f64 / 1e3;
+        let fast_us = fast.as_nanos() as f64 / 1e3;
+        Self { size, base_us, fast_us, speedup: base.as_nanos() as f64 / fast.as_nanos().max(1) as f64 }
+    }
+}
+
+fn json_escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes a machine-readable benchmark artifact `BENCH_<key>.json` (schema:
+/// `{bench, config, points:[{size, base_us, fast_us, speedup}]}`) into the
+/// current directory, or `$BENCH_ARTIFACT_DIR` when set. CI uploads these
+/// so the performance trajectory is recorded per commit. The build is
+/// offline (no serde), so the JSON is assembled by hand from flat types.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn write_bench_artifact(
+    key: &str,
+    bench: &str,
+    config: &[(&str, String)],
+    points: &[BenchPoint],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| ".".into());
+    write_bench_artifact_in(std::path::Path::new(&dir), key, bench, config, points)
+}
+
+/// [`write_bench_artifact`] with an explicit directory (the env-free core;
+/// tests use this directly so no process-global state is mutated).
+fn write_bench_artifact_in(
+    dir: &std::path::Path,
+    key: &str,
+    bench: &str,
+    config: &[(&str, String)],
+    points: &[BenchPoint],
+) -> std::io::Result<std::path::PathBuf> {
+    use std::fmt::Write as _;
+    let mut body = String::new();
+    let _ = write!(body, "{{\n  \"bench\": \"{}\",\n  \"config\": {{", json_escape(bench));
+    for (i, (name, value)) in config.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(body, "{sep}\n    \"{}\": \"{}\"", json_escape(name), json_escape(value));
+    }
+    let _ = write!(body, "\n  }},\n  \"points\": [");
+    for (i, point) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            body,
+            "{sep}\n    {{\"size\": {}, \"base_us\": {:.3}, \"fast_us\": {:.3}, \"speedup\": {:.3}}}",
+            point.size, point.base_us, point.fast_us, point.speedup
+        );
+    }
+    body.push_str("\n  ]\n}\n");
+
+    let path = dir.join(format!("BENCH_{key}.json"));
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Parses `VAR` from the environment as a number, with a default — lets
 /// the experiment binaries scale without recompiling.
 pub fn env_or<T: std::str::FromStr>(var: &str, default: T) -> T {
@@ -174,5 +259,34 @@ mod tests {
     fn env_helpers_fall_back() {
         assert_eq!(env_or::<u64>("SERETH_BENCH_NO_SUCH_VAR", 7u64), 7);
         assert_eq!(env_list_or("SERETH_BENCH_NO_SUCH_VAR", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn bench_artifact_round_trips_through_disk() {
+        // Uses the env-free core directly: mutating BENCH_ARTIFACT_DIR via
+        // set_var would race sibling tests reading the environment.
+        let dir = std::env::temp_dir().join(format!("sereth-bench-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let point = BenchPoint::from_durations(
+            512,
+            std::time::Duration::from_micros(100),
+            std::time::Duration::from_micros(25),
+        );
+        let path = write_bench_artifact_in(
+            &dir,
+            "test",
+            "exec_scale",
+            &[("threads", "4".into()), ("note", "with \"quotes\"".into())],
+            &[point],
+        )
+        .unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("BENCH_test.json"));
+        assert!(written.contains("\"bench\": \"exec_scale\""));
+        assert!(written.contains("\"size\": 512"));
+        assert!(written.contains("\"speedup\": 4.000"));
+        assert!(written.contains("with \\\"quotes\\\""));
+        std::fs::remove_file(&path).unwrap();
+        assert!((point.speedup - 4.0).abs() < 1e-9);
     }
 }

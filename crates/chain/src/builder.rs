@@ -13,6 +13,7 @@ use sereth_types::receipt::Receipt;
 use sereth_types::transaction::Transaction;
 
 use crate::executor::{apply_transaction, BlockEnv};
+use crate::parallel::{self, ExecMode, ExecOutcome, ExecStats};
 use crate::state::StateDb;
 
 /// Limits for one block.
@@ -42,6 +43,8 @@ pub struct BuiltBlock {
     pub post_state: StateDb,
     /// Candidates that were skipped (protocol-invalid or over capacity).
     pub skipped: usize,
+    /// How the executor got there (waves, speculations, fallbacks).
+    pub stats: ExecStats,
 }
 
 /// Executes `candidates` in order on top of `parent`, skipping transactions
@@ -56,35 +59,48 @@ pub fn build_block(
     timestamp_ms: u64,
     limits: &BlockLimits,
 ) -> BuiltBlock {
+    build_block_with_mode(
+        parent,
+        parent_state,
+        &candidates,
+        miner,
+        timestamp_ms,
+        limits,
+        &ExecMode::Sequential,
+    )
+}
+
+/// [`build_block`] with an explicit execution mode.
+///
+/// Candidates are borrowed — callers keep their list (miners reuse it
+/// for pool bookkeeping); included transactions are cloned into the
+/// block, which is cheap (`Bytes` calldata is refcounted).
+///
+/// [`ExecMode::Parallel`] runs the conflict-aware wave executor of
+/// [`crate::parallel`]; the sealed block is byte-equivalent to
+/// [`ExecMode::Sequential`]'s for the same inputs (same state root,
+/// receipts, gas, and logs) — the `parallel_exec_props` suite holds the
+/// two modes equal over randomized workloads.
+pub fn build_block_with_mode(
+    parent: &BlockHeader,
+    parent_state: &StateDb,
+    candidates: &[Transaction],
+    miner: Address,
+    timestamp_ms: u64,
+    limits: &BlockLimits,
+    mode: &ExecMode,
+) -> BuiltBlock {
     let mut state = parent_state.clone();
     state.clear_journal();
     let env = BlockEnv { number: parent.number + 1, timestamp_ms, gas_limit: limits.gas_limit, miner };
 
-    let mut included = Vec::new();
-    let mut receipts = Vec::new();
-    let mut gas_used = 0u64;
-    let mut skipped = 0usize;
-
-    for tx in candidates {
-        if let Some(max) = limits.max_txs {
-            if included.len() >= max {
-                skipped += 1;
-                continue;
-            }
+    let outcome = match mode {
+        ExecMode::Sequential => run_sequential(&mut state, &env, candidates, limits),
+        ExecMode::Parallel { threads } => {
+            parallel::execute_candidates(&mut state, &env, candidates, limits, *threads)
         }
-        if gas_used + tx.gas_limit() > limits.gas_limit {
-            skipped += 1;
-            continue;
-        }
-        match apply_transaction(&mut state, &env, &tx, included.len() as u32) {
-            Ok(receipt) => {
-                gas_used += receipt.gas_used;
-                receipts.push(receipt);
-                included.push(tx);
-            }
-            Err(_) => skipped += 1,
-        }
-    }
+    };
+    let ExecOutcome { included, receipts, gas_used, skipped, stats } = outcome;
 
     state.clear_journal();
     let header = BlockHeader {
@@ -98,7 +114,36 @@ pub fn build_block(
         gas_used,
         gas_limit: limits.gas_limit,
     };
-    BuiltBlock { block: Block { header, transactions: included }, receipts, post_state: state, skipped }
+    BuiltBlock {
+        block: Block { header, transactions: included },
+        receipts,
+        post_state: state,
+        skipped,
+        stats,
+    }
+}
+
+/// The classic one-by-one candidate loop, built on the same
+/// [`parallel::admit`]/[`parallel::include`] bookkeeping as the wave
+/// executor so the admission rules exist exactly once.
+fn run_sequential(
+    state: &mut StateDb,
+    env: &BlockEnv,
+    candidates: &[Transaction],
+    limits: &BlockLimits,
+) -> ExecOutcome {
+    let mut out = ExecOutcome::default();
+    for tx in candidates {
+        if !parallel::admit(&mut out, tx, limits) {
+            continue;
+        }
+        out.stats.sequential_txs += 1;
+        match apply_transaction(state, env, tx, out.included.len() as u32) {
+            Ok(receipt) => parallel::include(&mut out, tx, receipt),
+            Err(_) => out.skipped += 1,
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -64,26 +64,69 @@ impl core::fmt::Display for TxApplyError {
 
 impl std::error::Error for TxApplyError {}
 
-/// Applies `tx` to `state`, returning its receipt.
+/// The account-level mutation surface the transaction algorithm needs on
+/// top of the VM's [`Storage`](sereth_vm::exec::Storage) trait.
 ///
-/// On success the state reflects the transaction (which may still be a
-/// *semantic* no-op for the contract). On [`TxApplyError`] the state is
-/// unchanged and the transaction must not be included in a block.
+/// Two implementors exist: [`StateDb`] (the sequential executor mutating
+/// the live state) and the parallel executor's speculative overlay
+/// ([`crate::parallel`]), which journals the same operations over a frozen
+/// [`StateView`] while recording the access set. Both run the *identical*
+/// transaction algorithm ([`apply_tx_inner`]), so the two execution modes
+/// cannot drift semantically.
+pub trait TxState: sereth_vm::exec::Storage {
+    /// The account's nonce (0 if absent).
+    fn nonce_of(&self, address: &Address) -> u64;
+    /// Sets the nonce (creating the account if needed).
+    fn set_nonce(&mut self, address: &Address, nonce: u64);
+    /// Installs contract code (creating the account if needed).
+    fn set_code(&mut self, address: &Address, code: ContractCode);
+    /// Adds to the balance (creating the account if needed).
+    fn credit(&mut self, address: &Address, amount: U256);
+    /// Subtracts from the balance; `false` (no change) when insufficient.
+    fn debit(&mut self, address: &Address, amount: U256) -> bool;
+}
+
+impl TxState for StateDb {
+    fn nonce_of(&self, address: &Address) -> u64 {
+        StateDb::nonce_of(self, address)
+    }
+
+    fn set_nonce(&mut self, address: &Address, nonce: u64) {
+        StateDb::set_nonce(self, address, nonce);
+    }
+
+    fn set_code(&mut self, address: &Address, code: ContractCode) {
+        StateDb::set_code(self, address, code);
+    }
+
+    fn credit(&mut self, address: &Address, amount: U256) {
+        StateDb::credit(self, address, amount);
+    }
+
+    fn debit(&mut self, address: &Address, amount: U256) -> bool {
+        StateDb::debit(self, address, amount)
+    }
+}
+
+/// The one transaction algorithm, generic over the state it mutates.
 ///
-/// Transactions are **never** RAA-augmented — their calldata is covered by
-/// the signature — so this function needs no [`RaaRegistry`]; augmentation
-/// exists only on the [`call_readonly`] path, mirroring the paper's §III-D
-/// restriction.
+/// When `credit_miner` is false the final fee credit is *deferred*: the
+/// fee is returned instead of applied, so the parallel executor can treat
+/// it as a commutative merge-time operation (fee credits in canonical
+/// order sum identically no matter where the transaction executed) rather
+/// than a read-modify-write that would serialize every transaction on the
+/// miner's balance.
 ///
 /// # Errors
 ///
-/// See [`TxApplyError`].
-pub fn apply_transaction(
-    state: &mut StateDb,
+/// See [`TxApplyError`]; on error the state is untouched.
+pub(crate) fn apply_tx_inner<S: TxState>(
+    state: &mut S,
     env: &BlockEnv,
     tx: &Transaction,
     index: u32,
-) -> Result<Receipt, TxApplyError> {
+    credit_miner: bool,
+) -> Result<(Receipt, U256), TxApplyError> {
     if !tx.verify_signature() {
         return Err(TxApplyError::BadSignature);
     }
@@ -98,7 +141,7 @@ pub fn apply_transaction(
     }
     let gas_cost = U256::from(tx.gas_limit()) * U256::from(tx.gas_price());
     let total_cost = gas_cost + tx.value();
-    if state.balance_of(&sender) < total_cost {
+    if state.balance_get(&sender) < total_cost {
         return Err(TxApplyError::InsufficientFunds);
     }
 
@@ -107,9 +150,9 @@ pub fn apply_transaction(
     assert!(state.debit(&sender, gas_cost), "funds checked above");
     state.set_nonce(&sender, expected_nonce + 1);
 
-    let exec_snapshot = state.snapshot();
+    let exec_checkpoint = state.checkpoint();
     let (callee, code) = match tx.to() {
-        Some(to) => (to, state.code_of(&to)),
+        Some(to) => (to, state.code_get(&to)),
         None => {
             // Contract creation: install calldata as runtime code (the
             // substrate skips constructor semantics; see DESIGN.md §7).
@@ -139,7 +182,7 @@ pub fn apply_transaction(
     };
 
     if !outcome.status.is_success() {
-        state.revert_to(exec_snapshot);
+        state.revert_checkpoint(exec_checkpoint);
         outcome.logs.clear();
     }
 
@@ -150,9 +193,34 @@ pub fn apply_transaction(
     let refund = U256::from(tx.gas_limit() - gas_used) * U256::from(tx.gas_price());
     state.credit(&sender, refund);
     let fee = U256::from(gas_used) * U256::from(tx.gas_price());
-    state.credit(&env.miner, fee);
+    if credit_miner {
+        state.credit(&env.miner, fee);
+    }
 
-    Ok(Receipt { tx_hash: tx.hash(), index, status: outcome.status, gas_used, logs: outcome.logs })
+    Ok((Receipt { tx_hash: tx.hash(), index, status: outcome.status, gas_used, logs: outcome.logs }, fee))
+}
+
+/// Applies `tx` to `state`, returning its receipt.
+///
+/// On success the state reflects the transaction (which may still be a
+/// *semantic* no-op for the contract). On [`TxApplyError`] the state is
+/// unchanged and the transaction must not be included in a block.
+///
+/// Transactions are **never** RAA-augmented — their calldata is covered by
+/// the signature — so this function needs no [`RaaRegistry`]; augmentation
+/// exists only on the [`call_readonly`] path, mirroring the paper's §III-D
+/// restriction.
+///
+/// # Errors
+///
+/// See [`TxApplyError`].
+pub fn apply_transaction(
+    state: &mut StateDb,
+    env: &BlockEnv,
+    tx: &Transaction,
+    index: u32,
+) -> Result<Receipt, TxApplyError> {
+    apply_tx_inner(state, env, tx, index, true).map(|(receipt, _fee)| receipt)
 }
 
 /// Runs a read-only call against an immutable state view (the `eth_call`

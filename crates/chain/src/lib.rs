@@ -9,6 +9,8 @@
 //!   channel" (paper §III-C) and the input to Hash-Mark-Set;
 //! * [`builder`] — block sealing over an externally-chosen order (miner
 //!   policies live in `sereth-node`);
+//! * [`parallel`] — conflict-aware optimistic execution of a block's
+//!   candidates in waves, byte-equivalent to the sequential loop;
 //! * [`validation`] — replay validation, the mechanism that both enforces
 //!   consistency and (paper §II-D) creates the READ-COMMITTED latency the
 //!   paper attacks;
@@ -21,14 +23,16 @@
 pub mod builder;
 pub mod executor;
 pub mod genesis;
+pub mod parallel;
 pub mod state;
 pub mod store;
 pub mod txpool;
 pub mod validation;
 
-pub use builder::{build_block, BlockLimits, BuiltBlock};
-pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxApplyError};
+pub use builder::{build_block, build_block_with_mode, BlockLimits, BuiltBlock};
+pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxApplyError, TxState};
 pub use genesis::{Genesis, GenesisBuilder};
+pub use parallel::{ExecMode, ExecStats};
 pub use state::{Account, Snapshot, StateDb, StateView};
 pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};

@@ -335,6 +335,27 @@ impl StateDb {
         self.journal.clear();
     }
 
+    /// The [`AccessKey`](sereth_vm::access::AccessKey)s of every mutation
+    /// journaled at or after `checkpoint` — the exact write set of
+    /// whatever executed since. The parallel executor's merge loop uses
+    /// this to keep validating speculations after a sequential fallback
+    /// ran directly against the live state (account creations carry no
+    /// key of their own: a default account reads identically to an absent
+    /// one, and any surviving field write is journaled separately).
+    pub fn journal_writes_since(
+        &self,
+        checkpoint: usize,
+    ) -> impl Iterator<Item = sereth_vm::access::AccessKey> + '_ {
+        use sereth_vm::access::AccessKey;
+        self.journal[checkpoint.min(self.journal.len())..].iter().filter_map(|entry| match entry {
+            JournalEntry::StorageChanged { address, key, .. } => Some(AccessKey::Slot(*address, *key)),
+            JournalEntry::BalanceChanged { address, .. } => Some(AccessKey::Balance(*address)),
+            JournalEntry::NonceChanged { address, .. } => Some(AccessKey::Nonce(*address)),
+            JournalEntry::CodeChanged { address, .. } => Some(AccessKey::Code(*address)),
+            JournalEntry::AccountCreated { .. } => None,
+        })
+    }
+
     /// Deterministic commitment to the entire state: a Merkle root over the
     /// sorted account hashes (see `DESIGN.md` §7 for the trie substitution).
     pub fn state_root(&self) -> H256 {

@@ -253,6 +253,7 @@ mod tests {
         NodeHandle::new(
             genesis,
             NodeConfig {
+                exec_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract,

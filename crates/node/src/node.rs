@@ -14,9 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, MutexGuard};
-use sereth_chain::builder::{build_block, BlockLimits};
+use sereth_chain::builder::{build_block_with_mode, BlockLimits};
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::Genesis;
+use sereth_chain::parallel::{ExecMode, ExecStats};
 use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
 use sereth_chain::txpool::TxPool;
 use sereth_core::hms::HmsConfig;
@@ -120,6 +121,10 @@ pub struct NodeConfig {
     pub hms: HmsConfig,
     /// RAA serving strategy (Sereth nodes only).
     pub raa_backend: RaaBackend,
+    /// How mined blocks execute their candidates (both client kinds can
+    /// mine with the conflict-aware parallel executor — it changes the
+    /// block's production cost, never its bytes).
+    pub exec_mode: ExecMode,
 }
 
 /// The lock-protected node state.
@@ -135,6 +140,9 @@ pub struct NodeInner {
     /// The incremental RAA view service, when
     /// [`RaaBackend::Service`] is active (exposed for metrics).
     pub raa_service: Option<Arc<RaaService>>,
+    /// Cumulative executor counters over every block this node mined
+    /// (waves, speculations, fallbacks — see [`ExecStats`]).
+    pub exec_stats: ExecStats,
     /// Blocks whose parents have not arrived yet.
     orphans: Vec<Block>,
     /// Gossip dedup for transactions.
@@ -234,6 +242,7 @@ impl NodeHandle {
             raa: RaaRegistry::new(),
             config,
             raa_service: None,
+            exec_stats: ExecStats::default(),
             orphans: Vec::new(),
             seen_txs: std::collections::HashSet::new(),
         };
@@ -455,16 +464,32 @@ impl NodeHandle {
         }
     }
 
+    /// Cumulative executor counters over every block this node has mined —
+    /// the observable face of the parallel executor (fallbacks prove the
+    /// mis-speculation path ran; fast commits prove speculation paid off).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.lock().exec_stats
+    }
+
     /// Seals a block at `now` (miner nodes only) and imports it locally.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
         let mut inner = self.lock();
         let setup = inner.config.miner.clone()?;
         let parent = inner.chain.head_block().header.clone();
-        let NodeInner { chain, pool, config, .. } = &mut *inner;
+        let NodeInner { chain, pool, config, exec_stats, .. } = &mut *inner;
         let state = chain.head_state();
         let candidates = order_candidates(pool, &state.view(), &config.contract, &setup.policy);
         let timestamp = now.max(parent.timestamp_ms + 1);
-        let built = build_block(&parent, state, candidates, setup.coinbase, timestamp, &config.limits);
+        let built = build_block_with_mode(
+            &parent,
+            state,
+            &candidates,
+            setup.coinbase,
+            timestamp,
+            &config.limits,
+            &config.exec_mode,
+        );
+        exec_stats.absorb(&built.stats);
         let block = built.block.clone();
         match inner.chain.import(block.clone()) {
             Ok(ImportOutcome::AlreadyKnown) | Ok(_) => {
@@ -628,6 +653,7 @@ mod tests {
         NodeHandle::new(
             test_genesis(owner),
             NodeConfig {
+                exec_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract: default_contract_address(),

@@ -44,6 +44,7 @@ fn sereth_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         test_genesis(owner),
         NodeConfig {
+            exec_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: default_contract_address(),
             miner: Some(MinerSetup {

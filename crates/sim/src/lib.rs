@@ -7,6 +7,8 @@
 //!   validation;
 //! * [`many_markets`] — the read-storm scenario exercising the
 //!   incremental `sereth-raa` view service across dozens of markets;
+//! * [`contended`] — a 100 %-conflicting single-market scenario mined
+//!   with the parallel executor against a sequential oracle twin;
 //! * [`metrics`] — state throughput and transaction efficiency η (§III-A);
 //! * [`experiment`] — seed-replicated parameter sweeps (Figure 2's data);
 //! * [`stats`] — means, 90 % confidence intervals, smoothing;
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contended;
 pub mod experiment;
 pub mod many_markets;
 pub mod metrics;
@@ -37,6 +40,7 @@ pub mod scenario;
 pub mod stats;
 pub mod workload;
 
+pub use contended::{run_contended_market, ContendedConfig, ContendedReport};
 pub use experiment::{paper_scenarios, run_point, sweep, SweepPoint, PAPER_SET_COUNTS};
 pub use many_markets::{
     run_many_markets, run_many_markets_concurrent, ConcurrentMarketsReport, ManyMarketsConfig,

@@ -111,6 +111,7 @@ fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, 
     let node = NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            exec_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: contracts[0],
             miner: Some(MinerSetup {

@@ -202,6 +202,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
@@ -262,6 +263,7 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
@@ -312,6 +314,7 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod abi;
+pub mod access;
 pub mod asm;
 pub mod error;
 pub mod exec;
@@ -48,6 +49,7 @@ mod subcall;
 pub mod trace;
 
 pub use abi::Selector;
+pub use access::{AccessKey, AccessRecorder, AccessSet};
 pub use error::VmError;
 pub use exec::{
     CallEnv, CallOutcome, ContractCode, MemStorage, NativeContract, OverlayStorage, ReadStorage, Storage,

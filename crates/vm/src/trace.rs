@@ -100,6 +100,26 @@ pub fn trace(
     Trace { steps, outcome }
 }
 
+/// Executes `code` like [`trace`] while deriving the frame's read/write
+/// [`AccessSet`](crate::access::AccessSet) — the trace-derived footprint
+/// the conflict-aware parallel block executor schedules by.
+///
+/// Sub-calls execute through the shared sub-call path against the same
+/// recording storage, so a cross-contract transaction's footprint covers
+/// every frame it ran, and writes rolled back by an inner revert remain in
+/// the set (conservative, see [`crate::access`]).
+pub fn trace_access(
+    code: &[u8],
+    env: &CallEnv,
+    storage: &mut dyn Storage,
+    gas_limit: u64,
+    step_limit: usize,
+) -> (Trace, crate::access::AccessSet) {
+    let mut recorder = crate::access::AccessRecorder::new(storage);
+    let traced = trace(code, env, &mut recorder, gas_limit, step_limit);
+    (traced, recorder.into_access())
+}
+
 /// Traces and checks agreement with the hook-free interpreter, returning
 /// both the trace and the authoritative outcome.
 ///
@@ -668,6 +688,35 @@ mod tests {
         let callee_addr = Address::from_low_u64(0xbb);
         assert!(a.storage_get(&callee_addr, &sereth_crypto::hash::H256::ZERO).is_zero());
         assert!(b.storage_get(&callee_addr, &sereth_crypto::hash::H256::ZERO).is_zero());
+    }
+
+    #[test]
+    fn trace_access_derives_the_frames_footprint() {
+        use crate::access::AccessKey;
+        use crate::exec::ContractCode;
+
+        // Caller SLOADs its slot 1, calls 0xbb (which SSTOREs its slot 0),
+        // then SSTOREs its own slot 2.
+        let callee = assemble("PUSH1 0x09\nPUSH1 0x00\nSSTORE\nSTOP").unwrap();
+        let caller = assemble(
+            "PUSH1 0x01\nSLOAD\nPOP\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0x00\nPUSH1 0xbb\nPUSH3 0xc350\nCALL\nPOP\nPUSH1 0x07\nPUSH1 0x02\nSSTORE\nSTOP",
+        )
+        .unwrap();
+        let mut storage = MemStorage::new();
+        storage
+            .set_code(Address::from_low_u64(0xbb), ContractCode::Bytecode(Bytes::copy_from_slice(&callee)));
+        let env = env();
+        let (traced, access) = trace_access(&caller, &env, &mut storage, 1_000_000, 10_000);
+        assert_eq!(traced.outcome.status, TxStatus::Success);
+        let me = env.callee;
+        let child = Address::from_low_u64(0xbb);
+        assert!(access.reads.contains(&AccessKey::Slot(me, sereth_crypto::hash::H256::from_low_u64(1))));
+        assert!(access.writes.contains(&AccessKey::Slot(me, sereth_crypto::hash::H256::from_low_u64(2))));
+        assert!(
+            access.writes.contains(&AccessKey::Slot(child, sereth_crypto::hash::H256::ZERO)),
+            "sub-call writes are part of the footprint"
+        );
+        assert!(access.reads.contains(&AccessKey::Code(child)), "CALL dispatch reads the callee's code");
     }
 
     #[test]

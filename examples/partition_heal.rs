@@ -44,6 +44,7 @@ fn main() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),

@@ -39,6 +39,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

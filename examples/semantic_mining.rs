@@ -41,6 +41,7 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

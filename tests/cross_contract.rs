@@ -70,6 +70,7 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract: market,

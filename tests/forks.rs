@@ -35,6 +35,7 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
@@ -211,6 +212,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    exec_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),

@@ -42,6 +42,7 @@ fn fixture(policy: MinerPolicy) -> Fixture {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

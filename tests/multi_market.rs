@@ -50,6 +50,7 @@ fn setup() -> (NodeHandle, Owner, Owner) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract: market_a(),

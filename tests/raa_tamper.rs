@@ -30,6 +30,7 @@ fn make_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            exec_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract,
