@@ -1,0 +1,124 @@
+//! Bench-trend regression gate: compares freshly produced `BENCH_*.json`
+//! artifacts against the committed baselines in `bench/baselines/` and
+//! exits nonzero on any speedup regression beyond the tolerance.
+//!
+//! Run after the scale benches (the CI `test` job does) so a change that
+//! quietly halves a measured speedup fails the build instead of surfacing
+//! months later in an artifact graph. Comparison is by speedup *ratio*
+//! (fast-path vs baseline on the same host), which transfers across
+//! machines far better than absolute latency; the tolerance absorbs the
+//! residual host-to-host noise.
+//!
+//! Knobs (env): `TREND_BASELINE_DIR` (default `bench/baselines`),
+//! `TREND_FRESH_DIR` (default `$BENCH_ARTIFACT_DIR`, falling back to
+//! `.` — where the benches write), `TREND_MAX_REGRESSION_PCT` (default
+//! `60`: fresh speedup must reach 40 % of baseline),
+//! `TREND_REQUIRE_FRESH` (`1` fails when a baseline has no fresh artifact
+//! at all — set in CI, where every bench runs first; unset locally so the
+//! gate can be invoked after a partial bench run).
+//!
+//! Baseline refresh procedure: see DESIGN.md ("Bench-trend regression
+//! gate") — download `bench-artifacts` from a trusted CI run of `main`
+//! (or rerun the benches locally with the CI env knobs) and copy the
+//! `BENCH_*.json` files over `bench/baselines/` verbatim.
+
+use std::path::Path;
+
+use sereth_bench::env_or;
+use sereth_bench::trend::{artifact_files, compare, parse_artifact};
+
+fn read_artifact(path: &Path) -> Result<sereth_bench::trend::Artifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|error| format!("{}: {error}", path.display()))?;
+    parse_artifact(&text).map_err(|error| format!("{}: {error}", path.display()))
+}
+
+fn main() {
+    let baseline_dir = std::env::var("TREND_BASELINE_DIR").unwrap_or_else(|_| "bench/baselines".to_string());
+    let fresh_dir = std::env::var("TREND_FRESH_DIR")
+        .or_else(|_| std::env::var("BENCH_ARTIFACT_DIR"))
+        .unwrap_or_else(|_| ".".to_string());
+    let max_regression_pct = env_or("TREND_MAX_REGRESSION_PCT", 60.0f64);
+    let require_fresh = env_or("TREND_REQUIRE_FRESH", 0u8) != 0;
+
+    let baselines = artifact_files(Path::new(&baseline_dir));
+    assert!(
+        !baselines.is_empty(),
+        "no BENCH_*.json baselines under {baseline_dir}/ — nothing to gate against \
+         (set TREND_BASELINE_DIR or commit baselines)"
+    );
+
+    println!(
+        "Bench trend: {} baseline(s) from {baseline_dir}/, fresh artifacts from {fresh_dir}/, \
+         tolerance {max_regression_pct}%",
+        baselines.len()
+    );
+    println!("| artifact | bench | points ok | missing sizes | regressions |");
+    println!("|----------|-------|-----------|---------------|-------------|");
+
+    let mut failures: Vec<String> = Vec::new();
+    for baseline_path in &baselines {
+        let name = baseline_path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let baseline = match read_artifact(baseline_path) {
+            Ok(artifact) => artifact,
+            Err(error) => {
+                failures.push(format!("unreadable baseline {error}"));
+                continue;
+            }
+        };
+        let fresh_path = Path::new(&fresh_dir).join(&name);
+        if !fresh_path.exists() {
+            println!("| {name} | {} | — | — | fresh artifact missing |", baseline.bench);
+            if require_fresh {
+                failures.push(format!("{name}: no fresh artifact in {fresh_dir}/ (TREND_REQUIRE_FRESH=1)"));
+            }
+            continue;
+        }
+        let fresh = match read_artifact(&fresh_path) {
+            Ok(artifact) => artifact,
+            Err(error) => {
+                failures.push(format!("unreadable fresh artifact {error}"));
+                continue;
+            }
+        };
+        let comparison = compare(&baseline, &fresh, max_regression_pct);
+        println!(
+            "| {name} | {} | {} | {:?} | {} |",
+            baseline.bench,
+            comparison.ok_points,
+            comparison.missing_sizes,
+            comparison.regressions.len()
+        );
+        // A gate without its measurement is a config error, not a pass
+        // (same principle as the bench bins' own speedup gates): when the
+        // fresh run shares NO size with the baseline, nothing was checked,
+        // and in CI that must fail rather than silently disable the gate.
+        if require_fresh
+            && comparison.ok_points == 0
+            && comparison.regressions.is_empty()
+            && !baseline.points.is_empty()
+        {
+            failures.push(format!(
+                "{name}: no overlapping sizes between baseline {:?} and fresh artifact — \
+                 the gate measured nothing (TREND_REQUIRE_FRESH=1)",
+                comparison.missing_sizes
+            ));
+        }
+        for regression in &comparison.regressions {
+            failures.push(format!(
+                "{name} size {}: speedup {:.2}x fell below {:.2}x \
+                 (baseline {:.2}x, tolerance {max_regression_pct}%)",
+                regression.size, regression.fresh, regression.floor, regression.baseline
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nbench trend OK");
+        return;
+    }
+    eprintln!("\nbench trend FAILED:");
+    for failure in &failures {
+        eprintln!("  - {failure}");
+    }
+    std::process::exit(1);
+}

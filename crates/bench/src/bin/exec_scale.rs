@@ -22,75 +22,16 @@
 
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use sereth_bench::exec_fixture::{candidates, fixture};
 use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
 use sereth_chain::builder::{build_block, build_block_with_mode, BlockLimits};
-use sereth_chain::genesis::GenesisBuilder;
 use sereth_chain::parallel::ExecMode;
-use sereth_chain::state::StateDb;
 use sereth_crypto::address::Address;
-use sereth_crypto::sig::SecretKey;
-use sereth_types::block::BlockHeader;
-use sereth_types::transaction::{Transaction, TxPayload};
-use sereth_types::u256::U256;
-use sereth_vm::asm::assemble;
-use sereth_vm::exec::ContractCode;
 
-/// Reads slot 0, does a little keccak work, increments the slot — enough
-/// VM time per transaction that scheduling overhead does not dominate.
-fn counter_code() -> Bytes {
-    Bytes::from(
-        assemble(
-            "PUSH1 0x00\nSLOAD\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x01\nADD\nPUSH1 0x00\nSSTORE\nSTOP",
-        )
-        .unwrap(),
-    )
-}
-
-fn contract_address(i: u64) -> Address {
-    Address::from_low_u64(0xE0_0000 + i)
-}
-
-/// Parent state: `size` funded senders plus `size + 1` counter contracts
-/// (index 0 is the shared hot one).
-fn fixture(size: u64) -> (BlockHeader, StateDb, Vec<SecretKey>) {
-    let keys: Vec<SecretKey> = (0..size).map(|i| SecretKey::from_label(20_000 + i)).collect();
-    let mut builder = GenesisBuilder::new();
-    for key in &keys {
-        builder = builder.fund(key.address(), U256::from(100_000_000u64));
-    }
-    let genesis = builder.build();
-    let mut state = genesis.state;
-    let code = counter_code();
-    for i in 0..=size {
-        state.set_code(&contract_address(i), ContractCode::Bytecode(code.clone()));
-    }
-    state.clear_journal();
-    (genesis.block.header, state, keys)
-}
-
-/// `size` calls from distinct senders; `conflict_pct`% of them (spread
-/// evenly by a stride) target the shared contract 0.
-fn candidates(keys: &[SecretKey], conflict_pct: u64) -> Vec<Transaction> {
-    keys.iter()
-        .enumerate()
-        .map(|(i, key)| {
-            let conflicting = (i as u64 * 997) % 100 < conflict_pct;
-            let target = if conflicting { contract_address(0) } else { contract_address(1 + i as u64) };
-            Transaction::sign(
-                TxPayload {
-                    nonce: 0,
-                    gas_price: 1,
-                    gas_limit: 120_000,
-                    to: Some(target),
-                    value: U256::ZERO,
-                    input: Bytes::new(),
-                },
-                key,
-            )
-        })
-        .collect()
-}
+/// Sender-key label base and contract address base (distinct from
+/// VAL-PAR's, so the two benches' fixtures stay disjoint).
+const LABELS: u64 = 20_000;
+const CONTRACTS: u64 = 0xE0_0000;
 
 struct Measured {
     sequential: Duration,
@@ -99,8 +40,8 @@ struct Measured {
 }
 
 fn measure(size: u64, conflict_pct: u64, threads: usize, reps: usize) -> Measured {
-    let (parent, state, keys) = fixture(size);
-    let txs = candidates(&keys, conflict_pct);
+    let (parent, state, keys) = fixture(LABELS, CONTRACTS, size);
+    let txs = candidates(&keys, CONTRACTS, conflict_pct);
     let miner = Address::from_low_u64(0xfee);
     let limits = BlockLimits { gas_limit: u64::MAX / 2, max_txs: None };
     let mode = ExecMode::Parallel { threads };

@@ -50,6 +50,7 @@ fn build_node(accounts: usize) -> NodeHandle {
         genesis_builder.build(),
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: default_contract_address(),
             miner: None,

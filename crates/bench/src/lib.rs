@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trend;
+
 use sereth_core::fpv::{Flag, Fpv};
 use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_core::process::PendingTx;
@@ -142,6 +144,87 @@ impl sereth_core::provider::HmsDataSource for PoolSource {
     }
 }
 
+/// Shared fixture for the EXEC-PAR / VAL-PAR scale benches: a funded
+/// genesis with per-sender counter contracts, and candidate lists whose
+/// conflict ratio is a knob. Both benches must measure the *same*
+/// workload shape (one builds, one replays), so the shape exists once.
+pub mod exec_fixture {
+    use bytes::Bytes;
+    use sereth_chain::genesis::GenesisBuilder;
+    use sereth_chain::state::StateDb;
+    use sereth_crypto::address::Address;
+    use sereth_crypto::sig::SecretKey;
+    use sereth_types::block::BlockHeader;
+    use sereth_types::transaction::{Transaction, TxPayload};
+    use sereth_types::u256::U256;
+    use sereth_vm::asm::assemble;
+    use sereth_vm::exec::ContractCode;
+
+    /// Reads slot 0, does a little keccak work, increments the slot —
+    /// enough VM time per transaction that scheduling overhead does not
+    /// dominate.
+    pub fn counter_code() -> Bytes {
+        Bytes::from(
+            assemble(
+                "PUSH1 0x00\nSLOAD\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x20\nPUSH1 0x00\nSHA3\nPOP\nPUSH1 0x01\nADD\nPUSH1 0x00\nSSTORE\nSTOP",
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Deterministic contract address `base + i` (distinct `base` per
+    /// bench keeps the two benches' states disjoint).
+    pub fn contract_address(base: u64, i: u64) -> Address {
+        Address::from_low_u64(base + i)
+    }
+
+    /// Parent state: `size` funded senders (key labels from
+    /// `label_base`) plus `size + 1` counter contracts at
+    /// `contract_base` (index 0 is the shared hot one).
+    pub fn fixture(label_base: u64, contract_base: u64, size: u64) -> (BlockHeader, StateDb, Vec<SecretKey>) {
+        let keys: Vec<SecretKey> = (0..size).map(|i| SecretKey::from_label(label_base + i)).collect();
+        let mut builder = GenesisBuilder::new();
+        for key in &keys {
+            builder = builder.fund(key.address(), U256::from(100_000_000u64));
+        }
+        let genesis = builder.build();
+        let mut state = genesis.state;
+        let code = counter_code();
+        for i in 0..=size {
+            state.set_code(&contract_address(contract_base, i), ContractCode::Bytecode(code.clone()));
+        }
+        state.clear_journal();
+        (genesis.block.header, state, keys)
+    }
+
+    /// One call per sender; `conflict_pct`% of them (spread evenly by a
+    /// stride) target the shared contract 0, the rest their own.
+    pub fn candidates(keys: &[SecretKey], contract_base: u64, conflict_pct: u64) -> Vec<Transaction> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let conflicting = (i as u64 * 997) % 100 < conflict_pct;
+                let target = if conflicting {
+                    contract_address(contract_base, 0)
+                } else {
+                    contract_address(contract_base, 1 + i as u64)
+                };
+                Transaction::sign(
+                    TxPayload {
+                        nonce: 0,
+                        gas_price: 1,
+                        gas_limit: 120_000,
+                        to: Some(target),
+                        value: U256::ZERO,
+                        input: Bytes::new(),
+                    },
+                    key,
+                )
+            })
+            .collect()
+    }
+}
+
 /// One measured point of a scale benchmark: workload `size`, baseline and
 /// fast-path mean latencies in microseconds, and their ratio.
 #[derive(Debug, Clone, Copy)]
@@ -197,7 +280,7 @@ pub fn write_bench_artifact(
 
 /// [`write_bench_artifact`] with an explicit directory (the env-free core;
 /// tests use this directly so no process-global state is mutated).
-fn write_bench_artifact_in(
+pub(crate) fn write_bench_artifact_in(
     dir: &std::path::Path,
     key: &str,
     bench: &str,

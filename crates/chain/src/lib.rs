@@ -13,7 +13,8 @@
 //!   candidates in waves, byte-equivalent to the sequential loop;
 //! * [`validation`] — replay validation, the mechanism that both enforces
 //!   consistency and (paper §II-D) creates the READ-COMMITTED latency the
-//!   paper attacks;
+//!   paper attacks; replay runs sequentially or on the wave executor
+//!   ([`validation::ValidationMode`]), with identical verdicts;
 //! * [`store`] — fork choice and canonical-chain tracking;
 //! * [`genesis`] — block-zero construction.
 
@@ -36,4 +37,7 @@ pub use parallel::{ExecMode, ExecStats};
 pub use state::{Account, Snapshot, StateDb, StateView};
 pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};
-pub use validation::{validate_block, ValidationError};
+pub use validation::{
+    validate_block, validate_block_accounted, validate_block_with_mode, Validated, ValidationError,
+    ValidationMode,
+};

@@ -39,6 +39,15 @@
 //! gracefully: when more than half of a wave mis-speculates, subsequent
 //! windows run sequentially, with exponentially backed-off probe waves to
 //! detect when parallelism starts paying again.
+//!
+//! The wave loop itself is policy-free: [`run_waves`] drives planning,
+//! speculation, and in-order merging against a [`WaveSink`] that decides
+//! what *inclusion* means. The block builder's sink admits against block
+//! limits and counts skips; replay validation's sink
+//! ([`crate::validation`]) admits everything and aborts on the first
+//! apply error — so building, validating, and the sequential baseline all
+//! run the one [`TxState`] transaction algorithm and provably cannot
+//! drift.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -68,6 +77,32 @@ pub enum ExecMode {
         /// Worker threads per wave (clamped to at least 1).
         threads: usize,
     },
+}
+
+/// The host's detected hardware parallelism (1 when detection fails).
+pub(crate) fn detected_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl ExecMode {
+    /// Picks [`ExecMode::Parallel`] with `threads` workers on multi-core
+    /// hosts and falls back to [`ExecMode::Sequential`] when the machine
+    /// exposes a single CPU — where speculation is pure overhead (no cores
+    /// to run it on). Callers wanting parallelism regardless construct
+    /// `Parallel { threads }` directly; `auto` is the deployment default.
+    pub fn auto(threads: usize) -> Self {
+        Self::auto_for(threads, detected_parallelism())
+    }
+
+    /// [`ExecMode::auto`] with an explicit parallelism reading — the
+    /// deterministic core the single-CPU regression test pins.
+    pub fn auto_for(threads: usize, available_parallelism: usize) -> Self {
+        if available_parallelism <= 1 || threads <= 1 {
+            Self::Sequential
+        } else {
+            Self::Parallel { threads }
+        }
+    }
 }
 
 /// Counters describing how a block (or a node's lifetime of blocks) was
@@ -476,18 +511,40 @@ fn speculate_wave(
     results.into_iter().map(|slot| slot.into_inner().expect("workers joined")).collect()
 }
 
-/// Executes `candidates` in waves against `state`, byte-equivalent to the
-/// sequential loop. See the module docs for the algorithm.
-pub(crate) fn execute_candidates(
+/// What the wave driver asks of its consumer: the policy half of the
+/// algorithm. [`run_waves`] owns planning, speculation, in-order merging,
+/// dirty-key validation, and adaptive degradation; the sink owns admission
+/// and what happens to applied/failed transactions. The block builder's
+/// sink enforces block limits and counts skips; the replay-validation sink
+/// admits everything and aborts on the first error.
+pub(crate) trait WaveSink {
+    /// Pre-execution admission; `false` means the transaction does not
+    /// enter the block at this point (never executed, never merged).
+    fn admit(&mut self, tx: &Transaction) -> bool;
+    /// The receipt index the next included transaction receives.
+    fn next_index(&self) -> u32;
+    /// A transaction applied (speculatively merged or executed live).
+    fn include(&mut self, tx: &Transaction, receipt: Receipt);
+    /// The transaction at absolute candidate position `index` failed to
+    /// apply. Returns `false` to abort the whole run (replay validation);
+    /// `true` to keep going (the builder records a skip).
+    fn reject(&mut self, index: usize, error: TxApplyError) -> bool;
+}
+
+/// Drives `candidates` through plan/speculate/merge waves against `state`,
+/// feeding results into `sink`. Byte-equivalent to the sequential loop
+/// over the same sink. Returns the executor counters; stops early when the
+/// sink aborts. See the module docs for the algorithm.
+pub(crate) fn run_waves<S: WaveSink>(
     state: &mut StateDb,
     env: &BlockEnv,
     candidates: &[Transaction],
-    limits: &BlockLimits,
     threads: usize,
-) -> ExecOutcome {
+    sink: &mut S,
+) -> ExecStats {
     let threads = threads.max(1);
     let window = (threads * 8).clamp(8, 64);
-    let mut out = ExecOutcome::default();
+    let mut stats = ExecStats::default();
 
     let mut speculating = true;
     let mut probing = false; // the wave after re-enabling runs narrow
@@ -496,6 +553,7 @@ pub(crate) fn execute_candidates(
     let mut cursor = 0usize;
     while cursor < candidates.len() {
         let wave_window = if speculating && probing { (window / 4).max(4) } else { window };
+        let chunk_base = cursor;
         let end = (cursor + wave_window).min(candidates.len());
         let chunk = &candidates[cursor..end];
         cursor = end;
@@ -504,12 +562,17 @@ pub(crate) fn execute_candidates(
             // Adaptive degradation: this window runs exactly like the
             // sequential builder (no overlays, no views) so a block of
             // pure conflicts costs what sequential execution costs.
-            for tx in chunk {
-                if admit(&mut out, tx, limits) {
-                    out.stats.sequential_txs += 1;
-                    match apply_transaction(state, env, tx, out.included.len() as u32) {
-                        Ok(receipt) => include(&mut out, tx, receipt),
-                        Err(_) => out.skipped += 1,
+            for (offset, tx) in chunk.iter().enumerate() {
+                if !sink.admit(tx) {
+                    continue;
+                }
+                stats.sequential_txs += 1;
+                match apply_transaction(state, env, tx, sink.next_index()) {
+                    Ok(receipt) => sink.include(tx, receipt),
+                    Err(error) => {
+                        if !sink.reject(chunk_base + offset, error) {
+                            return stats;
+                        }
                     }
                 }
             }
@@ -522,11 +585,11 @@ pub(crate) fn execute_candidates(
             continue;
         }
 
-        out.stats.waves += 1;
+        stats.waves += 1;
         let base = state.view();
         let plan = plan_wave(chunk, &base);
         let mut results = speculate_wave(chunk, &plan, &base, env, threads);
-        out.stats.speculated += results.iter().filter(|r| r.is_some()).count() as u64;
+        stats.speculated += results.iter().filter(|r| r.is_some()).count() as u64;
 
         // Merge in canonical order. `dirty` holds every key written to the
         // live state since `base` was frozen (plus the miner's balance,
@@ -534,22 +597,28 @@ pub(crate) fn execute_candidates(
         let mut dirty: HashSet<AccessKey> = HashSet::new();
         let mut wave_conflicts = 0usize;
         for (offset, tx) in chunk.iter().enumerate() {
-            if !admit(&mut out, tx, limits) {
+            if !sink.admit(tx) {
                 continue;
             }
             match results[offset].take() {
                 Some(spec) if !spec.access.reads_hit(&dirty) => {
                     match spec.result {
                         Ok(commit) => {
-                            out.stats.fast_commits += 1;
-                            let receipt = apply_commit(state, &commit, &env.miner, out.included.len() as u32);
+                            stats.fast_commits += 1;
+                            let receipt = apply_commit(state, &commit, &env.miner, sink.next_index());
                             dirty.extend(spec.access.writes.iter().copied());
                             dirty.insert(AccessKey::Balance(env.miner));
-                            include(&mut out, tx, receipt);
+                            sink.include(tx, receipt);
                         }
-                        // A still-valid predicted admission error merges
-                        // nothing: a skip, not a fast commit.
-                        Err(_) => out.skipped += 1,
+                        // A still-valid predicted apply error merges
+                        // nothing. Its observed reads survived the dirty
+                        // check, so it IS the error the sequential replay
+                        // would hit here — safe to hand to the sink as-is.
+                        Err(error) => {
+                            if !sink.reject(chunk_base + offset, error) {
+                                return stats;
+                            }
+                        }
                     }
                 }
                 invalid_or_planned => {
@@ -559,18 +628,22 @@ pub(crate) fn execute_candidates(
                     // sequential path against the live state and feed its
                     // journaled write set into the dirty tracker.
                     if invalid_or_planned.is_some() {
-                        out.stats.fallbacks += 1;
+                        stats.fallbacks += 1;
                         wave_conflicts += 1;
                     } else {
-                        out.stats.sequential_txs += 1;
+                        stats.sequential_txs += 1;
                     }
                     let journal_mark = state.checkpoint();
-                    match apply_transaction(state, env, tx, out.included.len() as u32) {
+                    match apply_transaction(state, env, tx, sink.next_index()) {
                         Ok(receipt) => {
                             dirty.extend(state.journal_writes_since(journal_mark));
-                            include(&mut out, tx, receipt);
+                            sink.include(tx, receipt);
                         }
-                        Err(_) => out.skipped += 1,
+                        Err(error) => {
+                            if !sink.reject(chunk_base + offset, error) {
+                                return stats;
+                            }
+                        }
                     }
                 }
             }
@@ -584,6 +657,48 @@ pub(crate) fn execute_candidates(
             probe_backoff = 1;
         }
     }
+    stats
+}
+
+/// The block builder's [`WaveSink`]: admission against block limits,
+/// skips counted, never aborts.
+struct BuildSink<'a> {
+    out: ExecOutcome,
+    limits: &'a BlockLimits,
+}
+
+impl WaveSink for BuildSink<'_> {
+    fn admit(&mut self, tx: &Transaction) -> bool {
+        admit(&mut self.out, tx, self.limits)
+    }
+
+    fn next_index(&self) -> u32 {
+        self.out.included.len() as u32
+    }
+
+    fn include(&mut self, tx: &Transaction, receipt: Receipt) {
+        include(&mut self.out, tx, receipt);
+    }
+
+    fn reject(&mut self, _index: usize, _error: TxApplyError) -> bool {
+        self.out.skipped += 1;
+        true
+    }
+}
+
+/// Executes `candidates` in waves against `state`, byte-equivalent to the
+/// sequential builder loop: [`run_waves`] under the builder's sink.
+pub(crate) fn execute_candidates(
+    state: &mut StateDb,
+    env: &BlockEnv,
+    candidates: &[Transaction],
+    limits: &BlockLimits,
+    threads: usize,
+) -> ExecOutcome {
+    let mut sink = BuildSink { out: ExecOutcome::default(), limits };
+    let stats = run_waves(state, env, candidates, threads, &mut sink);
+    let mut out = sink.out;
+    out.stats = stats;
     out
 }
 
@@ -765,6 +880,38 @@ mod tests {
         assert_eq!(parallel.block.transactions.len(), 6);
         assert_eq!(parallel.stats.fallbacks, 0, "the chain is planned sequential, not mis-speculated");
         assert!(parallel.stats.sequential_txs >= 5);
+    }
+
+    #[test]
+    fn auto_mode_degrades_to_sequential_on_single_cpu() {
+        // The policy: one CPU (or one thread) means speculation is pure
+        // overhead, so `auto` picks the sequential loop; real parallelism
+        // keeps the requested thread count.
+        assert_eq!(ExecMode::auto_for(4, 1), ExecMode::Sequential);
+        assert_eq!(ExecMode::auto_for(1, 8), ExecMode::Sequential);
+        assert_eq!(ExecMode::auto_for(4, 8), ExecMode::Parallel { threads: 4 });
+
+        // A block built under the single-CPU auto mode never waves: the
+        // stats must report the plain sequential execution path.
+        let keys: Vec<SecretKey> = (0..4).map(SecretKey::from_label).collect();
+        let (parent, state) = genesis_with_counter(&keys, Address::from_low_u64(0xc0de));
+        let candidates: Vec<Transaction> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| transfer(key, 0, Address::from_low_u64(0x9000 + i as u64), 1))
+            .collect();
+        let built = build_block_with_mode(
+            &parent,
+            &state,
+            &candidates,
+            Address::from_low_u64(0xaa),
+            15_000,
+            &BlockLimits::default(),
+            &ExecMode::auto_for(4, 1),
+        );
+        assert_eq!(built.stats.waves, 0, "single-CPU auto mode must not speculate");
+        assert_eq!(built.stats.speculated, 0);
+        assert_eq!(built.block.transactions.len(), 4);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use sereth_types::block::Block;
 use sereth_types::receipt::Receipt;
 
 use crate::genesis::Genesis;
+use crate::parallel::ExecStats;
 use crate::state::{StateDb, StateView};
-use crate::validation::{validate_block, ValidationError};
+use crate::validation::{validate_block_accounted, ValidationError, ValidationMode};
 
 /// A block retained with its replay artifacts.
 #[derive(Debug, Clone)]
@@ -66,16 +67,51 @@ pub struct ChainStore {
     blocks: HashMap<H256, StoredBlock>,
     canonical: Vec<H256>,
     head: H256,
+    /// How [`ChainStore::import`] replays blocks. Verdict-equivalent to
+    /// sequential by construction, so it changes import *cost*, never
+    /// import *outcomes*.
+    validation_mode: ValidationMode,
+    /// Cumulative executor counters over every replay this store ran —
+    /// the validation-side twin of a miner's build stats.
+    validation_stats: ExecStats,
 }
 
 impl ChainStore {
-    /// Creates a store rooted at `genesis`.
+    /// Creates a store rooted at `genesis`, replaying sequentially.
     pub fn new(genesis: Genesis) -> Self {
+        Self::with_validation_mode(genesis, ValidationMode::Sequential)
+    }
+
+    /// Creates a store rooted at `genesis` with an explicit replay mode.
+    pub fn with_validation_mode(genesis: Genesis, validation_mode: ValidationMode) -> Self {
         let hash = genesis.block.hash();
         let stored = StoredBlock { block: genesis.block, receipts: vec![], post_state: genesis.state };
         let mut blocks = HashMap::new();
         blocks.insert(hash, stored);
-        Self { blocks, canonical: vec![hash], head: hash }
+        Self {
+            blocks,
+            canonical: vec![hash],
+            head: hash,
+            validation_mode,
+            validation_stats: ExecStats::default(),
+        }
+    }
+
+    /// Switches how subsequent imports replay blocks.
+    pub fn set_validation_mode(&mut self, mode: ValidationMode) {
+        self.validation_mode = mode;
+    }
+
+    /// The replay mode imports currently use.
+    pub fn validation_mode(&self) -> ValidationMode {
+        self.validation_mode
+    }
+
+    /// Cumulative executor counters over every block this store has
+    /// replay-validated (waves, speculations, fallbacks — see
+    /// [`ExecStats`]). All zero waves under sequential validation.
+    pub fn validation_stats(&self) -> ExecStats {
+        self.validation_stats
     }
 
     /// Hash of the canonical head.
@@ -183,11 +219,23 @@ impl ChainStore {
             return Ok(ImportOutcome::AlreadyKnown);
         }
         let parent = self.blocks.get(&block.header.parent_hash).ok_or(ImportError::UnknownParent)?;
-        let (receipts, post_state) =
-            validate_block(&parent.block.header, &parent.post_state, &block).map_err(ImportError::Invalid)?;
+        // `accounted`: replay counters accumulate even for rejected blocks
+        // — an invalid block costs (up to) a full replay before its
+        // verdict, and that spend must be visible in `validation_stats`.
+        let validated = validate_block_accounted(
+            &parent.block.header,
+            &parent.post_state,
+            &block,
+            &self.validation_mode,
+            &mut self.validation_stats,
+        )
+        .map_err(ImportError::Invalid)?;
 
         let number = block.number();
-        self.blocks.insert(hash, StoredBlock { block, receipts, post_state });
+        self.blocks.insert(
+            hash,
+            StoredBlock { block, receipts: validated.receipts, post_state: validated.post_state },
+        );
 
         // Fork choice: strictly longer chains win; equal length keeps the
         // incumbent unless the challenger has a lower hash *and* the
@@ -408,6 +456,41 @@ mod tests {
         // Transfers emit no logs; the query returns empty rather than
         // erroring on log-free chains.
         assert!(store.logs_with_topic(&H256::keccak(b"SetOk(bytes32)")).is_empty());
+    }
+
+    #[test]
+    fn parallel_validation_imports_agree_with_sequential_and_count_stats() {
+        let key = SecretKey::from_label(1);
+        let mut seq_store = ChainStore::new(genesis(&key));
+        let mut par_store =
+            ChainStore::with_validation_mode(genesis(&key), ValidationMode::Parallel { threads: 4 });
+        assert_eq!(par_store.validation_mode(), ValidationMode::Parallel { threads: 4 });
+
+        let b1 = extend(&seq_store, vec![transfer(&key, 0, 5), transfer(&key, 1, 7)], 1, 15_000);
+        assert_eq!(seq_store.import(b1.clone()).unwrap(), ImportOutcome::ExtendedCanonical);
+        assert_eq!(par_store.import(b1).unwrap(), ImportOutcome::ExtendedCanonical);
+        assert_eq!(par_store.head_state().state_root(), seq_store.head_state().state_root());
+        assert!(
+            par_store.validation_stats().waves >= 1,
+            "parallel replay ran: {:?}",
+            par_store.validation_stats()
+        );
+        assert_eq!(seq_store.validation_stats().waves, 0, "sequential replay never waves");
+
+        // Tampered blocks are rejected with the identical verdict — and
+        // the replay they cost still lands in the counters: a wrong-root
+        // block replays in full before the commitment check fires.
+        let spent_before_rejection = par_store.validation_stats();
+        let mut evil = extend(&seq_store, vec![transfer(&key, 2, 5)], 1, 30_000);
+        evil.header.state_root = H256::keccak(b"lies");
+        let seq_err = seq_store.import(evil.clone()).unwrap_err();
+        let par_err = par_store.import(evil).unwrap_err();
+        assert_eq!(seq_err, par_err, "cross-mode import verdicts must match");
+        let spent_after_rejection = par_store.validation_stats();
+        assert_ne!(
+            spent_after_rejection, spent_before_rejection,
+            "rejected blocks cost replay work and must be accounted"
+        );
     }
 
     #[test]

@@ -7,12 +7,29 @@
 //! defeats RAA tampering of signed transactions: a block containing a
 //! mutated transaction fails signature checks here and is rejected by every
 //! honest peer (§III-D).
+//!
+//! Because *every* peer replays *every* block, validation — not block
+//! building — dominates network-wide compute. [`ValidationMode::Parallel`]
+//! replays the block's fixed transaction order on the same conflict-aware
+//! wave executor the builder uses ([`crate::parallel::run_waves`]):
+//! speculate over a frozen COW [`StateView`](crate::state::StateView),
+//! merge in canonical order with dirty-key validation, fall back to
+//! sequential re-execution on mis-speculation. The two modes are
+//! **verdict-equivalent** — identical `Ok` artifacts and identical
+//! [`ValidationError`] variants (including the [`BadTransaction`] index)
+//! on tampered, reordered, gas-inflated, and wrong-root blocks — which the
+//! `validation_props` property suite and the cross-mode tamper matrix
+//! enforce.
+//!
+//! [`BadTransaction`]: ValidationError::BadTransaction
 
 use sereth_types::block::{Block, BlockHeader};
 use sereth_types::receipt::Receipt;
 
 use crate::executor::{apply_transaction, BlockEnv, TxApplyError};
+use crate::parallel::{self, ExecStats, WaveSink};
 use crate::state::StateDb;
+use sereth_types::transaction::Transaction;
 
 /// Why a block was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +84,92 @@ impl core::fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// How replay validation executes a block's transactions. Mirrors
+/// [`crate::parallel::ExecMode`] on the read (replay) side of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// The classic one-transaction-at-a-time replay (the baseline and the
+    /// default).
+    #[default]
+    Sequential,
+    /// Conflict-aware speculative replay on the wave executor. Verdicts
+    /// are identical to [`ValidationMode::Sequential`] for every block,
+    /// honest or tampered.
+    Parallel {
+        /// Worker threads per wave (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl ValidationMode {
+    /// Picks [`ValidationMode::Parallel`] with `threads` workers on
+    /// multi-core hosts and [`ValidationMode::Sequential`] when the
+    /// machine exposes a single CPU, mirroring
+    /// [`ExecMode::auto`](crate::parallel::ExecMode::auto).
+    pub fn auto(threads: usize) -> Self {
+        Self::auto_for(threads, parallel::detected_parallelism())
+    }
+
+    /// [`ValidationMode::auto`] with an explicit parallelism reading — the
+    /// deterministic core the single-CPU regression test pins. Delegates
+    /// to [`ExecMode::auto_for`](crate::parallel::ExecMode::auto_for) so
+    /// the build and replay sides share one auto-selection policy.
+    pub fn auto_for(threads: usize, available_parallelism: usize) -> Self {
+        match crate::parallel::ExecMode::auto_for(threads, available_parallelism) {
+            crate::parallel::ExecMode::Sequential => Self::Sequential,
+            crate::parallel::ExecMode::Parallel { threads } => Self::Parallel { threads },
+        }
+    }
+}
+
+/// A successfully replayed block: its artifacts plus the executor
+/// counters describing how the replay ran (all zeros except
+/// `sequential_txs` in sequential mode).
+#[derive(Debug, Clone)]
+pub struct Validated {
+    /// Receipts, in block order.
+    pub receipts: Vec<Receipt>,
+    /// State after the block.
+    pub post_state: StateDb,
+    /// How the replay executed (waves, speculations, fallbacks).
+    pub stats: ExecStats,
+}
+
+/// The replay-validation [`WaveSink`]: every transaction is admitted (a
+/// published block has no skips — its body *is* the inclusion decision),
+/// and the first apply error aborts the run, capturing the failing
+/// absolute index exactly as the sequential replay loop would.
+#[derive(Default)]
+struct ReplaySink {
+    receipts: Vec<Receipt>,
+    gas_used: u64,
+    failure: Option<(usize, TxApplyError)>,
+}
+
+impl WaveSink for ReplaySink {
+    fn admit(&mut self, _tx: &Transaction) -> bool {
+        true
+    }
+
+    fn next_index(&self) -> u32 {
+        self.receipts.len() as u32
+    }
+
+    fn include(&mut self, _tx: &Transaction, receipt: Receipt) {
+        self.gas_used += receipt.gas_used;
+        self.receipts.push(receipt);
+    }
+
+    fn reject(&mut self, index: usize, error: TxApplyError) -> bool {
+        self.failure = Some((index, error));
+        false
+    }
+}
+
 /// Replays `block` on top of `parent_state` and checks every commitment.
 ///
-/// Returns the receipts and post-state on success.
+/// Returns the receipts and post-state on success. Sequential replay; use
+/// [`validate_block_with_mode`] to validate on the wave executor.
 ///
 /// # Errors
 ///
@@ -80,6 +180,49 @@ pub fn validate_block(
     parent_state: &StateDb,
     block: &Block,
 ) -> Result<(Vec<Receipt>, StateDb), ValidationError> {
+    validate_block_with_mode(parent, parent_state, block, &ValidationMode::Sequential)
+        .map(|validated| (validated.receipts, validated.post_state))
+}
+
+/// [`validate_block`] with an explicit replay mode.
+///
+/// The two modes return byte-identical verdicts: the same [`Validated`]
+/// artifacts on honest blocks and the same [`ValidationError`] variant —
+/// including the [`ValidationError::BadTransaction`] index — on tampered
+/// ones. Header and commitment checks are shared code; only the replay
+/// loop differs, and the parallel loop is the builder's own wave executor
+/// replaying the block's fixed order.
+///
+/// # Errors
+///
+/// See [`ValidationError`].
+pub fn validate_block_with_mode(
+    parent: &BlockHeader,
+    parent_state: &StateDb,
+    block: &Block,
+    mode: &ValidationMode,
+) -> Result<Validated, ValidationError> {
+    let mut scratch = ExecStats::default();
+    validate_block_accounted(parent, parent_state, block, mode, &mut scratch)
+}
+
+/// [`validate_block_with_mode`] accumulating the replay counters into
+/// `stats_out` **whether or not the block is accepted**. A rejected block
+/// still costs replay work — a wrong-root block replays in full before
+/// the commitment check fires — and per-peer cost accounting
+/// ([`crate::store::ChainStore::validation_stats`]) must see that spend,
+/// or an adversary feeding invalid blocks would look free.
+///
+/// # Errors
+///
+/// See [`ValidationError`].
+pub fn validate_block_accounted(
+    parent: &BlockHeader,
+    parent_state: &StateDb,
+    block: &Block,
+    mode: &ValidationMode,
+    stats_out: &mut ExecStats,
+) -> Result<Validated, ValidationError> {
     if block.header.parent_hash != parent.hash() {
         return Err(ValidationError::WrongParent);
     }
@@ -102,17 +245,43 @@ pub fn validate_block(
         miner: block.header.miner,
     };
 
-    let mut receipts = Vec::with_capacity(block.transactions.len());
-    let mut gas_used = 0u64;
-    for (index, tx) in block.transactions.iter().enumerate() {
-        match apply_transaction(&mut state, &env, tx, index as u32) {
-            Ok(receipt) => {
-                gas_used += receipt.gas_used;
-                receipts.push(receipt);
+    let mut stats = ExecStats::default();
+    let replayed = match mode {
+        ValidationMode::Sequential => {
+            let mut receipts = Vec::with_capacity(block.transactions.len());
+            let mut gas_used = 0u64;
+            let mut failure = None;
+            for (index, tx) in block.transactions.iter().enumerate() {
+                stats.sequential_txs += 1;
+                match apply_transaction(&mut state, &env, tx, index as u32) {
+                    Ok(receipt) => {
+                        gas_used += receipt.gas_used;
+                        receipts.push(receipt);
+                    }
+                    Err(error) => {
+                        failure = Some(ValidationError::BadTransaction { index, error });
+                        break;
+                    }
+                }
             }
-            Err(error) => return Err(ValidationError::BadTransaction { index, error }),
+            match failure {
+                Some(error) => Err(error),
+                None => Ok((receipts, gas_used)),
+            }
         }
-    }
+        ValidationMode::Parallel { threads } => {
+            let mut sink = ReplaySink::default();
+            stats = parallel::run_waves(&mut state, &env, &block.transactions, *threads, &mut sink);
+            match sink.failure {
+                Some((index, error)) => Err(ValidationError::BadTransaction { index, error }),
+                None => Ok((sink.receipts, sink.gas_used)),
+            }
+        }
+    };
+    // The replay work is spent either way; account for it before the
+    // verdict can bail out.
+    stats_out.absorb(&stats);
+    let (receipts, gas_used) = replayed?;
 
     if gas_used > block.header.gas_limit {
         return Err(ValidationError::GasLimitExceeded);
@@ -127,7 +296,7 @@ pub fn validate_block(
     if state.state_root() != block.header.state_root {
         return Err(ValidationError::StateRootMismatch);
     }
-    Ok((receipts, state))
+    Ok(Validated { receipts, post_state: state, stats })
 }
 
 #[cfg(test)]
@@ -260,6 +429,49 @@ mod tests {
             validate_block(&parent, &state, &block).unwrap_err(),
             ValidationError::ReceiptsRootMismatch
         );
+    }
+
+    #[test]
+    fn parallel_validation_matches_sequential_on_honest_blocks() {
+        let (parent, state, key) = setup();
+        let block = valid_block(&parent, &state, &key);
+        let (receipts, post) = validate_block(&parent, &state, &block).unwrap();
+        let validated =
+            validate_block_with_mode(&parent, &state, &block, &ValidationMode::Parallel { threads: 4 })
+                .unwrap();
+        assert_eq!(validated.receipts, receipts);
+        assert_eq!(validated.post_state.state_root(), post.state_root());
+        assert!(validated.stats.waves >= 1, "parallel replay waves: {:?}", validated.stats);
+    }
+
+    #[test]
+    fn parallel_validation_rejects_tampering_with_the_sequential_verdict() {
+        let (parent, state, key) = setup();
+        let tampered = transfer(&key, 0).with_tampered_input(Bytes::from_static(b"augmented"));
+        let mut block = valid_block(&parent, &state, &key);
+        block.transactions[0] = tampered;
+        block.header.tx_root = Block::compute_tx_root(&block.transactions);
+        let sequential = validate_block(&parent, &state, &block).unwrap_err();
+        let parallel =
+            validate_block_with_mode(&parent, &state, &block, &ValidationMode::Parallel { threads: 4 })
+                .unwrap_err();
+        assert_eq!(sequential, parallel, "cross-mode verdicts must be identical");
+        assert_eq!(parallel, ValidationError::BadTransaction { index: 0, error: TxApplyError::BadSignature });
+    }
+
+    #[test]
+    fn validation_auto_mode_on_single_cpu_replays_sequentially() {
+        assert_eq!(ValidationMode::auto_for(4, 1), ValidationMode::Sequential);
+        assert_eq!(ValidationMode::auto_for(1, 16), ValidationMode::Sequential);
+        assert_eq!(ValidationMode::auto_for(4, 8), ValidationMode::Parallel { threads: 4 });
+
+        let (parent, state, key) = setup();
+        let block = valid_block(&parent, &state, &key);
+        let validated =
+            validate_block_with_mode(&parent, &state, &block, &ValidationMode::auto_for(4, 1)).unwrap();
+        assert_eq!(validated.stats.waves, 0, "single-CPU auto validation must not speculate");
+        assert_eq!(validated.stats.speculated, 0);
+        assert_eq!(validated.stats.sequential_txs, block.transactions.len() as u64);
     }
 
     #[test]

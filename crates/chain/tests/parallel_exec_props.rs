@@ -24,11 +24,8 @@ use sereth_types::u256::U256;
 use sereth_vm::asm::assemble;
 use sereth_vm::exec::ContractCode;
 
-/// Case count: the acceptance default is 512; `PROPTEST_CASES` scales it
-/// down in the CI quick lane and up in the nightly job.
-fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
+mod common;
+use common::cases;
 
 const SENDERS: u64 = 6;
 const MINER: u64 = 0xfee;

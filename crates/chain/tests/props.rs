@@ -4,13 +4,15 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use sereth_chain::builder::{build_block, BlockLimits};
+use sereth_chain::executor::TxApplyError;
 use sereth_chain::genesis::GenesisBuilder;
 use sereth_chain::state::StateDb;
 use sereth_chain::txpool::TxPool;
-use sereth_chain::validation::validate_block;
+use sereth_chain::validation::{validate_block, validate_block_with_mode, ValidationError, ValidationMode};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_crypto::sig::SecretKey;
+use sereth_types::block::Block;
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 use sereth_vm::exec::Storage;
@@ -172,6 +174,17 @@ proptest! {
         prop_assert_eq!(receipts.len(), built.block.transactions.len());
         prop_assert_eq!(post.state_root(), built.block.header.state_root);
         prop_assert_eq!(&receipts, &built.receipts);
+        // Parallel replay validation accepts the same blocks with the same
+        // artifacts (the verdict-equivalence invariant's happy path).
+        let validated = validate_block_with_mode(
+            &genesis.block.header,
+            &genesis.state,
+            &built.block,
+            &ValidationMode::Parallel { threads: 4 },
+        )
+        .expect("parallel replay accepts what sequential replay accepts");
+        prop_assert_eq!(&validated.receipts, &receipts);
+        prop_assert_eq!(validated.post_state.state_root(), post.state_root());
     }
 
     /// Value conservation: total balance across accounts is preserved by
@@ -217,5 +230,198 @@ proptest! {
         );
         let total_after: U256 = built.post_state.iter().map(|(_, account)| account.balance).sum();
         prop_assert_eq!(total_after, total_before, "wei is neither created nor destroyed");
+    }
+}
+
+/// The cross-mode tamper matrix: one deterministic construction per
+/// [`ValidationError`] variant (and per [`TxApplyError`] variant inside
+/// `BadTransaction`), each validated sequentially AND on the wave
+/// executor, asserting byte-identical verdicts of the expected shape.
+/// The randomized equivalence lives in `validation_props`; this test pins
+/// exact reproducible vectors for every rejection path.
+#[test]
+fn tamper_matrix_draws_identical_verdicts_from_both_validation_modes() {
+    let rich = SecretKey::from_label(1);
+    let also_rich = SecretKey::from_label(2);
+    let poor = SecretKey::from_label(3);
+    let genesis = GenesisBuilder::new()
+        .fund(rich.address(), U256::from(100_000_000u64))
+        .fund(also_rich.address(), U256::from(100_000_000u64))
+        // Enough to exist, not enough for 21k gas: the InsufficientFunds row.
+        .fund(poor.address(), U256::from(1_000u64))
+        .build();
+    let parent = genesis.block.header.clone();
+    let state = genesis.state.clone();
+
+    let transfer = |key: &SecretKey, nonce: u64, gas_limit: u64, value: u64| {
+        Transaction::sign(
+            TxPayload {
+                nonce,
+                gas_price: 1,
+                gas_limit,
+                to: Some(Address::from_low_u64(0x77)),
+                value: U256::from(value),
+                input: Bytes::new(),
+            },
+            key,
+        )
+    };
+    let honest = || {
+        build_block(
+            &parent,
+            &state,
+            vec![transfer(&rich, 0, 21_000, 5), transfer(&also_rich, 0, 21_000, 7)],
+            Address::from_low_u64(0xabc),
+            15_000,
+            &BlockLimits::default(),
+        )
+        .block
+    };
+    // Swap in a replacement body at index 1 and reseal the tx root, so
+    // replay (not the header checks) meets the bad transaction.
+    let with_bad_tx_at_1 = |bad: Transaction| {
+        let mut block = honest();
+        block.transactions[1] = bad;
+        block.header.tx_root = Block::compute_tx_root(&block.transactions);
+        block
+    };
+
+    let matrix: Vec<(&str, Block, ValidationError)> = vec![
+        (
+            "WrongParent",
+            {
+                let mut block = honest();
+                block.header.parent_hash = H256::keccak(b"nowhere");
+                block
+            },
+            ValidationError::WrongParent,
+        ),
+        (
+            "WrongNumber",
+            {
+                let mut block = honest();
+                block.header.number += 2;
+                block
+            },
+            ValidationError::WrongNumber,
+        ),
+        (
+            "NonMonotonicTimestamp",
+            {
+                let mut block = honest();
+                block.header.timestamp_ms = 0;
+                block
+            },
+            ValidationError::NonMonotonicTimestamp,
+        ),
+        (
+            "TxRootMismatch",
+            {
+                let mut block = honest();
+                block.transactions.swap(0, 1); // tx root left stale
+                block
+            },
+            ValidationError::TxRootMismatch,
+        ),
+        (
+            "BadTransaction/BadSignature",
+            {
+                let mut block = honest();
+                block.transactions[1] =
+                    block.transactions[1].with_tampered_input(Bytes::from_static(b"augmented"));
+                block.header.tx_root = Block::compute_tx_root(&block.transactions);
+                block
+            },
+            ValidationError::BadTransaction { index: 1, error: TxApplyError::BadSignature },
+        ),
+        (
+            "BadTransaction/NonceMismatch",
+            with_bad_tx_at_1(transfer(&also_rich, 9, 21_000, 7)),
+            ValidationError::BadTransaction {
+                index: 1,
+                error: TxApplyError::NonceMismatch { expected: 0, found: 9 },
+            },
+        ),
+        (
+            "BadTransaction/InsufficientFunds",
+            with_bad_tx_at_1(transfer(&poor, 0, 21_000, 1)),
+            ValidationError::BadTransaction { index: 1, error: TxApplyError::InsufficientFunds },
+        ),
+        (
+            "BadTransaction/IntrinsicGasTooHigh",
+            with_bad_tx_at_1(transfer(&also_rich, 0, 1_000, 7)),
+            ValidationError::BadTransaction { index: 1, error: TxApplyError::IntrinsicGasTooHigh },
+        ),
+        (
+            "GasUsedMismatch",
+            {
+                let mut block = honest();
+                block.header.gas_used += 1;
+                block
+            },
+            ValidationError::GasUsedMismatch { declared: 42_001, replayed: 42_000 },
+        ),
+        (
+            "ReceiptsRootMismatch",
+            {
+                let mut block = honest();
+                block.header.receipts_root = H256::keccak(b"wrong receipts");
+                block
+            },
+            ValidationError::ReceiptsRootMismatch,
+        ),
+        (
+            "StateRootMismatch",
+            {
+                let mut block = honest();
+                block.header.state_root = H256::keccak(b"wrong state");
+                block
+            },
+            ValidationError::StateRootMismatch,
+        ),
+        (
+            "GasLimitExceeded",
+            {
+                let mut block = honest();
+                block.header.gas_limit = block.header.gas_used - 1;
+                block
+            },
+            ValidationError::GasLimitExceeded,
+        ),
+    ];
+
+    for (name, block, expected) in &matrix {
+        let sequential = validate_block_with_mode(&parent, &state, block, &ValidationMode::Sequential)
+            .expect_err(&format!("{name}: sequential replay must reject"));
+        assert_eq!(&sequential, expected, "{name}: sequential verdict");
+        for threads in [1usize, 2, 4, 8] {
+            let parallel =
+                validate_block_with_mode(&parent, &state, block, &ValidationMode::Parallel { threads })
+                    .expect_err(&format!("{name}: parallel replay ({threads} threads) must reject"));
+            assert_eq!(&parallel, &sequential, "{name}: cross-mode verdict ({threads} threads)");
+        }
+    }
+
+    // Completeness guard: every `ValidationError` variant (and every
+    // `TxApplyError` variant) appears in the matrix above. A new variant
+    // added to either enum must extend the matrix before this compiles
+    // away — the match is exhaustive on purpose.
+    for (_, _, expected) in &matrix {
+        match expected {
+            ValidationError::WrongParent
+            | ValidationError::WrongNumber
+            | ValidationError::NonMonotonicTimestamp
+            | ValidationError::TxRootMismatch
+            | ValidationError::GasUsedMismatch { .. }
+            | ValidationError::ReceiptsRootMismatch
+            | ValidationError::StateRootMismatch
+            | ValidationError::GasLimitExceeded => {}
+            ValidationError::BadTransaction { error, .. } => match error {
+                TxApplyError::BadSignature
+                | TxApplyError::NonceMismatch { .. }
+                | TxApplyError::InsufficientFunds
+                | TxApplyError::IntrinsicGasTooHigh => {}
+            },
+        }
     }
 }

@@ -254,6 +254,7 @@ mod tests {
             genesis,
             NodeConfig {
                 exec_mode: Default::default(),
+                validation_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract,

@@ -20,6 +20,7 @@ use sereth_chain::genesis::Genesis;
 use sereth_chain::parallel::{ExecMode, ExecStats};
 use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
 use sereth_chain::txpool::TxPool;
+use sereth_chain::validation::ValidationMode;
 use sereth_core::hms::HmsConfig;
 use sereth_core::process::PendingTx;
 use sereth_core::provider::{HmsDataSource, HmsRaaProvider};
@@ -125,6 +126,11 @@ pub struct NodeConfig {
     /// mine with the conflict-aware parallel executor — it changes the
     /// block's production cost, never its bytes).
     pub exec_mode: ExecMode,
+    /// How received blocks replay during validation — the cost every peer
+    /// pays for every block (paper §II-D). Parallel replay is
+    /// verdict-equivalent to sequential, so it changes import cost, never
+    /// which blocks this node accepts.
+    pub validation_mode: ValidationMode,
 }
 
 /// The lock-protected node state.
@@ -237,7 +243,7 @@ impl NodeHandle {
     /// `get`/`mark` selectors.
     pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
         let inner = NodeInner {
-            chain: ChainStore::new(genesis),
+            chain: ChainStore::with_validation_mode(genesis, config.validation_mode),
             pool: TxPool::new(),
             raa: RaaRegistry::new(),
             config,
@@ -471,6 +477,16 @@ impl NodeHandle {
         self.lock().exec_stats
     }
 
+    /// Cumulative executor counters over every block this node has
+    /// replay-validated — the validation-side twin of
+    /// [`NodeHandle::exec_stats`]. Every import (gossip, orphan retry, and
+    /// the node's own mined blocks) replays through the chain store, so
+    /// this is the per-peer redundant-validation cost the paper's §II-D
+    /// cost model describes.
+    pub fn validation_stats(&self) -> ExecStats {
+        self.lock().chain.validation_stats()
+    }
+
     /// Seals a block at `now` (miner nodes only) and imports it locally.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
         let mut inner = self.lock();
@@ -654,6 +670,7 @@ mod tests {
             test_genesis(owner),
             NodeConfig {
                 exec_mode: Default::default(),
+                validation_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract: default_contract_address(),

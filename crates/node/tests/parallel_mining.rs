@@ -6,6 +6,7 @@
 use bytes::Bytes;
 use sereth_chain::builder::BlockLimits;
 use sereth_chain::parallel::ExecMode;
+use sereth_chain::validation::ValidationMode;
 use sereth_core::fpv::{Flag, Fpv};
 use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
@@ -35,6 +36,15 @@ fn genesis(keys: &[SecretKey], owner: &SecretKey) -> sereth_chain::genesis::Gene
 }
 
 fn miner_node(keys: &[SecretKey], owner: &SecretKey, exec_mode: ExecMode) -> NodeHandle {
+    node_with_modes(keys, owner, exec_mode, ValidationMode::Sequential)
+}
+
+fn node_with_modes(
+    keys: &[SecretKey],
+    owner: &SecretKey,
+    exec_mode: ExecMode,
+    validation_mode: ValidationMode,
+) -> NodeHandle {
     NodeHandle::new(
         genesis(keys, owner),
         NodeConfig {
@@ -49,6 +59,7 @@ fn miner_node(keys: &[SecretKey], owner: &SecretKey, exec_mode: ExecMode) -> Nod
             hms: HmsConfig::default(),
             raa_backend: Default::default(),
             exec_mode,
+            validation_mode,
         },
     )
 }
@@ -136,6 +147,52 @@ fn parallel_miner_seals_the_sequential_block_and_followers_validate_it() {
     assert!(stats.fast_commits > 0, "disjoint traffic committed fast: {stats:?}");
     assert!(stats.fallbacks + stats.sequential_txs > 0, "market contention serialized somewhere: {stats:?}");
     assert_eq!(sequential.exec_stats().waves, 0, "sequential mode never waves");
+}
+
+#[test]
+fn parallel_validating_follower_accepts_blocks_and_reports_replay_stats() {
+    let owner = SecretKey::from_label(1);
+    let keys: Vec<SecretKey> = (10..18).map(SecretKey::from_label).collect();
+
+    let miner = miner_node(&keys, &owner, ExecMode::Sequential);
+    // Two followers over the same feed: one replays sequentially, one on
+    // the wave executor. Their import verdicts and heads must agree.
+    let sequential_follower =
+        node_with_modes(&keys, &owner, ExecMode::Sequential, ValidationMode::Sequential);
+    let parallel_follower =
+        node_with_modes(&keys, &owner, ExecMode::Sequential, ValidationMode::Parallel { threads: 4 });
+
+    for (i, tx) in workload(&keys, &owner).into_iter().enumerate() {
+        assert!(miner.receive_tx(tx, 100 + i as u64));
+    }
+    let block = miner.mine(15_000).expect("miner seals");
+    assert!(!block.transactions.is_empty());
+
+    assert_eq!(sequential_follower.receive_block(block.clone()), BlockReceipt::Imported);
+    assert_eq!(parallel_follower.receive_block(block.clone()), BlockReceipt::Imported);
+    assert_eq!(parallel_follower.head_number(), 1);
+    assert_eq!(
+        parallel_follower.with_inner(|inner| inner.chain.head_state().state_root()),
+        sequential_follower.with_inner(|inner| inner.chain.head_state().state_root()),
+        "both replay modes reconstruct the same post-state"
+    );
+
+    // The replay counters surface per node: parallel follower waved,
+    // sequential follower replayed tx-by-tx, the miner's own import used
+    // its (sequential) validation mode.
+    let par_stats = parallel_follower.validation_stats();
+    assert!(par_stats.waves >= 1, "parallel replay ran: {par_stats:?}");
+    assert!(par_stats.speculated > 0, "replay speculation ran: {par_stats:?}");
+    let seq_stats = sequential_follower.validation_stats();
+    assert_eq!(seq_stats.waves, 0, "sequential replay never waves");
+    assert_eq!(seq_stats.sequential_txs, block.transactions.len() as u64);
+
+    // A tampered variant is rejected by both, identically.
+    let mut evil = block.clone();
+    evil.transactions[0] = evil.transactions[0].with_tampered_input(Bytes::from_static(b"oops"));
+    evil.header.tx_root = sereth_types::block::Block::compute_tx_root(&evil.transactions);
+    assert_eq!(sequential_follower.receive_block(evil.clone()), BlockReceipt::Rejected);
+    assert_eq!(parallel_follower.receive_block(evil), BlockReceipt::Rejected);
 }
 
 #[test]

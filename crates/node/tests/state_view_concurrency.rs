@@ -45,6 +45,7 @@ fn sereth_node(owner: &SecretKey) -> NodeHandle {
         test_genesis(owner),
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: default_contract_address(),
             miner: Some(MinerSetup {

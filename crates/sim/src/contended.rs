@@ -13,6 +13,7 @@
 use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::GenesisBuilder;
 use sereth_chain::parallel::{ExecMode, ExecStats};
+use sereth_chain::validation::ValidationMode;
 use sereth_core::fpv::{Flag, Fpv};
 use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
@@ -55,6 +56,10 @@ pub struct ContendedReport {
     pub txs_committed: u64,
     /// The parallel miner's cumulative executor counters.
     pub stats: ExecStats,
+    /// The parallel node's cumulative *replay-validation* counters — every
+    /// sealed block is re-imported through the chain store, so the same
+    /// conflict storm hits the validation path.
+    pub validation_stats: ExecStats,
     /// `true` iff every block matched the sequential oracle's.
     pub heads_match: bool,
 }
@@ -64,6 +69,7 @@ fn contended_node(
     owner: &SecretKey,
     buyers: &[SecretKey],
     mode: ExecMode,
+    validation_mode: ValidationMode,
 ) -> NodeHandle {
     let contract = default_contract_address();
     let mut genesis_builder =
@@ -89,6 +95,7 @@ fn contended_node(
             hms: HmsConfig::default(),
             raa_backend: Default::default(),
             exec_mode: mode,
+            validation_mode,
         },
     )
 }
@@ -126,8 +133,19 @@ pub fn run_contended_market(config: &ContendedConfig) -> ContendedReport {
     let buyers: Vec<SecretKey> =
         (0..config.buyers).map(|b| SecretKey::from_label(4_100 + b as u64)).collect();
 
-    let parallel = contended_node(config, &owner, &buyers, ExecMode::Parallel { threads: config.threads });
-    let sequential = contended_node(config, &owner, &buyers, ExecMode::Sequential);
+    // The parallel node also *replays* its own sealed blocks on the wave
+    // executor (every `mine` imports through the chain store), so the
+    // scenario exercises 100 %-conflicting parallel validation too; the
+    // sequential twin is the oracle on both paths.
+    let parallel = contended_node(
+        config,
+        &owner,
+        &buyers,
+        ExecMode::Parallel { threads: config.threads },
+        ValidationMode::Parallel { threads: config.threads },
+    );
+    let sequential =
+        contended_node(config, &owner, &buyers, ExecMode::Sequential, ValidationMode::Sequential);
 
     let mut now = 1u64;
     let mut mark = genesis_mark();
@@ -166,6 +184,7 @@ pub fn run_contended_market(config: &ContendedConfig) -> ContendedReport {
         blocks: config.rounds as u64,
         txs_committed,
         stats: parallel.exec_stats(),
+        validation_stats: parallel.validation_stats(),
         heads_match: true,
     }
 }
@@ -187,6 +206,14 @@ mod tests {
             report.stats
         );
         assert!(report.stats.waves > 0);
+        // The replay path ran the same machinery: every sealed block was
+        // re-validated on the wave executor and still matched the oracle.
+        assert!(
+            report.validation_stats.waves > 0,
+            "parallel replay validation must have run: {:?}",
+            report.validation_stats
+        );
+        assert!(report.validation_stats.fallbacks + report.validation_stats.sequential_txs > 0);
     }
 
     #[test]

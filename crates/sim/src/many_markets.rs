@@ -112,6 +112,7 @@ fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, 
         genesis_builder.build(),
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: contracts[0],
             miner: Some(MinerSetup {

@@ -203,6 +203,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
@@ -264,6 +265,7 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
@@ -315,6 +317,7 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,

@@ -49,6 +49,7 @@ fn main() {
         genesis,
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

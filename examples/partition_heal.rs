@@ -45,6 +45,7 @@ fn main() {
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),

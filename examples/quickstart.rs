@@ -7,6 +7,8 @@
 
 use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
+use sereth::chain::parallel::ExecMode;
+use sereth::chain::validation::ValidationMode;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::genesis_mark;
@@ -39,7 +41,11 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
-            exec_mode: Default::default(),
+            // `auto` picks the wave executor on multi-core hosts and the
+            // sequential loop on single-CPU ones, for both the build and
+            // the replay-validation side; results are identical either way.
+            exec_mode: ExecMode::auto(4),
+            validation_mode: ValidationMode::auto(4),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

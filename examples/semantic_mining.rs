@@ -42,6 +42,7 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
         genesis,
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

@@ -71,6 +71,7 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
         genesis,
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract: market,

@@ -36,6 +36,7 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
@@ -213,6 +214,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
                 genesis.clone(),
                 NodeConfig {
                     exec_mode: Default::default(),
+                    validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),

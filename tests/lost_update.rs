@@ -43,6 +43,7 @@ fn fixture(policy: MinerPolicy) -> Fixture {
         genesis,
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,

@@ -51,6 +51,7 @@ fn setup() -> (NodeHandle, Owner, Owner) {
         genesis,
         NodeConfig {
             exec_mode: Default::default(),
+            validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract: market_a(),
