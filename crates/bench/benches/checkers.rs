@@ -93,7 +93,7 @@ fn pwv_fixture(sets: usize, buys: usize) -> (TxPool, StateDb, Address) {
     }
     state.clear_journal();
 
-    let mut pool = TxPool::new();
+    let pool = TxPool::new();
     let mut arrival = 0u64;
     let m0 = genesis_mark();
     for b in 0..buys {

@@ -7,7 +7,6 @@
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use parking_lot::RwLock;
 use sereth_bench::{market_txpool, PoolSource};
 use sereth_core::hms::HmsConfig;
 use sereth_core::mark::genesis_mark;
@@ -25,7 +24,7 @@ fn bench_read_latency(c: &mut Criterion) {
         let (pool, contracts) = market_txpool(markets, sets, noise);
         let pool_len = pool.len();
 
-        let source = Arc::new(PoolSource { pool: Arc::new(RwLock::new(pool.clone())), committed });
+        let source = Arc::new(PoolSource { pool: Arc::new(pool.clone()), committed });
         let provider = HmsRaaProvider::new(source, set_selector(), HmsConfig::default());
         let mut next = 0usize;
         group.bench_with_input(BenchmarkId::new("recompute", pool_len), &(), |b, ()| {

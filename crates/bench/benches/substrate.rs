@@ -81,7 +81,7 @@ fn bench_txpool(c: &mut Criterion) {
     group.bench_function("insert_512", |b| {
         b.iter_batched(
             TxPool::new,
-            |mut pool| {
+            |pool| {
                 for (i, tx) in txs.iter().enumerate() {
                     let _ = pool.insert(tx.clone(), i as u64);
                 }
@@ -91,7 +91,7 @@ fn bench_txpool(c: &mut Criterion) {
         )
     });
 
-    let mut pool = TxPool::new();
+    let pool = TxPool::new();
     for (i, tx) in txs.iter().enumerate() {
         let _ = pool.insert(tx.clone(), i as u64);
     }

@@ -1,0 +1,280 @@
+//! POOL-SCALE: the miner's `order_candidates` latency against pool size,
+//! indexed pool feed vs the full-rescan baseline, for all three ordering
+//! policies.
+//!
+//! Each point builds one pool of `size` pending transactions — mostly
+//! single-nonce transfers from distinct senders at varied gas prices,
+//! salted with one market's `set` chain and a crowd of `buy`s so the
+//! semantic and PWV policies have real series work — and then repeatedly
+//! orders a block-sized candidate list both ways. Between repetitions a
+//! small churn batch (inserts + removals) flows through the pool, so the
+//! indexed read also pays its incremental event-drain, exactly as a miner
+//! between two blocks would. Every repetition asserts the two orders are
+//! byte-identical before being timed.
+//!
+//! The headline artifact (`BENCH_pool.json`, uploaded by CI and gated by
+//! `bench_trend`) records the Standard-policy sweep: `base_us` is the
+//! rescan, `fast_us` the indexed read. The table prints all three
+//! policies.
+//!
+//! Knobs (env): `POOL_SIZES` (default `1024,4096,16384,65536`),
+//! `POOL_BUDGET` (candidate cap per ordering pass; default 256),
+//! `POOL_REPS` (rescan repetitions; default 3 — the indexed path runs
+//! `20×` as many, it is orders of magnitude faster), `POOL_CHURN`
+//! (inserts+removals between repetitions; default 32), `POOL_MIN_SPEEDUP`
+//! (if > 0, exit nonzero unless the Standard-policy indexed read beats
+//! the rescan by this factor at the largest size — the CI gate),
+//! `POOL_MAX_SLOWDOWN` (if > 0, exit nonzero if the indexed read is more
+//! than this factor slower than the rescan at the smallest size).
+
+use std::time::{Duration, Instant};
+
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::state::StateDb;
+use sereth_chain::txpool::{PoolConfig, TxPool};
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::hms::HmsConfig;
+use sereth_core::mark::{compute_mark, genesis_mark};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{buy_selector, default_contract_address, sereth_genesis_slots, set_selector};
+use sereth_node::miner::{market_spec, order_candidates_limited, order_candidates_rescan, MinerPolicy};
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+
+/// Sender-key label base (disjoint from the other benches' fixtures).
+const LABELS: u64 = 40_000;
+/// The market's `set` chain length and `buy` crowd per pool.
+const SETS: usize = 64;
+const BUYS: usize = 64;
+
+fn transfer(label: u64, nonce: u64, gas_price: u64) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64(0xee)),
+            value: U256::ZERO,
+            input: bytes::Bytes::new(),
+        },
+        &SecretKey::from_label(label),
+    )
+}
+
+/// A pool of `size` pending transactions: `SETS` chained market sets,
+/// `BUYS` buys spread over the chain's marks, transfers for the rest.
+fn build_pool(size: usize) -> TxPool {
+    let pool = TxPool::with_config(PoolConfig {
+        capacity: size + 64,
+        event_capacity: 4 * size + 64,
+        market: Some(market_spec()),
+        ..PoolConfig::default()
+    });
+    let owner = SecretKey::from_label(LABELS - 1);
+    let mut marks = vec![genesis_mark()];
+    let mut now = 0u64;
+    for i in 0..SETS.min(size) {
+        let prev = *marks.last().expect("non-empty");
+        let value = H256::from_low_u64(1_000 + i as u64);
+        let flag = if i == 0 { Flag::Head } else { Flag::Success };
+        let tx = Transaction::sign(
+            TxPayload {
+                nonce: i as u64,
+                gas_price: 2,
+                gas_limit: 100_000,
+                to: Some(default_contract_address()),
+                value: U256::ZERO,
+                input: Fpv::new(flag, prev, value).to_calldata(set_selector()),
+            },
+            &owner,
+        );
+        marks.push(compute_mark(&prev, &value));
+        pool.insert(tx, now).expect("pool sized to fit");
+        now += 1;
+    }
+    for b in 0..BUYS.min(size.saturating_sub(SETS)) {
+        let mark = marks[b % marks.len()];
+        let tx = Transaction::sign(
+            TxPayload {
+                nonce: 0,
+                gas_price: 3,
+                gas_limit: 100_000,
+                to: Some(default_contract_address()),
+                value: U256::ZERO,
+                input: Fpv::new(Flag::Success, mark, H256::from_low_u64(1_000 + (b % SETS) as u64))
+                    .to_calldata(buy_selector()),
+            },
+            &SecretKey::from_label(LABELS + 100_000 + b as u64),
+        );
+        pool.insert(tx, now).expect("pool sized to fit");
+        now += 1;
+    }
+    let transfers = size.saturating_sub(pool.len());
+    for t in 0..transfers {
+        let price = 1 + (t as u64 * 13 + 7) % 97;
+        pool.insert(transfer(LABELS + t as u64, 0, price), now).expect("pool sized to fit");
+        now += 1;
+    }
+    assert_eq!(pool.len(), size, "fixture must hit the target size exactly");
+    pool
+}
+
+fn market_state() -> StateDb {
+    let mut state = StateDb::new();
+    let contract = default_contract_address();
+    for (k, v) in sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)) {
+        use sereth_vm::exec::Storage;
+        state.storage_set(&contract, k, v);
+    }
+    state.clear_journal();
+    state
+}
+
+/// One round of churn: remove what the previous round inserted, insert a
+/// fresh batch, and record its hashes — so every indexed read that
+/// follows has `2 × churn` real events to drain, at a steady pool size.
+fn churn_pool(pool: &TxPool, round: u64, churn: usize, last_batch: &mut Vec<H256>) {
+    for hash in last_batch.drain(..) {
+        pool.remove(&hash);
+    }
+    for c in 0..churn {
+        let tx = transfer(LABELS + 500_000 + c as u64, round, 1 + (round + c as u64) % 89);
+        let hash = tx.hash();
+        if pool.insert(tx, round).is_ok() {
+            last_batch.push(hash);
+        }
+    }
+}
+
+struct Measured {
+    rescan: Duration,
+    indexed: Duration,
+    speedup: f64,
+}
+
+fn measure(pool: &TxPool, policy: &MinerPolicy, budget: usize, reps: usize, churn: usize) -> Measured {
+    let state = market_state();
+    let view = state.view();
+    let contract = default_contract_address();
+
+    // Sanity before timing: the two paths order identically (and warm the
+    // index so the timed reads measure steady state, not the first
+    // subscription rebuild).
+    let indexed = order_candidates_limited(pool, &view, &contract, policy, budget);
+    let rescan = order_candidates_rescan(pool, &view, &contract, policy, budget);
+    assert_eq!(
+        indexed.iter().map(Transaction::hash).collect::<Vec<_>>(),
+        rescan.iter().map(Transaction::hash).collect::<Vec<_>>(),
+        "indexed/rescan divergence in the bench fixture ({policy:?})"
+    );
+
+    let rescan_time = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(order_candidates_rescan(pool, &view, &contract, policy, budget));
+        }
+        start.elapsed() / reps.max(1) as u32
+    };
+    // The indexed path is orders of magnitude faster: run more reps for a
+    // stable mean, with churn flowing between reads so each read drains
+    // fresh events (the steady per-block cost, not a hot-cache artifact).
+    let fast_reps = reps * 20;
+    let mut last_batch: Vec<H256> = Vec::new();
+    let start = Instant::now();
+    for rep in 0..fast_reps {
+        churn_pool(pool, 1 + rep as u64, churn, &mut last_batch);
+        std::hint::black_box(order_candidates_limited(pool, &view, &contract, policy, budget));
+    }
+    let indexed_time = start.elapsed() / fast_reps.max(1) as u32;
+    // Leave the pool at its fixture size for the next policy's run.
+    churn_pool(pool, 0, 0, &mut last_batch);
+    let speedup = rescan_time.as_nanos() as f64 / indexed_time.as_nanos().max(1) as f64;
+    Measured { rescan: rescan_time, indexed: indexed_time, speedup }
+}
+
+fn main() {
+    let sizes = env_list_or("POOL_SIZES", &[1_024, 4_096, 16_384, 65_536]);
+    let budget = env_or("POOL_BUDGET", 256usize);
+    let reps = env_or("POOL_REPS", 3usize);
+    let churn = env_or("POOL_CHURN", 32usize);
+    let min_speedup = env_or("POOL_MIN_SPEEDUP", 0.0f64);
+    let max_slowdown = env_or("POOL_MAX_SLOWDOWN", 0.0f64);
+
+    let policies: [(&str, MinerPolicy); 3] = [
+        ("standard", MinerPolicy::Standard),
+        ("semantic", MinerPolicy::Semantic(HmsConfig::default())),
+        ("pwv", MinerPolicy::Pwv),
+    ];
+
+    println!(
+        "order_candidates: indexed feed vs full rescan, budget {budget}, \
+         {SETS} sets + {BUYS} buys salted in, {churn} churn txs between indexed reads"
+    );
+    println!("| pool size | policy | rescan/block | indexed/block | speedup |");
+    println!("|-----------|--------|--------------|---------------|---------|");
+
+    let mut points: Vec<BenchPoint> = Vec::new();
+    let mut gate: Option<(u64, f64)> = None;
+    let mut smallest: Option<(u64, f64)> = None;
+    for &size in &sizes {
+        let pool = build_pool(size as usize);
+        for (name, policy) in &policies {
+            let m = measure(&pool, policy, budget, reps, churn);
+            println!(
+                "| {size:>9} | {name:<6} | {:>9.1} µs | {:>10.2} µs | {:>6.1}x |",
+                m.rescan.as_nanos() as f64 / 1e3,
+                m.indexed.as_nanos() as f64 / 1e3,
+                m.speedup,
+            );
+            if *name == "standard" {
+                points.push(BenchPoint::from_durations(size, m.rescan, m.indexed));
+                if gate.is_none_or(|(gate_size, _)| size >= gate_size) {
+                    gate = Some((size, m.speedup));
+                }
+                if smallest.is_none_or(|(small_size, _)| size <= small_size) {
+                    smallest = Some((size, m.speedup));
+                }
+            }
+        }
+    }
+
+    match write_bench_artifact(
+        "pool",
+        "pool_scale",
+        &[
+            ("budget", budget.to_string()),
+            ("reps", reps.to_string()),
+            ("churn", churn.to_string()),
+            ("policy", "standard".to_string()),
+            ("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get()).to_string()),
+        ],
+        &points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_pool.json: {error}"),
+    }
+
+    // CI gates, mirroring EXEC-PAR/VAL-PAR: the indexed feed must beat
+    // the rescan at the largest size, and must not cost more than a small
+    // factor at the smallest (where a rescan is cheapest). A gate without
+    // its measurement is a config error, not a pass.
+    if min_speedup > 0.0 {
+        let (size, speedup) = gate.expect("POOL_MIN_SPEEDUP is set but POOL_SIZES is empty");
+        assert!(
+            speedup >= min_speedup,
+            "indexed pool feed regressed: {speedup:.2}x < required {min_speedup:.2}x \
+             on the Standard policy at pool size {size}"
+        );
+    }
+    if max_slowdown > 0.0 {
+        let (size, speedup) = smallest.expect("POOL_MAX_SLOWDOWN is set but POOL_SIZES is empty");
+        let floor = 1.0 / max_slowdown;
+        assert!(
+            speedup >= floor,
+            "indexed pool feed overhead violated: {speedup:.2}x speedup at pool size {size} \
+             means more than {max_slowdown:.2}x slower than the rescan"
+        );
+    }
+}

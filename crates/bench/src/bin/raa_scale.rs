@@ -9,7 +9,6 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
 use sereth_bench::{env_list_or, env_or, market_txpool, write_bench_artifact, BenchPoint, PoolSource};
 use sereth_core::hms::HmsConfig;
 use sereth_core::mark::genesis_mark;
@@ -34,7 +33,7 @@ fn main() {
         let (pool, contracts) = market_txpool(markets, sets, noise as usize);
         let pool_len = pool.len();
 
-        let source = Arc::new(PoolSource { pool: Arc::new(RwLock::new(pool.clone())), committed });
+        let source = Arc::new(PoolSource { pool: Arc::new(pool.clone()), committed });
         let provider = HmsRaaProvider::new(source, set_selector(), HmsConfig::default());
         // Warm-up, then measure.
         for contract in &contracts {

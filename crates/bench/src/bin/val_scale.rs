@@ -111,7 +111,12 @@ fn main() {
     match write_bench_artifact(
         "val",
         "val_scale",
-        &[("threads", threads.to_string()), ("reps", reps.to_string()), ("conflict_pct", "0".to_string())],
+        &[
+            ("threads", threads.to_string()),
+            ("reps", reps.to_string()),
+            ("conflict_pct", "0".to_string()),
+            ("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get()).to_string()),
+        ],
         &clean_points,
     ) {
         Ok(path) => println!("\nwrote {}", path.display()),

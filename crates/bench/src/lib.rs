@@ -64,7 +64,7 @@ pub fn market_txpool(
     use sereth_types::u256::U256;
 
     let total = markets * sets_per_market + noise;
-    let mut pool = TxPool::with_config(PoolConfig {
+    let pool = TxPool::with_config(PoolConfig {
         capacity: total + 1,
         // Keep the whole fill visible to event subscribers so benchmark
         // setup replays incrementally instead of tripping a resync.
@@ -117,26 +117,28 @@ pub fn market_txpool(
     (pool, contracts)
 }
 
-/// The recompute baseline's data source for RAA benchmarks: a live pool
-/// behind a lock, walked borrowed per query (so the baseline already
-/// benefits from the `for_each_pending` fast path; the incremental
-/// service must beat *that*).
+/// The recompute baseline's data source for RAA benchmarks: a live
+/// (internally sharded) pool, walked borrowed per query (so the baseline
+/// already benefits from the `for_each_pending` fast path; the
+/// incremental service must beat *that*).
 pub struct PoolSource {
     /// The shared pool.
-    pub pool: std::sync::Arc<parking_lot::RwLock<sereth_chain::txpool::TxPool>>,
+    pub pool: std::sync::Arc<sereth_chain::txpool::TxPool>,
     /// The committed `(mark, value)` reported for every contract.
     pub committed: (H256, H256),
 }
 
 impl sereth_core::provider::HmsDataSource for PoolSource {
     fn pending(&self) -> Vec<PendingTx> {
-        sereth_node::miner::pending_view(&self.pool.read())
+        sereth_node::miner::pending_view(&self.pool)
     }
 
     fn for_each_pending(&self, visit: &mut dyn FnMut(&PendingTx)) {
-        for entry in self.pool.read().entries_by_arrival() {
-            visit(&sereth_node::miner::pending_tx(entry));
-        }
+        self.pool.with_entries_by_arrival(|entries| {
+            for entry in entries {
+                visit(&sereth_node::miner::pending_tx(entry));
+            }
+        });
     }
 
     fn committed(&self, _contract: &Address) -> (H256, H256) {

@@ -1,0 +1,281 @@
+//! The incrementally-maintained candidate indexes of the sharded
+//! [`TxPool`](super::TxPool).
+//!
+//! The index is an *internal subscriber* to the pool's own seq-stamped
+//! [`PoolEvent`](super::PoolEvent) stream — the same maintenance signal
+//! the `sereth-raa` view service consumes externally. Ingestion threads
+//! only touch their sender's shard and the event log; the index catches
+//! up lazily (under its own lock) when a miner asks for an ordering, so
+//! client submission never serializes behind the ordering pass.
+//!
+//! Two indexes are maintained:
+//!
+//! * **ready index** — per-sender nonce chains mirrored from the events,
+//!   a `heads` set ordering every sender's lowest-nonce entry by
+//!   `(gas_price, arrival)`, and an `all` set ordering every entry (the
+//!   eviction path's "globally cheapest" in O(log n)). A fee-priority
+//!   read is then a lazy merge: walk `heads` descending, promote each
+//!   emitted sender's next nonce into a side heap, and always take the
+//!   larger of (next static head, heap top) — `O(k log k)` for `k`
+//!   returned candidates instead of the rescan's `O(k · senders)`.
+//! * **market index** — per-contract arrival-ordered `set`/`buy` entries
+//!   with their [`Fpv`] pre-parsed once at insert (exactly what
+//!   `RaaService` does per event), so semantic/PWV miners stop re-decoding
+//!   every entry's calldata per block.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+use sereth_core::fpv::Fpv;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_types::transaction::Transaction;
+use sereth_vm::abi::Selector;
+
+use super::{MarketSpec, PoolEvent};
+
+/// Which market call a [`MarketEntry`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketKind {
+    /// A `set` — the managed write that advances the mark chain.
+    Set,
+    /// A `buy` — a dependent read whose offer words reference a mark.
+    Buy,
+}
+
+/// One pre-parsed market transaction from the per-contract index.
+#[derive(Debug, Clone)]
+pub struct MarketEntry {
+    /// The pooled transaction.
+    pub tx: Transaction,
+    /// Its global arrival sequence number.
+    pub arrival_seq: u64,
+    /// `set` or `buy`, by calldata selector.
+    pub kind: MarketKind,
+    /// The FPV words, when the calldata carried all three (`None` for a
+    /// selector-matched but malformed payload — HMS filters those the
+    /// same way whether or not they are indexed).
+    pub fpv: Option<Fpv>,
+}
+
+impl MarketEntry {
+    /// Classifies `tx` against a market's selectors: `Some` iff it calls
+    /// a contract with the `set` or `buy` selector. The single
+    /// classification rule shared by index maintenance, the pool's rescan
+    /// fallback, and the miners' rescan baselines, so the paths cannot
+    /// drift.
+    pub fn classify(
+        tx: &Transaction,
+        arrival_seq: u64,
+        set_selector: Selector,
+        buy_selector: Selector,
+    ) -> Option<Self> {
+        tx.to()?;
+        let input = tx.input();
+        if input.len() < 4 {
+            return None;
+        }
+        let kind = if input[..4] == set_selector {
+            MarketKind::Set
+        } else if input[..4] == buy_selector {
+            MarketKind::Buy
+        } else {
+            return None;
+        };
+        Some(Self { tx: tx.clone(), arrival_seq, kind, fpv: Fpv::from_calldata(input) })
+    }
+}
+
+/// One transaction as the ready index stores it.
+#[derive(Debug, Clone)]
+struct IndexedTx {
+    tx: Transaction,
+    arrival_seq: u64,
+}
+
+impl IndexedTx {
+    /// `(gas_price, !arrival_seq)`: ordering ascending by this key and
+    /// walking backwards yields price-descending, arrival-ascending — the
+    /// fee-priority order with the miner's arrival tie-break.
+    fn rank(&self) -> (u64, u64) {
+        (self.tx.gas_price(), !self.arrival_seq)
+    }
+}
+
+/// The candidate indexes (see module docs). Lives behind the pool's
+/// `index` mutex; all mutation goes through [`CandidateIndex::apply_event`]
+/// or [`CandidateIndex::rebuild`], driven by the event cursor.
+#[derive(Debug, Default)]
+pub(super) struct CandidateIndex {
+    /// `true` once the index has subscribed to the event stream (lazily,
+    /// on the first indexed read — unwatched pools pay nothing).
+    pub subscribed: bool,
+    /// Next event sequence number to apply.
+    pub cursor: u64,
+    senders: HashMap<Address, BTreeMap<u64, IndexedTx>>,
+    /// Every sender's lowest-nonce entry, keyed `(price, !arrival, sender)`.
+    heads: BTreeSet<(u64, u64, Address)>,
+    /// Every entry, keyed `(price, !arrival, sender, nonce)`; `first()` is
+    /// the eviction victim (cheapest, newest-arrival tie-break).
+    all: BTreeSet<(u64, u64, Address, u64)>,
+    by_hash: HashMap<H256, (Address, u64)>,
+    markets: HashMap<Address, BTreeMap<u64, MarketEntry>>,
+    market_by_hash: HashMap<H256, (Address, u64)>,
+}
+
+impl CandidateIndex {
+    /// Drops all state and re-ingests a full pool snapshot (entries must
+    /// be in arrival order).
+    pub fn rebuild<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = &'a super::PoolEntry>,
+        market: Option<&MarketSpec>,
+    ) {
+        self.senders.clear();
+        self.heads.clear();
+        self.all.clear();
+        self.by_hash.clear();
+        self.markets.clear();
+        self.market_by_hash.clear();
+        for entry in entries {
+            self.insert(&entry.tx, entry.arrival_seq, market);
+        }
+    }
+
+    /// Applies one pool event.
+    pub fn apply_event(&mut self, event: &PoolEvent, market: Option<&MarketSpec>) {
+        match event {
+            PoolEvent::Inserted { tx, arrival_seq } => self.insert(tx, *arrival_seq, market),
+            PoolEvent::Removed { hash, .. } | PoolEvent::Committed { hash, .. } => self.remove(hash),
+        }
+    }
+
+    fn insert(&mut self, tx: &Transaction, arrival_seq: u64, market: Option<&MarketSpec>) {
+        let sender = tx.sender();
+        let nonce = tx.nonce();
+        // The event stream emits `Removed` before a replacement's
+        // `Inserted`, so an occupied slot here would be a missed event;
+        // evicting it through the full removal path (head promotion
+        // included) keeps the index self-healing either way.
+        let stale_hash =
+            self.senders.get(&sender).and_then(|chain| chain.get(&nonce)).map(|stale| stale.tx.hash());
+        if let Some(stale_hash) = stale_hash {
+            self.remove(&stale_hash);
+        }
+        let chain = self.senders.entry(sender).or_default();
+        let old_head = chain.first_key_value().map(|(n, e)| (*n, e.rank()));
+        let indexed = IndexedTx { tx: tx.clone(), arrival_seq };
+        let (price, rev) = indexed.rank();
+        chain.insert(nonce, indexed);
+        self.by_hash.insert(tx.hash(), (sender, nonce));
+        self.all.insert((price, rev, sender, nonce));
+        match old_head {
+            None => {
+                self.heads.insert((price, rev, sender));
+            }
+            Some((old_nonce, (old_price, old_rev))) if nonce < old_nonce => {
+                self.heads.remove(&(old_price, old_rev, sender));
+                self.heads.insert((price, rev, sender));
+            }
+            Some(_) => {}
+        }
+        if let (Some(spec), Some(to)) = (market, tx.to()) {
+            if let Some(entry) = MarketEntry::classify(tx, arrival_seq, spec.set_selector, spec.buy_selector)
+            {
+                self.markets.entry(to).or_default().insert(arrival_seq, entry);
+                self.market_by_hash.insert(tx.hash(), (to, arrival_seq));
+            }
+        }
+    }
+
+    fn remove(&mut self, hash: &H256) {
+        if let Some((sender, nonce)) = self.by_hash.remove(hash) {
+            if let Some(chain) = self.senders.get_mut(&sender) {
+                if let Some(entry) = chain.remove(&nonce) {
+                    let (price, rev) = entry.rank();
+                    self.all.remove(&(price, rev, sender, nonce));
+                    // `heads` held this key iff the entry was the sender's
+                    // head; on removal the next nonce (if any) takes over.
+                    if self.heads.remove(&(price, rev, sender)) {
+                        if let Some((_, next)) = chain.first_key_value() {
+                            let (next_price, next_rev) = next.rank();
+                            self.heads.insert((next_price, next_rev, sender));
+                        }
+                    }
+                }
+                if chain.is_empty() {
+                    self.senders.remove(&sender);
+                }
+            }
+        }
+        if let Some((contract, seq)) = self.market_by_hash.remove(hash) {
+            if let Some(entries) = self.markets.get_mut(&contract) {
+                entries.remove(&seq);
+                if entries.is_empty() {
+                    self.markets.remove(&contract);
+                }
+            }
+        }
+    }
+
+    /// The globally cheapest entry's `(gas_price, sender, nonce)` — the
+    /// capacity-eviction victim (cheapest price, newest arrival on ties,
+    /// exactly the old rescan's `min_by_key`).
+    pub fn cheapest(&self) -> Option<(u64, Address, u64)> {
+        self.all.first().map(|&(price, _, sender, nonce)| (price, sender, nonce))
+    }
+
+    /// All indexed `set`/`buy` entries of `contract`, arrival-ordered.
+    pub fn market(&self, contract: &Address) -> Vec<MarketEntry> {
+        self.markets.get(contract).map(|entries| entries.values().cloned().collect()).unwrap_or_default()
+    }
+
+    /// The fee-priority ready order (see module docs): `Some(candidates)`
+    /// with at most `limit` transactions, or `None` when a sender holds a
+    /// *stale prefix* (pooled nonce below `base_nonce`) — then the walk's
+    /// head keys no longer describe the first selectable entry and the
+    /// caller must fall back to a rescan to keep the order exact.
+    pub fn ready_by_price(
+        &self,
+        base_nonce: &dyn Fn(&Address) -> u64,
+        limit: usize,
+    ) -> Option<Vec<Transaction>> {
+        let mut out = Vec::new();
+        let mut statics = self.heads.iter().rev().peekable();
+        // Promoted nonce-chain successors, keyed like `heads`.
+        let mut heap: BinaryHeap<(u64, u64, Address, u64)> = BinaryHeap::new();
+        while out.len() < limit {
+            let from_heap = match (heap.peek(), statics.peek()) {
+                (Some(&(hp, hr, _, _)), Some(&&(sp, sr, _))) => (hp, hr) > (sp, sr),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (sender, nonce) = if from_heap {
+                let (_, _, sender, nonce) = heap.pop().expect("peeked above");
+                (sender, nonce)
+            } else {
+                let &(_, _, sender) = statics.next().expect("peeked above");
+                let chain = self.senders.get(&sender).expect("head key implies a chain");
+                let (&head_nonce, _) = chain.first_key_value().expect("chains are never empty");
+                let base = base_nonce(&sender);
+                if base > head_nonce {
+                    return None; // stale prefix: exact order needs a rescan
+                }
+                if base < head_nonce {
+                    continue; // nonce gap: sender is held back entirely
+                }
+                (sender, head_nonce)
+            };
+            let chain = self.senders.get(&sender).expect("emitted sender has a chain");
+            let entry = chain.get(&nonce).expect("emitted nonce is indexed");
+            out.push(entry.tx.clone());
+            if let Some(next_nonce) = nonce.checked_add(1) {
+                if let Some(next) = chain.get(&next_nonce) {
+                    let (price, rev) = next.rank();
+                    heap.push((price, rev, sender, next_nonce));
+                }
+            }
+        }
+        Some(out)
+    }
+}

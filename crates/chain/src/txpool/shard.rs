@@ -1,0 +1,55 @@
+//! Internal storage units of the sharded [`TxPool`](super::TxPool): the
+//! per-sender shard maps and the seq-stamped event log.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+
+use super::{PoolEntry, PoolEvent, PoolEventRecord};
+
+/// One lock's worth of pool storage. Senders are routed to shards by
+/// address hash, so a sender's whole nonce queue — and therefore every
+/// replacement/duplicate decision about it — lives under a single lock.
+/// A transaction hash commits to its sender, so `by_hash` can live in the
+/// sender's shard too: duplicate checks never need a second lock.
+#[derive(Debug, Clone, Default)]
+pub(super) struct Shard {
+    /// Per-sender nonce-ordered queues.
+    pub by_sender: HashMap<Address, BTreeMap<u64, PoolEntry>>,
+    /// Hash → (sender, nonce) for this shard's transactions.
+    pub by_hash: HashMap<H256, (Address, u64)>,
+}
+
+/// The pool's global event stream: a bounded buffer of
+/// [`PoolEventRecord`]s plus the two monotone counters every mutation
+/// stamps (event seq, arrival seq). Guarded by its own short-hold mutex —
+/// mutations in different shards serialize only through this append.
+#[derive(Debug, Clone, Default)]
+pub(super) struct EventLog {
+    /// Buffered events, oldest first.
+    pub buffer: VecDeque<PoolEventRecord>,
+    /// Sequence number the next event will carry.
+    pub next_seq: u64,
+    /// Arrival sequence number the next inserted transaction will carry.
+    pub arrival_counter: u64,
+    /// Buffering starts only once someone subscribes (the external
+    /// [`TxPool::subscribe`](super::TxPool::subscribe) or the pool's own
+    /// candidate index); unwatched pools pay nothing beyond the counter.
+    pub enabled: bool,
+}
+
+impl EventLog {
+    /// Records the event built by `make` if anyone is buffering; always
+    /// advances the sequence number. Taking a closure keeps unwatched
+    /// pools from even constructing (and cloning into) the event.
+    pub fn emit_with(&mut self, capacity: usize, make: impl FnOnce() -> PoolEvent) {
+        if self.enabled && capacity > 0 {
+            while self.buffer.len() >= capacity {
+                self.buffer.pop_front();
+            }
+            self.buffer.push_back(PoolEventRecord { seq: self.next_seq, event: make() });
+        }
+        self.next_seq += 1;
+    }
+}

@@ -74,7 +74,7 @@ proptest! {
     /// strictly increasing.
     #[test]
     fn pool_uniqueness_invariants(entries in proptest::collection::vec((0u64..6, 0u64..6, 1u64..50), 0..40)) {
-        let mut pool = TxPool::new();
+        let pool = TxPool::new();
         for (i, (sender, nonce, price)) in entries.iter().enumerate() {
             let key = SecretKey::from_label(*sender);
             let tx = Transaction::sign(
@@ -104,7 +104,7 @@ proptest! {
     /// and never invents or duplicates entries.
     #[test]
     fn ready_by_price_respects_nonce_order(entries in proptest::collection::vec((0u64..4, 0u64..5, 1u64..50), 0..30)) {
-        let mut pool = TxPool::new();
+        let pool = TxPool::new();
         for (i, (sender, nonce, price)) in entries.iter().enumerate() {
             let key = SecretKey::from_label(*sender);
             let tx = Transaction::sign(

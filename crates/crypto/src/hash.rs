@@ -213,9 +213,31 @@ impl H160 {
     }
 }
 
+/// 64-bit FNV-1a over `bytes` — the cheap non-cryptographic hash the
+/// shard routers (TxPool sender shards, RAA contract shards) use to
+/// spread both low_u64-style test addresses and keccak-derived ones.
+/// Exists once so the constants cannot drift between copies.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors (offset basis for "", "a",
+        // "foobar").
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
 
     #[test]
     fn h256_hex_round_trip() {

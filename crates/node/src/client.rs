@@ -253,12 +253,14 @@ mod tests {
         NodeHandle::new(
             genesis,
             NodeConfig {
+                pool: Default::default(),
                 exec_mode: Default::default(),
                 validation_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract,
                 miner: Some(MinerSetup {
+                    candidate_budget: None,
                     policy: MinerPolicy::Standard,
                     schedule: BlockSchedule::Fixed(15_000),
                     coinbase: Address::from_low_u64(0xc01),

@@ -9,11 +9,20 @@
 //! piece-wise visibility (Faleiro et al., VLDB 2017) — as a deterministic
 //! dependency scheduler with early write visibility confined to block
 //! assembly; see [`MinerPolicy::Pwv`].
+//!
+//! Every policy exists twice: the default implementations read the pool's
+//! incrementally-maintained candidate indexes ([`order_candidates`] /
+//! [`order_candidates_limited`] — `ready_by_price` is an `O(k)` index
+//! read, market calldata is pre-parsed at insert), and the pre-index
+//! rescan implementations are kept verbatim as the byte-equality oracle
+//! and benchmark baseline ([`order_candidates_rescan`]; the
+//! `txpool_index_props` suite holds the two equal over randomized pool
+//! histories).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sereth_chain::state::StateView;
-use sereth_chain::txpool::TxPool;
+use sereth_chain::txpool::{MarketEntry, MarketKind, MarketSpec, TxPool};
 use sereth_core::fpv::Fpv;
 use sereth_core::hms::{hash_mark_set, HmsConfig};
 use sereth_core::process::PendingTx;
@@ -46,6 +55,13 @@ pub enum MinerPolicy {
     Pwv,
 }
 
+/// The Sereth market's selectors as a pool [`MarketSpec`] — what a node
+/// configures its pool with so `set`/`buy` calldata is parsed exactly
+/// once, at insert.
+pub fn market_spec() -> MarketSpec {
+    MarketSpec { set_selector: set_selector(), buy_selector: buy_selector() }
+}
+
 /// Converts one pool entry into the lightweight view HMS consumes (the
 /// calldata is shared, not copied).
 pub fn pending_tx(entry: &sereth_chain::txpool::PoolEntry) -> PendingTx {
@@ -58,9 +74,21 @@ pub fn pending_tx(entry: &sereth_chain::txpool::PoolEntry) -> PendingTx {
     }
 }
 
-/// Converts pool entries into the lightweight view HMS consumes.
+/// The same lightweight view, from a pre-parsed market-index entry.
+fn market_pending(entry: &MarketEntry) -> PendingTx {
+    PendingTx {
+        hash: entry.tx.hash(),
+        sender: entry.tx.sender(),
+        to: entry.tx.to(),
+        input: entry.tx.input().clone(),
+        arrival_seq: entry.arrival_seq,
+    }
+}
+
+/// Converts pool entries into the lightweight view HMS consumes, borrowed
+/// in place (no entry is cloned).
 pub fn pending_view(pool: &TxPool) -> Vec<PendingTx> {
-    pool.entries_by_arrival().into_iter().map(pending_tx).collect()
+    pool.with_entries_by_arrival(|entries| entries.iter().map(|entry| pending_tx(entry)).collect())
 }
 
 /// Reads the committed `(mark, value)` of the Sereth contract from an
@@ -70,69 +98,90 @@ pub fn committed_amv(state: &StateView, contract: &Address) -> (H256, H256) {
     (state.storage_get(contract, &SLOT_MARK), state.storage_get(contract, &SLOT_VALUE))
 }
 
-/// Orders the pool's candidates according to `policy`.
+/// Orders the pool's candidates according to `policy`, from the pool's
+/// incremental indexes.
 pub fn order_candidates(
     pool: &TxPool,
     state: &StateView,
     contract: &Address,
     policy: &MinerPolicy,
 ) -> Vec<Transaction> {
+    order_candidates_limited(pool, state, contract, policy, usize::MAX)
+}
+
+/// [`order_candidates`] emitting at most `limit` candidates — what a
+/// miner with a known block capacity uses so the per-block ordering cost
+/// is `O(limit)`, independent of the backlog behind it
+/// ([`MinerSetup::candidate_budget`](crate::node::MinerSetup)).
+pub fn order_candidates_limited(
+    pool: &TxPool,
+    state: &StateView,
+    contract: &Address,
+    policy: &MinerPolicy,
+    limit: usize,
+) -> Vec<Transaction> {
     match policy {
-        MinerPolicy::Standard => pool.ready_by_price(|sender| state.nonce_of(sender)),
-        MinerPolicy::Semantic(config) => semantic_order(pool, state, contract, config),
-        MinerPolicy::Pwv => pwv_order(pool, state, contract),
+        MinerPolicy::Standard => pool.ready_by_price_limited(|sender| state.nonce_of(sender), limit),
+        MinerPolicy::Semantic(config) => semantic_order(pool, state, contract, config, limit),
+        MinerPolicy::Pwv => pwv_order(pool, state, contract, limit),
     }
 }
 
-/// The PWV order: a greedy deterministic dependency schedule over the
-/// market's read/write sets with early write visibility.
-///
-/// Starting from the committed `(mark, value)`, repeatedly (1) schedule —
-/// in arrival order — every pending `buy` whose offer matches the current
-/// speculative state (its read is satisfied by writes already visible),
+/// The pre-index implementation of every policy: full pool walks with
+/// per-block calldata decoding, `O(pool)` (and worse) per block. Kept as
+/// the byte-equality oracle for the indexed paths and as the POOL-SCALE
+/// benchmark baseline.
+pub fn order_candidates_rescan(
+    pool: &TxPool,
+    state: &StateView,
+    contract: &Address,
+    policy: &MinerPolicy,
+    limit: usize,
+) -> Vec<Transaction> {
+    match policy {
+        MinerPolicy::Standard => pool.ready_by_price_rescan(|sender| state.nonce_of(sender), limit),
+        MinerPolicy::Semantic(config) => semantic_order_rescan(pool, state, contract, config, limit),
+        MinerPolicy::Pwv => pwv_order_rescan(pool, state, contract, limit),
+    }
+}
+
+/// Shared tail of the semantic/PWV policies: append the fee-priority
+/// order (minus what the market schedule already placed), repair nonce
+/// order, and apply the candidate limit.
+fn finish_order(
+    mut ordered: Vec<Transaction>,
+    mut used: HashSet<H256>,
+    tail: Vec<Transaction>,
+    limit: usize,
+) -> Vec<Transaction> {
+    for tx in tail {
+        if used.insert(tx.hash()) {
+            ordered.push(tx);
+        }
+    }
+    let mut repaired = enforce_nonce_order(ordered);
+    repaired.truncate(limit);
+    repaired
+}
+
+/// The PWV schedule over pre-parsed market entries: starting from the
+/// committed `(mark, value)`, repeatedly (1) schedule — in arrival order —
+/// every pending `buy` whose offer matches the current speculative state,
 /// then (2) apply the first pending `set` whose `prev_mark` matches,
-/// advancing the speculative state. When no set is ready the loop ends and
-/// the rest of the pool follows by fee priority (those transactions'
-/// dependencies cannot be satisfied by any visible write, so they will
-/// no-op exactly as they would under the standard policy).
-fn pwv_order(pool: &TxPool, state: &StateView, contract: &Address) -> Vec<Transaction> {
+/// advancing the speculative state. Returns the scheduled transactions
+/// and their hashes.
+fn pwv_schedule(market: &[MarketEntry], committed: (H256, H256)) -> (Vec<Transaction>, HashSet<H256>) {
     use sereth_core::mark::compute_mark;
 
-    let (mut mark, mut value) = committed_amv(state, contract);
-    let entries = pool.pending_by_arrival();
-
-    enum MarketTx<'a> {
-        Set(&'a Transaction, Fpv),
-        Buy(&'a Transaction, Fpv),
-    }
-
-    let mut market: Vec<Option<MarketTx<'_>>> = entries
-        .iter()
-        .map(|entry| {
-            if entry.tx.to() != Some(*contract) {
-                return None;
-            }
-            let input = entry.tx.input();
-            if input.len() < 4 {
-                return None;
-            }
-            let fpv = Fpv::from_calldata(input)?;
-            if input[..4] == set_selector() {
-                Some(MarketTx::Set(&entry.tx, fpv))
-            } else if input[..4] == buy_selector() {
-                Some(MarketTx::Buy(&entry.tx, fpv))
-            } else {
-                None
-            }
-        })
-        .collect();
-
+    let (mut mark, mut value) = committed;
+    let mut slots: Vec<Option<(&Transaction, &Fpv, MarketKind)>> =
+        market.iter().map(|entry| entry.fpv.as_ref().map(|fpv| (&entry.tx, fpv, entry.kind))).collect();
     let mut ordered: Vec<Transaction> = Vec::new();
-    let mut used: std::collections::HashSet<H256> = std::collections::HashSet::new();
+    let mut used: HashSet<H256> = HashSet::new();
     loop {
         // (1) Every buy whose read set matches visible state is ready.
-        for slot in market.iter_mut() {
-            if let Some(MarketTx::Buy(tx, fpv)) = slot {
+        for slot in slots.iter_mut() {
+            if let Some((tx, fpv, MarketKind::Buy)) = slot {
                 if fpv.prev_mark == mark && fpv.value == value {
                     used.insert(tx.hash());
                     ordered.push((*tx).clone());
@@ -141,75 +190,87 @@ fn pwv_order(pool: &TxPool, state: &StateView, contract: &Address) -> Vec<Transa
             }
         }
         // (2) The first dependency-satisfied set advances the state.
-        let Some(next_set) = market
+        let Some(next_set) = slots
             .iter_mut()
-            .find(|slot| matches!(slot, Some(MarketTx::Set(_, fpv)) if fpv.prev_mark == mark))
+            .find(|slot| matches!(slot, Some((_, fpv, MarketKind::Set)) if fpv.prev_mark == mark))
         else {
             break;
         };
-        let Some(MarketTx::Set(tx, fpv)) = next_set.take() else { unreachable!("matched above") };
+        let Some((tx, fpv, _)) = next_set.take() else { unreachable!("matched above") };
         used.insert(tx.hash());
         ordered.push(tx.clone());
         mark = compute_mark(&fpv.prev_mark, &fpv.value);
         value = fpv.value;
     }
-
-    // Unready market traffic and foreign transactions, by fee.
-    for tx in pool.ready_by_price(|sender| state.nonce_of(sender)) {
-        if used.insert(tx.hash()) {
-            ordered.push(tx);
-        }
-    }
-    enforce_nonce_order(ordered)
+    (ordered, used)
 }
 
-/// The semantic-mining order (paper §V-C):
-///
-/// 1. run Hash-Mark-Set over the pool to obtain the `set` series;
-/// 2. bucket pending `buy`s by the mark they offer against;
-/// 3. emit `buys(committed mark) ‖ set₁ ‖ buys(mark₁) ‖ set₂ ‖ …`;
-/// 4. append everything else (unmatched buys, foreign traffic) by fee;
-/// 5. repair per-sender nonce order, which interleaving may have broken.
-fn semantic_order(
-    pool: &TxPool,
-    state: &StateView,
-    contract: &Address,
-    config: &HmsConfig,
-) -> Vec<Transaction> {
+/// The PWV order (see [`MinerPolicy::Pwv`]), from the pre-parsed market
+/// index: no pool walk, no per-block calldata decoding. Unready market
+/// traffic and foreign transactions follow by fee priority.
+fn pwv_order(pool: &TxPool, state: &StateView, contract: &Address, limit: usize) -> Vec<Transaction> {
     let committed = committed_amv(state, contract);
-    let pending = pending_view(pool);
+    let market = pool.market_snapshot(contract, set_selector(), buy_selector());
+    let (ordered, used) = pwv_schedule(&market, committed);
+    let tail = pool.ready_by_price_limited(|sender| state.nonce_of(sender), limit);
+    finish_order(ordered, used, tail, limit)
+}
+
+/// The pre-index PWV implementation: walks the whole pool (borrowed, not
+/// cloned) and decodes every entry's calldata per block.
+fn pwv_order_rescan(pool: &TxPool, state: &StateView, contract: &Address, limit: usize) -> Vec<Transaction> {
+    let committed = committed_amv(state, contract);
+    let market: Vec<MarketEntry> = pool.with_entries_by_arrival(|entries| {
+        entries
+            .iter()
+            .filter(|entry| entry.tx.to() == Some(*contract))
+            .filter_map(|entry| {
+                MarketEntry::classify(&entry.tx, entry.arrival_seq, set_selector(), buy_selector())
+            })
+            .collect()
+    });
+    let (ordered, used) = pwv_schedule(&market, committed);
+    let tail = pool.ready_by_price_rescan(|sender| state.nonce_of(sender), limit);
+    finish_order(ordered, used, tail, limit)
+}
+
+/// The semantic-mining series assembly (paper §V-C), shared by the
+/// indexed and rescan paths:
+///
+/// 1. run Hash-Mark-Set over the market's `set`s to obtain the series;
+/// 2. bucket pending `buy`s by the mark they offer against;
+/// 3. emit `buys(committed mark) ‖ set₁ ‖ buys(mark₁) ‖ set₂ ‖ …`.
+fn semantic_schedule(
+    market: &[MarketEntry],
+    contract: &Address,
+    committed: (H256, H256),
+    config: &HmsConfig,
+) -> (Vec<Transaction>, HashSet<H256>) {
+    let pending: Vec<PendingTx> =
+        market.iter().filter(|e| e.kind == MarketKind::Set).map(market_pending).collect();
     let outcome = hash_mark_set(&pending, contract, set_selector(), committed, config);
 
-    // Index the actual pool transactions by hash for reassembly.
-    let entries = pool.pending_by_arrival();
-    let by_hash: HashMap<H256, &Transaction> = entries.iter().map(|e| (e.tx.hash(), &e.tx)).collect();
-
-    // Bucket the buys by the mark they target.
+    let by_hash: HashMap<H256, &Transaction> = market.iter().map(|e| (e.tx.hash(), &e.tx)).collect();
     let mut buy_buckets: HashMap<H256, Vec<&Transaction>> = HashMap::new();
-    let mut used: std::collections::HashSet<H256> = std::collections::HashSet::new();
-    for entry in &entries {
-        if entry.tx.to() != Some(*contract) {
-            continue;
-        }
-        let input = entry.tx.input();
-        if input.len() >= 4 && input[..4] == buy_selector() {
-            if let Some(fpv) = Fpv::from_calldata(input) {
+    for entry in market {
+        if entry.kind == MarketKind::Buy {
+            if let Some(fpv) = &entry.fpv {
                 buy_buckets.entry(fpv.prev_mark).or_default().push(&entry.tx);
             }
         }
     }
 
     let mut ordered: Vec<Transaction> = Vec::new();
-    let emit_bucket =
-        |mark: &H256, ordered: &mut Vec<Transaction>, used: &mut std::collections::HashSet<H256>| {
-            if let Some(bucket) = buy_buckets.get(mark) {
-                for tx in bucket {
-                    if used.insert(tx.hash()) {
-                        ordered.push((*tx).clone());
-                    }
+    let mut used: HashSet<H256> = HashSet::new();
+    let emit_bucket = |mark: &H256, ordered: &mut Vec<Transaction>, used: &mut HashSet<H256>| {
+        if let Some(bucket) = buy_buckets.get(mark) {
+            for tx in bucket {
+                if used.insert(tx.hash()) {
+                    ordered.push((*tx).clone());
                 }
             }
-        };
+        }
+    };
 
     // Buys against the committed mark execute before any set.
     emit_bucket(&committed.0, &mut ordered, &mut used);
@@ -221,16 +282,48 @@ fn semantic_order(
         }
         emit_bucket(&node.mark, &mut ordered, &mut used);
     }
+    (ordered, used)
+}
 
-    // Everything not yet placed, by fee priority (they will mostly be
-    // no-ops, but they are part of raw throughput).
-    for tx in pool.ready_by_price(|sender| state.nonce_of(sender)) {
-        if used.insert(tx.hash()) {
-            ordered.push(tx);
-        }
-    }
+/// The semantic-mining order, from the pre-parsed market index; everything
+/// the series does not place follows by fee priority (mostly no-ops, but
+/// part of raw throughput).
+fn semantic_order(
+    pool: &TxPool,
+    state: &StateView,
+    contract: &Address,
+    config: &HmsConfig,
+    limit: usize,
+) -> Vec<Transaction> {
+    let committed = committed_amv(state, contract);
+    let market = pool.market_snapshot(contract, set_selector(), buy_selector());
+    let (ordered, used) = semantic_schedule(&market, contract, committed, config);
+    let tail = pool.ready_by_price_limited(|sender| state.nonce_of(sender), limit);
+    finish_order(ordered, used, tail, limit)
+}
 
-    enforce_nonce_order(ordered)
+/// The pre-index semantic implementation: filters and decodes the whole
+/// pool per block (borrowed walk), then runs the identical schedule.
+fn semantic_order_rescan(
+    pool: &TxPool,
+    state: &StateView,
+    contract: &Address,
+    config: &HmsConfig,
+    limit: usize,
+) -> Vec<Transaction> {
+    let committed = committed_amv(state, contract);
+    let market: Vec<MarketEntry> = pool.with_entries_by_arrival(|entries| {
+        entries
+            .iter()
+            .filter(|entry| entry.tx.to() == Some(*contract))
+            .filter_map(|entry| {
+                MarketEntry::classify(&entry.tx, entry.arrival_seq, set_selector(), buy_selector())
+            })
+            .collect()
+    });
+    let (ordered, used) = semantic_schedule(&market, contract, committed, config);
+    let tail = pool.ready_by_price_rescan(|sender| state.nonce_of(sender), limit);
+    finish_order(ordered, used, tail, limit)
 }
 
 /// Rewrites `candidates` so each sender's transactions appear in ascending
@@ -266,6 +359,7 @@ mod tests {
     use crate::contract::{default_contract_address, sereth_genesis_slots};
     use bytes::Bytes;
     use sereth_chain::state::StateDb;
+    use sereth_chain::txpool::PoolConfig;
     use sereth_core::fpv::Flag;
     use sereth_core::mark::{compute_mark, genesis_mark};
     use sereth_crypto::sig::SecretKey;
@@ -281,6 +375,30 @@ mod tests {
         }
         state.clear_journal();
         (state, contract)
+    }
+
+    /// A pool with the Sereth market selectors pre-indexed, as nodes
+    /// construct theirs.
+    fn market_pool() -> TxPool {
+        TxPool::with_config(PoolConfig { market: Some(market_spec()), ..PoolConfig::default() })
+    }
+
+    /// Every policy, indexed and rescan, must agree before we assert on
+    /// the indexed output's shape.
+    fn ordered_checked(
+        pool: &TxPool,
+        state: &StateDb,
+        contract: &Address,
+        policy: &MinerPolicy,
+    ) -> Vec<Transaction> {
+        let indexed = order_candidates(pool, &state.view(), contract, policy);
+        let rescan = order_candidates_rescan(pool, &state.view(), contract, policy, usize::MAX);
+        assert_eq!(
+            indexed.iter().map(Transaction::hash).collect::<Vec<_>>(),
+            rescan.iter().map(Transaction::hash).collect::<Vec<_>>(),
+            "indexed and rescan orders diverged for {policy:?}"
+        );
+        indexed
     }
 
     fn sereth_tx(
@@ -326,12 +444,12 @@ mod tests {
     #[test]
     fn standard_policy_orders_by_fee() {
         let (state, contract) = state_with_contract();
-        let mut pool = TxPool::new();
+        let pool = market_pool();
         let a = SecretKey::from_label(1);
         let b = SecretKey::from_label(2);
         pool.insert(plain_tx(&a, 0, 5), 0).unwrap();
         pool.insert(plain_tx(&b, 0, 50), 1).unwrap();
-        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Standard);
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Standard);
         assert_eq!(ordered[0].gas_price(), 50);
         assert_eq!(ordered[1].gas_price(), 5);
     }
@@ -342,7 +460,7 @@ mod tests {
         let owner = SecretKey::from_label(1);
         let buyer1 = SecretKey::from_label(2);
         let buyer2 = SecretKey::from_label(3);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
 
         let m0 = genesis_mark();
         let m1 = compute_mark(&m0, &H256::from_low_u64(60));
@@ -360,8 +478,7 @@ mod tests {
         pool.insert(set1.clone(), 3).unwrap();
         pool.insert(buy_at_m0.clone(), 4).unwrap();
 
-        let ordered =
-            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         // Expected semantic order before nonce repair:
         //   buy@m0, set1, buy@m1, set2, buy@m2
@@ -381,7 +498,7 @@ mod tests {
     fn semantic_policy_keeps_independent_buyers_in_mark_order() {
         let (state, contract) = state_with_contract();
         let owner = SecretKey::from_label(1);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
         let m0 = genesis_mark();
         let m1 = compute_mark(&m0, &H256::from_low_u64(60));
         let set1 = sereth_tx(&owner, 0, set_selector(), Flag::Head, m0, 60);
@@ -395,8 +512,7 @@ mod tests {
         }
         pool.insert(set1.clone(), 99).unwrap();
 
-        let ordered =
-            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         assert_eq!(ordered[0].hash(), set1.hash());
         assert_eq!(ordered.len(), 11);
         for (i, buy) in buys.iter().enumerate() {
@@ -409,7 +525,7 @@ mod tests {
         let (state, contract) = state_with_contract();
         let owner = SecretKey::from_label(1);
         let stranger = SecretKey::from_label(9);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
         let m0 = genesis_mark();
         let set1 = sereth_tx(&owner, 0, set_selector(), Flag::Head, m0, 60);
         let stale_buy = sereth_tx(&stranger, 0, buy_selector(), Flag::Success, H256::keccak(b"gone"), 1);
@@ -418,8 +534,7 @@ mod tests {
         pool.insert(set1.clone(), 1).unwrap();
         pool.insert(transfer.clone(), 2).unwrap();
 
-        let ordered =
-            order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Semantic(HmsConfig::default()));
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Semantic(HmsConfig::default()));
         assert_eq!(ordered.len(), 3);
         assert_eq!(ordered[0].hash(), set1.hash(), "series first");
         let tail: Vec<H256> = ordered[1..].iter().map(Transaction::hash).collect();
@@ -433,7 +548,7 @@ mod tests {
         let owner = SecretKey::from_label(1);
         let buyer1 = SecretKey::from_label(2);
         let buyer2 = SecretKey::from_label(3);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
 
         let m0 = genesis_mark();
         // Buys at the *committed* state (mark m0, price 50) — what
@@ -446,7 +561,7 @@ mod tests {
         pool.insert(buy_a.clone(), 1).unwrap();
         pool.insert(buy_b.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Pwv);
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         assert_eq!(hashes, vec![buy_a.hash(), buy_b.hash(), set1.hash()]);
     }
@@ -456,7 +571,7 @@ mod tests {
         let (state, contract) = state_with_contract();
         let owner = SecretKey::from_label(1);
         let buyer = SecretKey::from_label(2);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
 
         let m0 = genesis_mark();
         let m1 = compute_mark(&m0, &H256::from_low_u64(60));
@@ -470,7 +585,7 @@ mod tests {
         pool.insert(buy_mid.clone(), 1).unwrap();
         pool.insert(set1.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Pwv);
         let hashes: Vec<H256> = ordered.iter().map(Transaction::hash).collect();
         assert_eq!(hashes, vec![set1.hash(), buy_mid.hash(), set2.hash()]);
     }
@@ -480,7 +595,7 @@ mod tests {
         let (state, contract) = state_with_contract();
         let owner = SecretKey::from_label(1);
         let stranger = SecretKey::from_label(9);
-        let mut pool = TxPool::new();
+        let pool = market_pool();
 
         let m0 = genesis_mark();
         let set1 = sereth_tx(&owner, 0, set_selector(), Flag::Head, m0, 60);
@@ -491,7 +606,7 @@ mod tests {
         pool.insert(transfer.clone(), 1).unwrap();
         pool.insert(set1.clone(), 2).unwrap();
 
-        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Pwv);
         assert_eq!(ordered.len(), 3);
         assert_eq!(ordered[0].hash(), set1.hash());
         let tail: Vec<H256> = ordered[1..].iter().map(Transaction::hash).collect();
@@ -514,15 +629,48 @@ mod tests {
         state.storage_set(&contract, SLOT_VALUE, H256::from_low_u64(60));
         state.clear_journal();
 
-        let mut pool = TxPool::new();
+        let pool = market_pool();
         let stale_buy = sereth_tx(&buyer, 0, buy_selector(), Flag::Success, m0, 50);
         pool.insert(stale_buy.clone(), 0).unwrap();
 
-        let ordered = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Pwv);
+        let ordered = ordered_checked(&pool, &state, &contract, &MinerPolicy::Pwv);
         // Scheduled (it occupies block space) but only via the fee-order
         // tail — the dependency loop never picked it up.
         assert_eq!(ordered.len(), 1);
         assert_eq!(ordered[0].hash(), stale_buy.hash());
+    }
+
+    #[test]
+    fn policies_agree_between_indexed_and_rescan_on_unconfigured_pools() {
+        // A pool built WITHOUT a market spec (plain TxPool::new) must
+        // still order identically: market_snapshot falls back to a
+        // counted rescan with the same classification rule.
+        let (state, contract) = state_with_contract();
+        let owner = SecretKey::from_label(1);
+        let buyer = SecretKey::from_label(2);
+        let pool = TxPool::new();
+        let m0 = genesis_mark();
+        pool.insert(sereth_tx(&owner, 0, set_selector(), Flag::Head, m0, 60), 0).unwrap();
+        pool.insert(sereth_tx(&buyer, 0, buy_selector(), Flag::Success, m0, 50), 1).unwrap();
+        pool.insert(plain_tx(&SecretKey::from_label(9), 0, 7), 2).unwrap();
+        for policy in [MinerPolicy::Standard, MinerPolicy::Semantic(HmsConfig::default()), MinerPolicy::Pwv] {
+            ordered_checked(&pool, &state, &contract, &policy);
+        }
+        assert!(pool.stats().market_rescans > 0, "unconfigured market must rescan");
+    }
+
+    #[test]
+    fn limited_order_is_a_prefix_for_the_standard_policy() {
+        let (state, contract) = state_with_contract();
+        let pool = market_pool();
+        for label in 1..=9u64 {
+            let key = SecretKey::from_label(label);
+            pool.insert(plain_tx(&key, 0, label * 3 % 7 + 1), label).unwrap();
+        }
+        let full = order_candidates(&pool, &state.view(), &contract, &MinerPolicy::Standard);
+        let limited = order_candidates_limited(&pool, &state.view(), &contract, &MinerPolicy::Standard, 4);
+        assert_eq!(limited.len(), 4);
+        assert_eq!(limited[..], full[..4]);
     }
 
     #[test]

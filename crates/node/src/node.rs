@@ -19,7 +19,7 @@ use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::Genesis;
 use sereth_chain::parallel::{ExecMode, ExecStats};
 use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
-use sereth_chain::txpool::TxPool;
+use sereth_chain::txpool::{PoolConfig, PoolStats, TxPool};
 use sereth_chain::validation::ValidationMode;
 use sereth_core::hms::HmsConfig;
 use sereth_core::process::PendingTx;
@@ -37,7 +37,7 @@ use sereth_vm::raa::RaaRegistry;
 
 use crate::contract::{get_selector, mark_selector, set_selector};
 use crate::messages::Msg;
-use crate::miner::{committed_amv, order_candidates, MinerPolicy};
+use crate::miner::{committed_amv, market_spec, order_candidates_limited, MinerPolicy};
 
 /// Standard vs. modified client (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,12 @@ pub struct MinerSetup {
     pub schedule: BlockSchedule,
     /// Address credited with fees.
     pub coinbase: Address,
+    /// Cap on how many candidates each ordering pass emits. With a cap
+    /// the per-block ordering cost is `O(cap)` — independent of the pool
+    /// backlog — at the price of not seeing past the cap when candidates
+    /// fail execution; `None` (the default everywhere) orders the whole
+    /// ready set, exactly as before the indexed pool feed.
+    pub candidate_budget: Option<usize>,
 }
 
 /// Which implementation serves RAA views on a Sereth node.
@@ -131,14 +137,21 @@ pub struct NodeConfig {
     /// verdict-equivalent to sequential, so it changes import cost, never
     /// which blocks this node accepts.
     pub validation_mode: ValidationMode,
+    /// Transaction-pool configuration (shard count, capacity, event
+    /// buffer). The node overrides [`PoolConfig::market`] with the Sereth
+    /// contract's selectors so `set`/`buy` calldata is pre-parsed at
+    /// insert.
+    pub pool: PoolConfig,
 }
 
 /// The lock-protected node state.
 pub struct NodeInner {
     /// Chain store (canonical chain + side chains).
     pub chain: ChainStore,
-    /// Pending transaction pool.
-    pub pool: TxPool,
+    /// Pending transaction pool. Internally synchronized (sharded) and
+    /// held by `Arc`, so submission and the miner's ordering pass run
+    /// *outside* the node lock against the same pool.
+    pub pool: Arc<TxPool>,
     /// RAA registry (holds the HMS provider on Sereth nodes).
     pub raa: RaaRegistry,
     /// Static configuration.
@@ -204,18 +217,22 @@ struct NodeSource(Weak<Mutex<NodeInner>>);
 impl HmsDataSource for NodeSource {
     fn pending(&self) -> Vec<PendingTx> {
         let Some(node) = self.0.upgrade() else { return Vec::new() };
-        let inner = node.lock();
-        crate::miner::pending_view(&inner.pool)
+        let pool = node.lock().pool.clone();
+        // The node lock is already released: the walk contends only on
+        // the pool's own shard locks.
+        crate::miner::pending_view(&pool)
     }
 
     fn for_each_pending(&self, visit: &mut dyn FnMut(&PendingTx)) {
         let Some(node) = self.0.upgrade() else { return };
-        let inner = node.lock();
+        let pool = node.lock().pool.clone();
         // Borrowed walk: no per-query clone of the pool (the provider
         // filters as it goes, so only this contract's sets are copied).
-        for entry in inner.pool.entries_by_arrival() {
-            visit(&crate::miner::pending_tx(entry));
-        }
+        pool.with_entries_by_arrival(|entries| {
+            for entry in entries {
+                visit(&crate::miner::pending_tx(entry));
+            }
+        });
     }
 
     fn committed(&self, contract: &Address) -> (H256, H256) {
@@ -228,8 +245,10 @@ impl HmsDataSource for NodeSource {
 impl RaaDataSource for NodeSource {
     fn sync(&self, service: &RaaService) {
         let Some(node) = self.0.upgrade() else { return };
-        let inner = node.lock();
-        service.sync(&inner.pool);
+        let pool = node.lock().pool.clone();
+        // Event draining happens outside the node lock; the service's own
+        // cursor mutex serialises concurrent syncs.
+        service.sync(&pool);
     }
 
     fn committed(&self, contract: &Address) -> (H256, H256) {
@@ -242,9 +261,10 @@ impl NodeHandle {
     /// nodes get the HMS RAA provider installed for the contract's
     /// `get`/`mark` selectors.
     pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
+        let pool_config = PoolConfig { market: Some(market_spec()), ..config.pool.clone() };
         let inner = NodeInner {
             chain: ChainStore::with_validation_mode(genesis, config.validation_mode),
-            pool: TxPool::new(),
+            pool: Arc::new(TxPool::with_config(pool_config)),
             raa: RaaRegistry::new(),
             config,
             raa_service: None,
@@ -399,18 +419,26 @@ impl NodeHandle {
 
     /// Accepts a transaction from gossip or local submission. Returns
     /// `true` when newly accepted (the caller should gossip it onward).
+    ///
+    /// The node lock is held only for the gossip-dedup check and an O(1)
+    /// state-view capture; signature verification and the pool insert run
+    /// outside it, so submission from many clients contends on the pool's
+    /// sender shards — not on the miner's node lock.
     pub fn receive_tx(&self, tx: Transaction, now: SimTime) -> bool {
-        let mut inner = self.lock();
-        if !inner.seen_txs.insert(tx.hash()) {
-            return false;
-        }
+        let (pool, view) = {
+            let mut inner = self.lock();
+            if !inner.seen_txs.insert(tx.hash()) {
+                return false;
+            }
+            (inner.pool.clone(), inner.chain.head_state_view())
+        };
         if !tx.verify_signature() {
             return false;
         }
-        if tx.nonce() < inner.chain.head_state().nonce_of(&tx.sender()) {
+        if tx.nonce() < view.nonce_of(&tx.sender()) {
             return false; // stale
         }
-        inner.pool.insert(tx, now).is_ok()
+        pool.insert(tx, now).is_ok()
     }
 
     /// Accepts a block from gossip, importing it and any orphans it
@@ -470,6 +498,13 @@ impl NodeHandle {
         }
     }
 
+    /// The transaction pool's counters: indexed ordering reads, forced
+    /// rebuilds, rescan fallbacks, and shard-lock contention — the
+    /// observable face of the sharded pool feed.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.lock().pool.stats()
+    }
+
     /// Cumulative executor counters over every block this node has mined —
     /// the observable face of the parallel executor (fallbacks prove the
     /// mis-speculation path ran; fast commits prove speculation paid off).
@@ -488,30 +523,52 @@ impl NodeHandle {
     }
 
     /// Seals a block at `now` (miner nodes only) and imports it locally.
+    ///
+    /// The node lock is held twice, briefly: once to snapshot the parent
+    /// header, a COW state clone, and the pool handle; once to import the
+    /// sealed block. Candidate ordering and execution run in between,
+    /// unlocked — client submission keeps flowing into the pool shards
+    /// while the block is being built.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
-        let mut inner = self.lock();
-        let setup = inner.config.miner.clone()?;
-        let parent = inner.chain.head_block().header.clone();
-        let NodeInner { chain, pool, config, exec_stats, .. } = &mut *inner;
-        let state = chain.head_state();
-        let candidates = order_candidates(pool, &state.view(), &config.contract, &setup.policy);
+        let (setup, parent, state, pool, contract, limits, exec_mode) = {
+            let inner = self.lock();
+            let setup = inner.config.miner.clone()?;
+            (
+                setup,
+                inner.chain.head_block().header.clone(),
+                inner.chain.head_state().clone(),
+                inner.pool.clone(),
+                inner.config.contract,
+                inner.config.limits.clone(),
+                inner.config.exec_mode,
+            )
+        };
+        let budget = setup.candidate_budget.unwrap_or(usize::MAX);
+        let candidates = order_candidates_limited(&pool, &state.view(), &contract, &setup.policy, budget);
         let timestamp = now.max(parent.timestamp_ms + 1);
         let built = build_block_with_mode(
             &parent,
-            state,
+            &state,
             &candidates,
             setup.coinbase,
             timestamp,
-            &config.limits,
-            &config.exec_mode,
+            &limits,
+            &exec_mode,
         );
-        exec_stats.absorb(&built.stats);
+        let mut inner = self.lock();
+        inner.exec_stats.absorb(&built.stats);
         let block = built.block.clone();
         match inner.chain.import(block.clone()) {
-            Ok(ImportOutcome::AlreadyKnown) | Ok(_) => {
+            Ok(ImportOutcome::ExtendedCanonical) | Ok(ImportOutcome::Reorged { .. }) => {
                 Self::after_import(&mut inner, &block);
                 Some(block)
             }
+            // A gossip block imported while we were building can beat us
+            // to the head: our block is then a side chain and its
+            // transactions are NOT committed — they must stay pooled for
+            // the next attempt (before the pool feed, building happened
+            // under the node lock and this race could not exist).
+            Ok(ImportOutcome::SideChain) | Ok(ImportOutcome::AlreadyKnown) => Some(block),
             Err(_) => None,
         }
     }
@@ -669,12 +726,14 @@ mod tests {
         NodeHandle::new(
             test_genesis(owner),
             NodeConfig {
+                pool: Default::default(),
                 exec_mode: Default::default(),
                 validation_mode: Default::default(),
                 raa_backend: Default::default(),
                 kind,
                 contract: default_contract_address(),
                 miner: miner.then(|| MinerSetup {
+                    candidate_budget: None,
                     policy: MinerPolicy::Standard,
                     schedule: BlockSchedule::Fixed(15_000),
                     coinbase: Address::from_low_u64(0xc01),

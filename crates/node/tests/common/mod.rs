@@ -1,0 +1,10 @@
+//! Helpers shared by the sereth-node integration test suites. Each
+//! `tests/*.rs` file is its own crate and pulls this in with
+//! `mod common;`, so knobs like the case-count scaling exist once (same
+//! convention as `crates/chain/tests/common`).
+
+/// Property-test case count: the suite's acceptance default, scaled by
+/// `PROPTEST_CASES` — down in the CI quick lane, up in the nightly job.
+pub fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

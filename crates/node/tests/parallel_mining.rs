@@ -48,9 +48,11 @@ fn node_with_modes(
     NodeHandle::new(
         genesis(keys, owner),
         NodeConfig {
+            pool: Default::default(),
             kind: ClientKind::Geth,
             contract: default_contract_address(),
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Standard,
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc01),

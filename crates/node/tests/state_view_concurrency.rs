@@ -44,11 +44,13 @@ fn sereth_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         test_genesis(owner),
         NodeConfig {
+            pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: default_contract_address(),
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Standard,
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc01),
@@ -120,6 +122,13 @@ fn readers_never_observe_torn_state_while_writer_seals() {
                 assert_eq!(block.transactions.len(), 1, "the set committed in block {b}");
                 let (height, view) = node.head_state_view();
                 held.lock().unwrap().push((height, block.header.state_root, view));
+            }
+            // The sharded pool feed made sealing fast enough that on a
+            // single-CPU host all 24 blocks can land inside one scheduler
+            // quantum; hold the shutdown flag until at least one reader
+            // iteration has genuinely raced the (now sealed) chain.
+            while reads.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
             }
             done.store(true, Ordering::Release);
         });

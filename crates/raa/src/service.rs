@@ -98,14 +98,7 @@ impl RaaService {
     }
 
     fn shard_index(&self, contract: &Address) -> usize {
-        // FNV-1a over the address bytes; cheap and well-spread for both
-        // low_u64-style test addresses and real keccak-derived ones.
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &byte in contract.as_bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        }
-        (hash % self.shards.len() as u64) as usize
+        (sereth_crypto::hash::fnv1a_64(contract.as_bytes()) % self.shards.len() as u64) as usize
     }
 
     /// Applies every pool event since the service's cursor. On
@@ -116,32 +109,41 @@ impl RaaService {
         let mut cursor = self.sync_cursor.lock();
         match pool.events_since(*cursor) {
             Ok(records) => {
+                // Advance exactly past what was read: the pool is shared
+                // with concurrent submitters now, so re-reading the head
+                // cursor after the drain could skip events appended in
+                // between.
+                if let Some(last) = records.last() {
+                    *cursor = last.seq + 1;
+                }
                 for record in records {
                     self.apply_event(&record.event);
                 }
-                *cursor = pool.event_cursor();
             }
-            Err(lag) => {
-                self.rebuild_from(pool);
-                *cursor = lag.resume_cursor;
+            Err(_lag) => {
+                *cursor = self.rebuild_from(pool);
                 self.resyncs.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Drops every cache and re-ingests the pool snapshot. Public so
-    /// integrators can force-reconcile (e.g. after swapping pools); the
-    /// cursor is **not** touched — use [`RaaService::sync`] for cursor
-    /// management.
-    pub fn rebuild_from(&self, pool: &TxPool) {
+    /// Drops every cache and re-ingests an atomic pool snapshot,
+    /// returning the event cursor that immediately follows the snapshot
+    /// (so applying later events to the rebuilt caches is gap-free).
+    /// Public so integrators can force-reconcile (e.g. after swapping
+    /// pools); the service's own cursor is **not** touched — use
+    /// [`RaaService::sync`] for cursor management.
+    pub fn rebuild_from(&self, pool: &TxPool) -> u64 {
+        let (entries, cursor) = pool.snapshot_with_cursor();
         for shard in &self.shards {
             let mut guard = shard.write();
             guard.contracts.clear();
             guard.by_hash.clear();
         }
-        for entry in pool.entries_by_arrival() {
+        for entry in &entries {
             self.ingest(&entry.tx, entry.arrival_seq);
         }
+        cursor
     }
 
     /// Applies a single pool event.

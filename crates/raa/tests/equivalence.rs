@@ -50,7 +50,7 @@ fn replay_and_check(
     event_capacity: usize,
     config: &HmsConfig,
 ) -> Result<(), TestCaseError> {
-    let mut pool = TxPool::with_config(PoolConfig { event_capacity, ..PoolConfig::default() });
+    let pool = TxPool::with_config(PoolConfig { event_capacity, ..PoolConfig::default() });
     pool.subscribe();
     let service = RaaService::new(RaaConfig { shards: 4, set_selector: set_selector(), hms: config.clone() });
 
@@ -199,7 +199,7 @@ proptest! {
 
 #[test]
 fn resync_metric_counts_lag_recoveries() {
-    let mut pool = TxPool::with_config(PoolConfig { event_capacity: 2, ..PoolConfig::default() });
+    let pool = TxPool::with_config(PoolConfig { event_capacity: 2, ..PoolConfig::default() });
     pool.subscribe();
     let service = RaaService::new(RaaConfig::new(set_selector()));
     let key = SecretKey::from_label(1);

@@ -84,9 +84,11 @@ fn contended_node(
     NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            pool: Default::default(),
             kind: ClientKind::Geth,
             contract,
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Standard,
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b1),

@@ -9,6 +9,8 @@
 //!   incremental `sereth-raa` view service across dozens of markets;
 //! * [`contended`] — a 100 %-conflicting single-market scenario mined
 //!   with the parallel executor against a sequential oracle twin;
+//! * [`pool_feed`] — many submitters feeding a sharded, incrementally
+//!   indexed TxPool, hash-checked against an unsharded oracle twin;
 //! * [`metrics`] — state throughput and transaction efficiency η (§III-A);
 //! * [`experiment`] — seed-replicated parameter sweeps (Figure 2's data);
 //! * [`stats`] — means, 90 % confidence intervals, smoothing;
@@ -34,6 +36,7 @@ pub mod contended;
 pub mod experiment;
 pub mod many_markets;
 pub mod metrics;
+pub mod pool_feed;
 pub mod report;
 pub mod retry;
 pub mod scenario;
@@ -47,6 +50,7 @@ pub use many_markets::{
     ManyMarketsReport,
 };
 pub use metrics::{collect_metrics, RunMetrics, Submission, SubmissionLog};
+pub use pool_feed::{run_pool_feed, PoolFeedConfig, PoolFeedReport};
 pub use retry::{RetryDriver, RetryStats};
 pub use scenario::{
     run_retry_scenario, run_scenario, run_sequential_history, RunOutput, ScenarioConfig, ScenarioKind,

@@ -111,11 +111,13 @@ fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, 
     let node = NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),
             kind: ClientKind::Sereth,
             contract: contracts[0],
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Standard,
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b0),

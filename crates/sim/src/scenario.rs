@@ -202,12 +202,14 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
+                        candidate_budget: None,
                         policy: config.miner_policy.clone(),
                         schedule: config.block_schedule.clone(),
                         coinbase: Address::from_low_u64(0xc0b0),
@@ -264,12 +266,14 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
+                        candidate_budget: None,
                         policy: config.miner_policy.clone(),
                         schedule: config.block_schedule.clone(),
                         coinbase: Address::from_low_u64(0xc0b0),
@@ -316,12 +320,14 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: config.node_kinds[i],
                     contract,
                     miner: (i == 0).then(|| MinerSetup {
+                        candidate_budget: None,
                         policy: config.miner_policy.clone(),
                         schedule: config.block_schedule.clone(),
                         coinbase: Address::from_low_u64(0xc0b0),

@@ -48,12 +48,14 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract,
             miner: Some(sereth::node::node::MinerSetup {
+                candidate_budget: None,
                 policy: sereth::node::miner::MinerPolicy::Standard,
                 schedule: sereth::node::node::BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b0),

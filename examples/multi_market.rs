@@ -88,12 +88,14 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Sereth,
             contract: grain(),
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Semantic(HmsConfig::default()),
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b0),

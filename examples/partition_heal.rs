@@ -44,12 +44,14 @@ fn main() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
+                        candidate_budget: None,
                         policy: MinerPolicy::Standard,
                         schedule: BlockSchedule::Fixed(ms),
                         coinbase: Address::from_low_u64(0xc000 + i as u64),

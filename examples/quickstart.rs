@@ -41,6 +41,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            pool: Default::default(),
             // `auto` picks the wave executor on multi-core hosts and the
             // sequential loop on single-CPU ones, for both the build and
             // the replay-validation side; results are identical either way.
@@ -50,6 +51,7 @@ fn main() {
             kind: ClientKind::Sereth,
             contract,
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Semantic(HmsConfig::default()),
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b0),

@@ -16,7 +16,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sereth::chain::txpool::{PoolConfig, TxPool};
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::hms::{hash_mark_set, HmsConfig};
@@ -70,9 +69,9 @@ fn concurrent_readers() {
     let markets: Vec<Address> = (0..8).map(|m| Address::from_low_u64(0xaaaa + m)).collect();
     let committed = (genesis_mark(), H256::from_low_u64(50));
     let service = Arc::new(RaaService::new(RaaConfig::new(set_selector())));
-    let mut fresh_pool = TxPool::with_config(PoolConfig::default());
-    fresh_pool.subscribe();
-    let pool = Arc::new(Mutex::new(fresh_pool));
+    // The pool is internally sharded and synchronized: no outer lock.
+    let pool = Arc::new(TxPool::with_config(PoolConfig::default()));
+    pool.subscribe();
 
     // Reader threads: each hammers a fixed quota of views while the
     // writer below streams sets into the pool concurrently.
@@ -118,10 +117,8 @@ fn concurrent_readers() {
             },
             &owner_keys[market],
         );
-        let mut guard = pool.lock();
-        guard.insert(tx, step).expect("pool accepts the chain");
-        service.sync(&guard);
-        drop(guard);
+        pool.insert(tx, step).expect("pool accepts the chain");
+        service.sync(&pool);
         if step % 8 == 0 {
             // Pace the writer so reads genuinely interleave with the
             // event stream instead of racing past it.
@@ -131,8 +128,7 @@ fn concurrent_readers() {
     let reads: u64 = handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
 
     // Exactness after the storm: every market's view equals batch HMS.
-    let guard = pool.lock();
-    let snapshot = pending_view(&guard);
+    let snapshot = pending_view(&pool);
     for market in &markets {
         let expected = hash_mark_set(&snapshot, market, set_selector(), committed, &HmsConfig::default());
         let view = service.view(market, committed);

@@ -70,12 +70,14 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),
             raa_backend: Default::default(),
             kind: ClientKind::Geth,
             contract: market,
             miner: Some(MinerSetup {
+                candidate_budget: None,
                 policy: MinerPolicy::Standard,
                 schedule: BlockSchedule::Fixed(15_000),
                 coinbase: Address::from_low_u64(0xc0b0),

@@ -35,12 +35,14 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
+                        candidate_budget: None,
                         policy: MinerPolicy::Standard,
                         schedule: BlockSchedule::Fixed(ms),
                         coinbase: Address::from_low_u64(0xc000 + i as u64),
@@ -213,12 +215,14 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
                     raa_backend: Default::default(),
                     kind: ClientKind::Geth,
                     contract: default_contract_address(),
                     miner: interval.map(|ms| MinerSetup {
+                        candidate_budget: None,
                         policy: MinerPolicy::Standard,
                         schedule: BlockSchedule::Fixed(ms),
                         coinbase: Address::from_low_u64(0xc000 + i as u64),
