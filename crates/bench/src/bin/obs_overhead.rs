@@ -1,0 +1,229 @@
+//! OBS-OVERHEAD: the cost of leaving telemetry on.
+//!
+//! The telemetry layer claims to be cheap enough to stay on by default
+//! and near-zero when disabled. This bench prices that claim on the
+//! node's hottest end-to-end loop: submit a batch of signed transfers
+//! through `NodeHandle::receive_tx` (signature check + pool admission,
+//! both instrumented) and mine until the pool drains (ordering, wave
+//! execution, seal, import — all instrumented). Each repetition runs
+//! the workload twice on fresh nodes, telemetry enabled then disabled,
+//! interleaved so drift in machine load hits both arms alike. The
+//! gated slowdown is the **minimum over repetitions of each rep's
+//! paired enabled/disabled ratio**: a real overhead regression shows
+//! up in every pair, a scheduler noise spike only in some, so the min
+//! pair is robust against false alarms on busy hosts.
+//!
+//! The artifact (`BENCH_obs.json`) maps the shared schema as: `base_us`
+//! = telemetry **enabled**, `fast_us` = telemetry **disabled** (each
+//! the minimum over repetitions), so `speedup` is an enabled/disabled
+//! slowdown estimate alongside the gated paired statistic.
+//! The enabled run's final snapshot is also written as
+//! `TELEMETRY_node.json` — the exportable-instrumentation artifact CI
+//! uploads next to the bench JSON.
+//!
+//! Knobs (env): `OBS_TXS` (transfers per run; default `1536`),
+//! `OBS_REPS` (interleaved repetitions; default 5), `OBS_MAX_SLOWDOWN`
+//! (exit nonzero if enabled/disabled exceeds this at any size; default
+//! `1.05`, set `0` to disable the gate).
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::genesis::Genesis;
+use sereth_chain::txpool::PoolConfig;
+use sereth_chain::GenesisBuilder;
+use sereth_core::hms::HmsConfig;
+use sereth_crypto::address::Address;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::default_contract_address;
+use sereth_node::miner::MinerPolicy;
+use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_telemetry::{TelemetryConfig, TelemetrySnapshot};
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+
+/// Sender-key label base (disjoint from the other benches' fixtures).
+const LABELS: u64 = 60_000;
+/// Nonces per sender: enough senders to spread pool shards, enough
+/// nonces that per-sender queues exercise ready-promotion.
+const NONCES_PER_SENDER: u64 = 8;
+
+fn sender_key(sender: u64) -> SecretKey {
+    SecretKey::from_label(LABELS + sender)
+}
+
+fn genesis(senders: u64) -> Genesis {
+    let mut builder = GenesisBuilder::new();
+    for sender in 0..senders {
+        builder = builder.fund(sender_key(sender).address(), U256::from(10_000_000u64));
+    }
+    builder.build()
+}
+
+fn node(senders: u64, enabled: bool) -> NodeHandle {
+    NodeHandle::new(
+        genesis(senders),
+        NodeConfig {
+            telemetry: TelemetryConfig { enabled },
+            kind: ClientKind::Geth,
+            contract: default_contract_address(),
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Standard,
+                schedule: BlockSchedule::Fixed(1_000),
+                coinbase: Address::from_low_u64(0xc01),
+                candidate_budget: Some(256),
+            }),
+            limits: BlockLimits { gas_limit: 30_000_000, max_txs: Some(256) },
+            hms: HmsConfig::default(),
+            raa_backend: Default::default(),
+            exec_mode: Default::default(),
+            validation_mode: Default::default(),
+            pool: PoolConfig { shards: 8, ..PoolConfig::default() },
+        },
+    )
+}
+
+/// Pre-signs the whole workload so the timed region measures the node,
+/// not the bench's own signing.
+fn sign_workload(senders: u64) -> Vec<(Transaction, u64)> {
+    let mut txs = Vec::with_capacity((senders * NONCES_PER_SENDER) as usize);
+    for nonce in 0..NONCES_PER_SENDER {
+        for sender in 0..senders {
+            let price = 1 + (sender * 11 + nonce * 3) % 31;
+            let tx = Transaction::sign(
+                TxPayload {
+                    nonce,
+                    gas_price: price,
+                    gas_limit: 21_000,
+                    to: Some(Address::from_low_u64(0x0b5)),
+                    value: U256::from(1u64),
+                    input: Bytes::new(),
+                },
+                &sender_key(sender),
+            );
+            txs.push((tx, nonce));
+        }
+    }
+    txs
+}
+
+/// Submits every transfer, mines until the pool drains, and returns the
+/// wall time plus the node's final telemetry snapshot.
+fn run_once(senders: u64, workload: &[(Transaction, u64)], enabled: bool) -> (Duration, TelemetrySnapshot) {
+    let node = node(senders, enabled);
+    let start = Instant::now();
+    for (tx, nonce) in workload {
+        assert!(node.receive_tx(tx.clone(), *nonce), "bench workload must be admissible");
+    }
+    let mut timestamp = 0u64;
+    while node.pool_len() > 0 {
+        timestamp += 1_000;
+        std::hint::black_box(node.mine(timestamp).expect("configured miner seals"));
+    }
+    let elapsed = start.elapsed();
+    (elapsed, node.telemetry_snapshot())
+}
+
+fn main() {
+    let sizes = env_list_or("OBS_TXS", &[1_536]);
+    let reps = env_or("OBS_REPS", 5usize);
+    let max_slowdown = env_or("OBS_MAX_SLOWDOWN", 1.05f64);
+
+    println!(
+        "telemetry overhead: submit + mine-to-drain, {NONCES_PER_SENDER} nonces/sender, \
+         min over {reps} interleaved reps"
+    );
+    println!("| txs | enabled/run | disabled/run | slowdown |");
+    println!("|-----|-------------|--------------|----------|");
+
+    let mut points: Vec<BenchPoint> = Vec::new();
+    let mut worst: Option<(u64, f64)> = None;
+    let mut exemplar: Option<TelemetrySnapshot> = None;
+    for &txs in &sizes {
+        let senders = txs.div_ceil(NONCES_PER_SENDER).max(1);
+        let workload = sign_workload(senders);
+        // One untimed warm-up pair: the first run of a fresh process pays
+        // page faults and lazy allocator growth that belong to neither arm.
+        std::hint::black_box(run_once(senders, &workload, true));
+        std::hint::black_box(run_once(senders, &workload, false));
+        let mut best_on: Option<Duration> = None;
+        let mut best_off: Option<Duration> = None;
+        let mut best_ratio: Option<f64> = None;
+        for _ in 0..reps.max(1) {
+            let (on, snapshot) = run_once(senders, &workload, true);
+            let (off, empty) = run_once(senders, &workload, false);
+            assert!(
+                empty.counters.is_empty() && empty.histograms.is_empty() && empty.blocks.is_empty(),
+                "disabled telemetry recorded something: {empty:?}"
+            );
+            assert!(
+                snapshot.histograms["phase.admission"].count() >= workload.len() as u64,
+                "enabled telemetry missed admissions"
+            );
+            if best_on.is_none_or(|best| on < best) {
+                best_on = Some(on);
+                exemplar = Some(snapshot);
+            }
+            if best_off.is_none_or(|best| off < best) {
+                best_off = Some(off);
+            }
+            // The gate statistic: each rep's enabled run paired with its
+            // own adjacent disabled run, best pair kept. A real overhead
+            // regression inflates *every* pair; a scheduler noise spike
+            // inflates some — so the minimum paired ratio is robust
+            // against false alarms while still catching the failure mode
+            // the gate exists for.
+            let ratio = on.as_nanos() as f64 / off.as_nanos().max(1) as f64;
+            if best_ratio.is_none_or(|best| ratio < best) {
+                best_ratio = Some(ratio);
+            }
+        }
+        let (on, off) = (best_on.expect("reps >= 1"), best_off.expect("reps >= 1"));
+        let slowdown = best_ratio.expect("reps >= 1");
+        let point = BenchPoint::from_durations(workload.len() as u64, on, off);
+        println!(
+            "| {:>4} | {:>8.2} ms | {:>9.2} ms | {:>7.3}x |",
+            point.size,
+            on.as_nanos() as f64 / 1e6,
+            off.as_nanos() as f64 / 1e6,
+            slowdown,
+        );
+        if worst.is_none_or(|(_, w)| slowdown > w) {
+            worst = Some((point.size, slowdown));
+        }
+        points.push(point);
+    }
+
+    match write_bench_artifact(
+        "obs",
+        "obs_overhead",
+        &[
+            ("reps", reps.to_string()),
+            ("nonces_per_sender", NONCES_PER_SENDER.to_string()),
+            ("semantics", "base=telemetry-on fast=telemetry-off speedup=slowdown".to_string()),
+            ("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get()).to_string()),
+        ],
+        &points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_obs.json: {error}"),
+    }
+    match exemplar.expect("at least one size measured").write_artifact("node") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("failed to write TELEMETRY_node.json: {error}"),
+    }
+
+    // The CI gate: telemetry-on must stay within the overhead budget at
+    // every measured size.
+    if max_slowdown > 0.0 {
+        let (size, slowdown) = worst.expect("OBS_MAX_SLOWDOWN is set but OBS_TXS is empty");
+        assert!(
+            slowdown <= max_slowdown,
+            "telemetry overhead budget exceeded: {slowdown:.3}x > allowed {max_slowdown:.2}x \
+             at {size} transactions"
+        );
+        println!("overhead gate: worst slowdown {slowdown:.3}x <= {max_slowdown:.2}x");
+    }
+}

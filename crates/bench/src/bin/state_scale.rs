@@ -49,6 +49,7 @@ fn build_node(accounts: usize) -> NodeHandle {
     NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -8,6 +8,7 @@
 //! builder is the blind part.
 
 use sereth_crypto::address::Address;
+use sereth_telemetry::{Phase, Telemetry};
 use sereth_types::block::{Block, BlockHeader};
 use sereth_types::receipt::Receipt;
 use sereth_types::transaction::Transaction;
@@ -90,6 +91,25 @@ pub fn build_block_with_mode(
     limits: &BlockLimits,
     mode: &ExecMode,
 ) -> BuiltBlock {
+    build_block_traced(parent, parent_state, candidates, miner, timestamp_ms, limits, mode, Telemetry::off())
+}
+
+/// [`build_block_with_mode`] recording into `telemetry`: the wave
+/// executor's speculate/merge stages land in their phase histograms and
+/// the root-computation + header assembly is timed as [`Phase::Seal`].
+/// Pass [`Telemetry::off()`] (what [`build_block_with_mode`] does) to
+/// build untimed.
+#[allow(clippy::too_many_arguments)] // the traced twin of build_block_with_mode, +1 tail param
+pub fn build_block_traced(
+    parent: &BlockHeader,
+    parent_state: &StateDb,
+    candidates: &[Transaction],
+    miner: Address,
+    timestamp_ms: u64,
+    limits: &BlockLimits,
+    mode: &ExecMode,
+    telemetry: &Telemetry,
+) -> BuiltBlock {
     let mut state = parent_state.clone();
     state.clear_journal();
     let env = BlockEnv { number: parent.number + 1, timestamp_ms, gas_limit: limits.gas_limit, miner };
@@ -97,30 +117,32 @@ pub fn build_block_with_mode(
     let outcome = match mode {
         ExecMode::Sequential => run_sequential(&mut state, &env, candidates, limits),
         ExecMode::Parallel { threads } => {
-            parallel::execute_candidates(&mut state, &env, candidates, limits, *threads)
+            parallel::execute_candidates(&mut state, &env, candidates, limits, *threads, telemetry)
         }
     };
     let ExecOutcome { included, receipts, gas_used, skipped, stats } = outcome;
 
-    state.clear_journal();
-    let header = BlockHeader {
-        parent_hash: parent.hash(),
-        number: env.number,
-        timestamp_ms,
-        miner,
-        state_root: state.state_root(),
-        tx_root: Block::compute_tx_root(&included),
-        receipts_root: Block::compute_receipts_root(&receipts),
-        gas_used,
-        gas_limit: limits.gas_limit,
-    };
-    BuiltBlock {
-        block: Block { header, transactions: included },
-        receipts,
-        post_state: state,
-        skipped,
-        stats,
-    }
+    telemetry.time(Phase::Seal, || {
+        state.clear_journal();
+        let header = BlockHeader {
+            parent_hash: parent.hash(),
+            number: env.number,
+            timestamp_ms,
+            miner,
+            state_root: state.state_root(),
+            tx_root: Block::compute_tx_root(&included),
+            receipts_root: Block::compute_receipts_root(&receipts),
+            gas_used,
+            gas_limit: limits.gas_limit,
+        };
+        BuiltBlock {
+            block: Block { header, transactions: included },
+            receipts,
+            post_state: state,
+            skipped,
+            stats,
+        }
+    })
 }
 
 /// The classic one-by-one candidate loop, built on the same

@@ -30,14 +30,14 @@ pub mod store;
 pub mod txpool;
 pub mod validation;
 
-pub use builder::{build_block, build_block_with_mode, BlockLimits, BuiltBlock};
+pub use builder::{build_block, build_block_traced, build_block_with_mode, BlockLimits, BuiltBlock};
 pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxApplyError, TxState};
 pub use genesis::{Genesis, GenesisBuilder};
-pub use parallel::{ExecMode, ExecStats};
+pub use parallel::{ExecMode, ExecStats, ExecStatsCells};
 pub use state::{Account, Snapshot, StateDb, StateView};
 pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};
 pub use validation::{
-    validate_block, validate_block_accounted, validate_block_with_mode, Validated, ValidationError,
-    ValidationMode,
+    validate_block, validate_block_accounted, validate_block_traced, validate_block_with_mode, Validated,
+    ValidationError, ValidationMode,
 };

@@ -56,6 +56,7 @@ use std::sync::Mutex;
 
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
+use sereth_telemetry::{Counter, Phase, Telemetry};
 use sereth_types::receipt::Receipt;
 use sereth_types::transaction::Transaction;
 use sereth_types::u256::U256;
@@ -131,6 +132,59 @@ impl ExecStats {
         self.fast_commits += other.fast_commits;
         self.fallbacks += other.fallbacks;
         self.sequential_txs += other.sequential_txs;
+    }
+}
+
+/// Registry-backed [`ExecStats`] accumulation: five named counters in a
+/// telemetry registry, absorbable lock-free from any thread and
+/// readable back as a plain [`ExecStats`] without any node or store
+/// lock. This is what unifies the node's lifetime executor stats and
+/// the store's validation stats over the one telemetry substrate.
+///
+/// Registered under `<prefix>.waves`, `<prefix>.speculated`,
+/// `<prefix>.fast_commits`, `<prefix>.fallbacks`, and
+/// `<prefix>.sequential_txs`. Cloning shares the cells. When the
+/// owning telemetry hub is disabled the counters are inert and
+/// [`ExecStatsCells::snapshot`] reads zero.
+#[derive(Debug, Clone)]
+pub struct ExecStatsCells {
+    waves: Counter,
+    speculated: Counter,
+    fast_commits: Counter,
+    fallbacks: Counter,
+    sequential_txs: Counter,
+}
+
+impl ExecStatsCells {
+    /// Registers (or re-resolves) the five counters under `prefix`.
+    pub fn register(telemetry: &Telemetry, prefix: &str) -> Self {
+        Self {
+            waves: telemetry.counter(&format!("{prefix}.waves")),
+            speculated: telemetry.counter(&format!("{prefix}.speculated")),
+            fast_commits: telemetry.counter(&format!("{prefix}.fast_commits")),
+            fallbacks: telemetry.counter(&format!("{prefix}.fallbacks")),
+            sequential_txs: telemetry.counter(&format!("{prefix}.sequential_txs")),
+        }
+    }
+
+    /// Adds one block's counters into the cells (atomic, lock-free).
+    pub fn absorb(&self, stats: &ExecStats) {
+        self.waves.add(stats.waves);
+        self.speculated.add(stats.speculated);
+        self.fast_commits.add(stats.fast_commits);
+        self.fallbacks.add(stats.fallbacks);
+        self.sequential_txs.add(stats.sequential_txs);
+    }
+
+    /// The accumulated totals as a plain value.
+    pub fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            waves: self.waves.get(),
+            speculated: self.speculated.get(),
+            fast_commits: self.fast_commits.get(),
+            fallbacks: self.fallbacks.get(),
+            sequential_txs: self.sequential_txs.get(),
+        }
     }
 }
 
@@ -534,13 +588,17 @@ pub(crate) trait WaveSink {
 /// Drives `candidates` through plan/speculate/merge waves against `state`,
 /// feeding results into `sink`. Byte-equivalent to the sequential loop
 /// over the same sink. Returns the executor counters; stops early when the
-/// sink aborts. See the module docs for the algorithm.
+/// sink aborts. Each wave's speculation and merge stages are recorded
+/// into `telemetry`'s [`Phase::Speculate`] / [`Phase::Merge`] histograms
+/// (free when the hub is disabled). See the module docs for the
+/// algorithm.
 pub(crate) fn run_waves<S: WaveSink>(
     state: &mut StateDb,
     env: &BlockEnv,
     candidates: &[Transaction],
     threads: usize,
     sink: &mut S,
+    telemetry: &Telemetry,
 ) -> ExecStats {
     let threads = threads.max(1);
     let window = (threads * 8).clamp(8, 64);
@@ -588,7 +646,8 @@ pub(crate) fn run_waves<S: WaveSink>(
         stats.waves += 1;
         let base = state.view();
         let plan = plan_wave(chunk, &base);
-        let mut results = speculate_wave(chunk, &plan, &base, env, threads);
+        let mut results =
+            telemetry.time(Phase::Speculate, || speculate_wave(chunk, &plan, &base, env, threads));
         stats.speculated += results.iter().filter(|r| r.is_some()).count() as u64;
 
         // Merge in canonical order. `dirty` holds every key written to the
@@ -596,57 +655,63 @@ pub(crate) fn run_waves<S: WaveSink>(
         // whose fee credits are applied here rather than speculated).
         let mut dirty: HashSet<AccessKey> = HashSet::new();
         let mut wave_conflicts = 0usize;
-        for (offset, tx) in chunk.iter().enumerate() {
-            if !sink.admit(tx) {
-                continue;
-            }
-            match results[offset].take() {
-                Some(spec) if !spec.access.reads_hit(&dirty) => {
-                    match spec.result {
-                        Ok(commit) => {
-                            stats.fast_commits += 1;
-                            let receipt = apply_commit(state, &commit, &env.miner, sink.next_index());
-                            dirty.extend(spec.access.writes.iter().copied());
-                            dirty.insert(AccessKey::Balance(env.miner));
-                            sink.include(tx, receipt);
+        let aborted = telemetry.time(Phase::Merge, || {
+            for (offset, tx) in chunk.iter().enumerate() {
+                if !sink.admit(tx) {
+                    continue;
+                }
+                match results[offset].take() {
+                    Some(spec) if !spec.access.reads_hit(&dirty) => {
+                        match spec.result {
+                            Ok(commit) => {
+                                stats.fast_commits += 1;
+                                let receipt = apply_commit(state, &commit, &env.miner, sink.next_index());
+                                dirty.extend(spec.access.writes.iter().copied());
+                                dirty.insert(AccessKey::Balance(env.miner));
+                                sink.include(tx, receipt);
+                            }
+                            // A still-valid predicted apply error merges
+                            // nothing. Its observed reads survived the dirty
+                            // check, so it IS the error the sequential replay
+                            // would hit here — safe to hand to the sink as-is.
+                            Err(error) => {
+                                if !sink.reject(chunk_base + offset, error) {
+                                    return true;
+                                }
+                            }
                         }
-                        // A still-valid predicted apply error merges
-                        // nothing. Its observed reads survived the dirty
-                        // check, so it IS the error the sequential replay
-                        // would hit here — safe to hand to the sink as-is.
-                        Err(error) => {
-                            if !sink.reject(chunk_base + offset, error) {
-                                return stats;
+                    }
+                    invalid_or_planned => {
+                        // Mis-speculation (observed reads no longer match the
+                        // pre-state this transaction actually sees) or planned
+                        // sequential execution. Either way: run the plain
+                        // sequential path against the live state and feed its
+                        // journaled write set into the dirty tracker.
+                        if invalid_or_planned.is_some() {
+                            stats.fallbacks += 1;
+                            wave_conflicts += 1;
+                        } else {
+                            stats.sequential_txs += 1;
+                        }
+                        let journal_mark = state.checkpoint();
+                        match apply_transaction(state, env, tx, sink.next_index()) {
+                            Ok(receipt) => {
+                                dirty.extend(state.journal_writes_since(journal_mark));
+                                sink.include(tx, receipt);
+                            }
+                            Err(error) => {
+                                if !sink.reject(chunk_base + offset, error) {
+                                    return true;
+                                }
                             }
                         }
                     }
                 }
-                invalid_or_planned => {
-                    // Mis-speculation (observed reads no longer match the
-                    // pre-state this transaction actually sees) or planned
-                    // sequential execution. Either way: run the plain
-                    // sequential path against the live state and feed its
-                    // journaled write set into the dirty tracker.
-                    if invalid_or_planned.is_some() {
-                        stats.fallbacks += 1;
-                        wave_conflicts += 1;
-                    } else {
-                        stats.sequential_txs += 1;
-                    }
-                    let journal_mark = state.checkpoint();
-                    match apply_transaction(state, env, tx, sink.next_index()) {
-                        Ok(receipt) => {
-                            dirty.extend(state.journal_writes_since(journal_mark));
-                            sink.include(tx, receipt);
-                        }
-                        Err(error) => {
-                            if !sink.reject(chunk_base + offset, error) {
-                                return stats;
-                            }
-                        }
-                    }
-                }
             }
+            false
+        });
+        if aborted {
+            return stats;
         }
 
         if wave_conflicts * 2 > chunk.len() {
@@ -694,9 +759,10 @@ pub(crate) fn execute_candidates(
     candidates: &[Transaction],
     limits: &BlockLimits,
     threads: usize,
+    telemetry: &Telemetry,
 ) -> ExecOutcome {
     let mut sink = BuildSink { out: ExecOutcome::default(), limits };
-    let stats = run_waves(state, env, candidates, threads, &mut sink);
+    let stats = run_waves(state, env, candidates, threads, &mut sink, telemetry);
     let mut out = sink.out;
     out.stats = stats;
     out
@@ -923,5 +989,28 @@ mod tests {
             a,
             ExecStats { waves: 11, speculated: 22, fast_commits: 33, fallbacks: 44, sequential_txs: 55 }
         );
+    }
+
+    #[test]
+    fn stats_cells_accumulate_share_and_read_without_locks() {
+        let telemetry = Telemetry::enabled();
+        let cells = ExecStatsCells::register(&telemetry, "exec");
+        let shared = cells.clone(); // clones share the same registry cells
+        cells.absorb(&ExecStats {
+            waves: 1,
+            speculated: 2,
+            fast_commits: 3,
+            fallbacks: 4,
+            sequential_txs: 5,
+        });
+        shared.absorb(&ExecStats { waves: 1, ..ExecStats::default() });
+        assert_eq!(cells.snapshot().waves, 2);
+        assert_eq!(shared.snapshot().speculated, 2);
+        // The same totals surface in the registry snapshot under the prefix.
+        assert_eq!(telemetry.snapshot().counters["exec.sequential_txs"], 5);
+
+        let disabled = ExecStatsCells::register(&Telemetry::disabled(), "exec");
+        disabled.absorb(&ExecStats { waves: 9, ..ExecStats::default() });
+        assert_eq!(disabled.snapshot(), ExecStats::default(), "disabled hubs record nothing");
     }
 }

@@ -2,15 +2,17 @@
 //! longest-chain fork choice.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sereth_crypto::hash::H256;
+use sereth_telemetry::{BlockTrace, Phase, Telemetry};
 use sereth_types::block::Block;
 use sereth_types::receipt::Receipt;
 
 use crate::genesis::Genesis;
-use crate::parallel::ExecStats;
+use crate::parallel::{ExecStats, ExecStatsCells};
 use crate::state::{StateDb, StateView};
-use crate::validation::{validate_block_accounted, ValidationError, ValidationMode};
+use crate::validation::{validate_block_traced, ValidationError, ValidationMode};
 
 /// A block retained with its replay artifacts.
 #[derive(Debug, Clone)]
@@ -72,8 +74,12 @@ pub struct ChainStore {
     /// import *outcomes*.
     validation_mode: ValidationMode,
     /// Cumulative executor counters over every replay this store ran —
-    /// the validation-side twin of a miner's build stats.
-    validation_stats: ExecStats,
+    /// the validation-side twin of a miner's build stats, kept as
+    /// `validation.*` counters in the telemetry registry.
+    validation_cells: ExecStatsCells,
+    /// The hub `import` records into: `validate`/`import` phase
+    /// histograms, the `validation.*` counters, and per-block traces.
+    telemetry: Arc<Telemetry>,
 }
 
 impl ChainStore {
@@ -82,19 +88,27 @@ impl ChainStore {
         Self::with_validation_mode(genesis, ValidationMode::Sequential)
     }
 
-    /// Creates a store rooted at `genesis` with an explicit replay mode.
+    /// Creates a store rooted at `genesis` with an explicit replay mode
+    /// and its own (enabled) telemetry hub, so standalone stores keep
+    /// counting replay work.
     pub fn with_validation_mode(genesis: Genesis, validation_mode: ValidationMode) -> Self {
+        Self::with_telemetry(genesis, validation_mode, Arc::new(Telemetry::enabled()))
+    }
+
+    /// Creates a store recording into a shared `telemetry` hub — what a
+    /// node does so store metrics land in the node-wide registry. With a
+    /// disabled hub, [`ChainStore::validation_stats`] reads as zero.
+    pub fn with_telemetry(
+        genesis: Genesis,
+        validation_mode: ValidationMode,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         let hash = genesis.block.hash();
         let stored = StoredBlock { block: genesis.block, receipts: vec![], post_state: genesis.state };
         let mut blocks = HashMap::new();
         blocks.insert(hash, stored);
-        Self {
-            blocks,
-            canonical: vec![hash],
-            head: hash,
-            validation_mode,
-            validation_stats: ExecStats::default(),
-        }
+        let validation_cells = ExecStatsCells::register(&telemetry, "validation");
+        Self { blocks, canonical: vec![hash], head: hash, validation_mode, validation_cells, telemetry }
     }
 
     /// Switches how subsequent imports replay blocks.
@@ -109,9 +123,18 @@ impl ChainStore {
 
     /// Cumulative executor counters over every block this store has
     /// replay-validated (waves, speculations, fallbacks — see
-    /// [`ExecStats`]). All zero waves under sequential validation.
+    /// [`ExecStats`]). All zero waves under sequential validation. A
+    /// registry-backed view: readable from a clone of
+    /// [`ChainStore::validation_cells`] without touching the store.
     pub fn validation_stats(&self) -> ExecStats {
-        self.validation_stats
+        self.validation_cells.snapshot()
+    }
+
+    /// The registry cells behind [`ChainStore::validation_stats`].
+    /// Cloning shares the cells, so a node can read replay counters
+    /// without holding whatever lock guards the store.
+    pub fn validation_cells(&self) -> &ExecStatsCells {
+        &self.validation_cells
     }
 
     /// Hash of the canonical head.
@@ -218,46 +241,61 @@ impl ChainStore {
         if self.blocks.contains_key(&hash) {
             return Ok(ImportOutcome::AlreadyKnown);
         }
+        let telemetry = Arc::clone(&self.telemetry);
         let parent = self.blocks.get(&block.header.parent_hash).ok_or(ImportError::UnknownParent)?;
-        // `accounted`: replay counters accumulate even for rejected blocks
-        // — an invalid block costs (up to) a full replay before its
-        // verdict, and that spend must be visible in `validation_stats`.
-        let validated = validate_block_accounted(
-            &parent.block.header,
-            &parent.post_state,
-            &block,
-            &self.validation_mode,
-            &mut self.validation_stats,
-        )
-        .map_err(ImportError::Invalid)?;
+        // Replay counters accumulate even for rejected blocks — an
+        // invalid block costs (up to) a full replay before its verdict,
+        // and that spend must be visible in `validation_stats`.
+        let mut replay = ExecStats::default();
+        let (validated, validate_ns) = telemetry.time_ns(Phase::Validate, || {
+            validate_block_traced(
+                &parent.block.header,
+                &parent.post_state,
+                &block,
+                &self.validation_mode,
+                &mut replay,
+                &telemetry,
+            )
+        });
+        self.validation_cells.absorb(&replay);
+        let validated = validated.map_err(ImportError::Invalid)?;
 
         let number = block.number();
-        self.blocks.insert(
-            hash,
-            StoredBlock { block, receipts: validated.receipts, post_state: validated.post_state },
-        );
+        let (outcome, import_ns) = telemetry.time_ns(Phase::Import, || {
+            self.blocks.insert(
+                hash,
+                StoredBlock { block, receipts: validated.receipts, post_state: validated.post_state },
+            );
 
-        // Fork choice: strictly longer chains win; equal length keeps the
-        // incumbent unless the challenger has a lower hash *and* the
-        // incumbent is not an ancestor-extension (deterministic but
-        // incumbent-sticky, like observed miner behaviour).
-        let head_number = self.head_number();
-        if number > head_number {
-            let outcome = if self.canonical.get(number as usize - 1)
-                == Some(&self.blocks[&hash].block.header.parent_hash)
-            {
-                ImportOutcome::ExtendedCanonical
+            // Fork choice: strictly longer chains win; equal length keeps
+            // the incumbent unless the challenger has a lower hash *and*
+            // the incumbent is not an ancestor-extension (deterministic
+            // but incumbent-sticky, like observed miner behaviour).
+            let head_number = self.head_number();
+            if number > head_number {
+                let outcome = if self.canonical.get(number as usize - 1)
+                    == Some(&self.blocks[&hash].block.header.parent_hash)
+                {
+                    ImportOutcome::ExtendedCanonical
+                } else {
+                    let reverted = self.rebuild_canonical(hash);
+                    ImportOutcome::Reorged { reverted }
+                };
+                if outcome == ImportOutcome::ExtendedCanonical {
+                    self.canonical.push(hash);
+                    self.head = hash;
+                }
+                outcome
             } else {
-                let reverted = self.rebuild_canonical(hash);
-                ImportOutcome::Reorged { reverted }
-            };
-            if outcome == ImportOutcome::ExtendedCanonical {
-                self.canonical.push(hash);
-                self.head = hash;
+                ImportOutcome::SideChain
             }
-            return Ok(outcome);
-        }
-        Ok(ImportOutcome::SideChain)
+        });
+        telemetry.trace_block(BlockTrace {
+            number,
+            role: "import",
+            phase_ns: vec![(Phase::Validate, validate_ns), (Phase::Import, import_ns)],
+        });
+        Ok(outcome)
     }
 
     /// Rewrites the canonical vector to end at `new_head`, returning how

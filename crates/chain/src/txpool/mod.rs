@@ -34,11 +34,13 @@ mod index;
 mod shard;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
+use sereth_telemetry::{Counter, Phase, Telemetry};
 use sereth_types::transaction::Transaction;
 use sereth_types::SimTime;
 use sereth_vm::abi::Selector;
@@ -218,14 +220,29 @@ pub struct PoolStats {
     pub shard_contention: u64,
 }
 
-#[derive(Debug, Default)]
-struct StatCounters {
-    index_hits: AtomicU64,
-    index_rebuilds: AtomicU64,
-    rescans: AtomicU64,
-    market_rescans: AtomicU64,
-    events_applied: AtomicU64,
-    shard_contention: AtomicU64,
+/// The registry cells behind [`PoolStats`], named `pool.*` in the
+/// telemetry registry so a node-wide snapshot carries them for free.
+#[derive(Debug, Clone)]
+struct PoolCounters {
+    index_hits: Counter,
+    index_rebuilds: Counter,
+    rescans: Counter,
+    market_rescans: Counter,
+    events_applied: Counter,
+    shard_contention: Counter,
+}
+
+impl PoolCounters {
+    fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            index_hits: telemetry.counter("pool.index_hits"),
+            index_rebuilds: telemetry.counter("pool.index_rebuilds"),
+            rescans: telemetry.counter("pool.rescans"),
+            market_rescans: telemetry.counter("pool.market_rescans"),
+            events_applied: telemetry.counter("pool.events_applied"),
+            shard_contention: telemetry.counter("pool.shard_contention"),
+        }
+    }
 }
 
 /// The pending transaction pool (see module docs for the architecture).
@@ -239,7 +256,8 @@ pub struct TxPool {
     shards: Box<[Mutex<Shard>]>,
     events: Mutex<EventLog>,
     len: AtomicUsize,
-    stats: StatCounters,
+    stats: PoolCounters,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for TxPool {
@@ -255,13 +273,17 @@ impl Clone for TxPool {
     fn clone(&self) -> Self {
         let guards: Vec<MutexGuard<'_, Shard>> = self.shards.iter().map(|m| m.lock()).collect();
         let events = self.events.lock();
+        // The clone gets a fresh hub: counters restart at zero rather
+        // than sharing (or double-counting into) the original's cells.
+        let telemetry = Arc::new(Telemetry::enabled());
         Self {
             config: self.config.clone(),
             index: Mutex::new(CandidateIndex::default()),
             shards: guards.iter().map(|g| Mutex::new((**g).clone())).collect(),
             events: Mutex::new(events.clone()),
             len: AtomicUsize::new(self.len.load(Ordering::Relaxed)),
-            stats: StatCounters::default(),
+            stats: PoolCounters::register(&telemetry),
+            telemetry,
         }
     }
 }
@@ -283,8 +305,16 @@ impl TxPool {
     }
 
     /// An empty pool with the given configuration (`config.shards` is
-    /// clamped to at least 1).
+    /// clamped to at least 1) and its own (enabled) telemetry hub.
     pub fn with_config(config: PoolConfig) -> Self {
+        Self::with_telemetry(config, Arc::new(Telemetry::enabled()))
+    }
+
+    /// An empty pool recording into a shared `telemetry` hub — what a
+    /// node does so `pool.*` counters and admission latencies land in
+    /// the node-wide registry. With a disabled hub, [`TxPool::stats`]
+    /// reads as zero and inserts skip the clock.
+    pub fn with_telemetry(config: PoolConfig, telemetry: Arc<Telemetry>) -> Self {
         let shard_count = config.shards.max(1);
         Self {
             config,
@@ -292,7 +322,8 @@ impl TxPool {
             shards: (0..shard_count).map(|_| Mutex::new(Shard::default())).collect(),
             events: Mutex::new(EventLog::default()),
             len: AtomicUsize::new(0),
-            stats: StatCounters::default(),
+            stats: PoolCounters::register(&telemetry),
+            telemetry,
         }
     }
 
@@ -314,12 +345,12 @@ impl TxPool {
     /// A snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            index_hits: self.stats.index_hits.load(Ordering::Relaxed),
-            index_rebuilds: self.stats.index_rebuilds.load(Ordering::Relaxed),
-            rescans: self.stats.rescans.load(Ordering::Relaxed),
-            market_rescans: self.stats.market_rescans.load(Ordering::Relaxed),
-            events_applied: self.stats.events_applied.load(Ordering::Relaxed),
-            shard_contention: self.stats.shard_contention.load(Ordering::Relaxed),
+            index_hits: self.stats.index_hits.get(),
+            index_rebuilds: self.stats.index_rebuilds.get(),
+            rescans: self.stats.rescans.get(),
+            market_rescans: self.stats.market_rescans.get(),
+            events_applied: self.stats.events_applied.get(),
+            shard_contention: self.stats.shard_contention.get(),
         }
     }
 
@@ -334,7 +365,7 @@ impl TxPool {
         match self.shards[index].try_lock() {
             Some(guard) => guard,
             None => {
-                self.stats.shard_contention.fetch_add(1, Ordering::Relaxed);
+                self.stats.shard_contention.inc();
                 self.shards[index].lock()
             }
         }
@@ -399,12 +430,18 @@ impl TxPool {
     // Mutation
     // ------------------------------------------------------------------
 
-    /// Inserts `tx`, arriving at `now`.
+    /// Inserts `tx`, arriving at `now`. The whole admission decision —
+    /// shard lock, dup/replacement/capacity checks, event emission — is
+    /// timed as [`Phase::Admission`].
     ///
     /// # Errors
     ///
     /// See [`PoolError`] for the admission rules.
     pub fn insert(&self, tx: Transaction, now: SimTime) -> Result<(), PoolError> {
+        self.telemetry.time(Phase::Admission, || self.insert_inner(tx, now))
+    }
+
+    fn insert_inner(&self, tx: Transaction, now: SimTime) -> Result<(), PoolError> {
         let sender = tx.sender();
         let nonce = tx.nonce();
         let hash = tx.hash();
@@ -662,7 +699,7 @@ impl TxPool {
                 for record in &records {
                     index.apply_event(&record.event, self.config.market.as_ref());
                 }
-                self.stats.events_applied.fetch_add(applied, Ordering::Relaxed);
+                self.stats.events_applied.add(applied);
             }
             Err(_lag) => self.rebuild_index_locked(index),
         }
@@ -684,7 +721,7 @@ impl TxPool {
         index.rebuild(entries.iter().copied(), self.config.market.as_ref());
         index.cursor = cursor;
         index.subscribed = true;
-        self.stats.index_rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.stats.index_rebuilds.inc();
     }
 
     /// Forces a full index rebuild (test hook for the equivalence
@@ -743,7 +780,7 @@ impl TxPool {
         };
         match ordered {
             Some(out) => {
-                self.stats.index_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.index_hits.inc();
                 out
             }
             None => self.ready_by_price_rescan(base_nonce, limit),
@@ -759,7 +796,7 @@ impl TxPool {
         base_nonce: impl Fn(&Address) -> u64,
         limit: usize,
     ) -> Vec<Transaction> {
-        self.stats.rescans.fetch_add(1, Ordering::Relaxed);
+        self.stats.rescans.inc();
         let guards = self.lock_all_shards();
         let queues: Vec<(&Address, &std::collections::BTreeMap<u64, PoolEntry>)> =
             guards.iter().flat_map(|g| g.by_sender.iter()).collect();
@@ -815,10 +852,10 @@ impl TxPool {
         if self.config.market == Some(MarketSpec { set_selector, buy_selector }) {
             let mut index = self.index.lock();
             self.refresh_index(&mut index);
-            self.stats.index_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.index_hits.inc();
             return index.market(contract);
         }
-        self.stats.market_rescans.fetch_add(1, Ordering::Relaxed);
+        self.stats.market_rescans.inc();
         self.with_entries_by_arrival(|entries| {
             entries
                 .iter()

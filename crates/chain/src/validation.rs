@@ -23,6 +23,7 @@
 //!
 //! [`BadTransaction`]: ValidationError::BadTransaction
 
+use sereth_telemetry::Telemetry;
 use sereth_types::block::{Block, BlockHeader};
 use sereth_types::receipt::Receipt;
 
@@ -223,6 +224,26 @@ pub fn validate_block_accounted(
     mode: &ValidationMode,
     stats_out: &mut ExecStats,
 ) -> Result<Validated, ValidationError> {
+    validate_block_traced(parent, parent_state, block, mode, stats_out, Telemetry::off())
+}
+
+/// [`validate_block_accounted`] recording into `telemetry`: a parallel
+/// replay's speculate/merge stages land in their phase histograms (the
+/// overall validate span is the *caller's* to record — the store times
+/// its whole import-side validation as one `validate` phase sample).
+/// Pass [`Telemetry::off()`] to replay untimed.
+///
+/// # Errors
+///
+/// See [`ValidationError`].
+pub fn validate_block_traced(
+    parent: &BlockHeader,
+    parent_state: &StateDb,
+    block: &Block,
+    mode: &ValidationMode,
+    stats_out: &mut ExecStats,
+    telemetry: &Telemetry,
+) -> Result<Validated, ValidationError> {
     if block.header.parent_hash != parent.hash() {
         return Err(ValidationError::WrongParent);
     }
@@ -271,7 +292,8 @@ pub fn validate_block_accounted(
         }
         ValidationMode::Parallel { threads } => {
             let mut sink = ReplaySink::default();
-            stats = parallel::run_waves(&mut state, &env, &block.transactions, *threads, &mut sink);
+            stats =
+                parallel::run_waves(&mut state, &env, &block.transactions, *threads, &mut sink, telemetry);
             match sink.failure {
                 Some((index, error)) => Err(ValidationError::BadTransaction { index, error }),
                 None => Ok((sink.receipts, sink.gas_used)),

@@ -253,6 +253,7 @@ mod tests {
         NodeHandle::new(
             genesis,
             NodeConfig {
+                telemetry: Default::default(),
                 pool: Default::default(),
                 exec_mode: Default::default(),
                 validation_mode: Default::default(),

@@ -10,14 +10,16 @@
 //! both kinds interoperate on one network here too, which
 //! `tests/interop.rs` exercises.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
-use sereth_chain::builder::{build_block_with_mode, BlockLimits};
+use sereth_chain::builder::{build_block_traced, BlockLimits};
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::Genesis;
-use sereth_chain::parallel::{ExecMode, ExecStats};
+use sereth_chain::parallel::{ExecMode, ExecStats, ExecStatsCells};
 use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
 use sereth_chain::txpool::{PoolConfig, PoolStats, TxPool};
 use sereth_chain::validation::ValidationMode;
@@ -29,6 +31,7 @@ use sereth_crypto::hash::H256;
 use sereth_net::sim::{Actor, Context};
 use sereth_net::topology::ActorId;
 use sereth_raa::{RaaConfig, RaaDataSource, RaaService, ServiceRaaProvider};
+use sereth_telemetry::{BlockTrace, Histogram, Phase, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use sereth_types::block::Block;
 use sereth_types::transaction::Transaction;
 use sereth_types::SimTime;
@@ -142,6 +145,10 @@ pub struct NodeConfig {
     /// contract's selectors so `set`/`buy` calldata is pre-parsed at
     /// insert.
     pub pool: PoolConfig,
+    /// The telemetry switch. On by default (the layer is cheap enough to
+    /// leave running); disabled, every subsystem records nothing and the
+    /// registry-backed stats views read zero.
+    pub telemetry: TelemetryConfig,
 }
 
 /// The lock-protected node state.
@@ -159,9 +166,6 @@ pub struct NodeInner {
     /// The incremental RAA view service, when
     /// [`RaaBackend::Service`] is active (exposed for metrics).
     pub raa_service: Option<Arc<RaaService>>,
-    /// Cumulative executor counters over every block this node mined
-    /// (waves, speculations, fallbacks — see [`ExecStats`]).
-    pub exec_stats: ExecStats,
     /// Blocks whose parents have not arrived yet.
     orphans: Vec<Block>,
     /// Gossip dedup for transactions.
@@ -192,13 +196,59 @@ pub struct NodeHandle {
     /// instrumentation the lock-discipline regression tests key on (the
     /// RAA provider's data source locks separately, by design).
     locks: Arc<AtomicU64>,
+    /// The node-wide telemetry hub every subsystem (pool, store, RAA
+    /// service, executor cells) records into.
+    telemetry: Arc<Telemetry>,
+    /// Registry cells accumulating the miner's executor stats (`exec.*`)
+    /// — absorbed outside the node lock, read without any lock.
+    exec_cells: ExecStatsCells,
+    /// The store's `validation.*` cells, shared so replay counters are
+    /// readable without the node lock.
+    validation_cells: ExecStatsCells,
+    /// Hold-time histogram of the node lock (`node.lock_hold`).
+    lock_hold: Histogram,
+}
+
+/// The counted node-lock guard: dereferences to [`NodeInner`] and, when
+/// telemetry is enabled, records how long the lock was *held* (not
+/// waited for) into the `node.lock_hold` histogram on drop.
+struct NodeLockGuard<'a> {
+    guard: MutexGuard<'a, NodeInner>,
+    held_since: Option<Instant>,
+    hold: &'a Histogram,
+}
+
+impl Deref for NodeLockGuard<'_> {
+    type Target = NodeInner;
+
+    fn deref(&self) -> &NodeInner {
+        &self.guard
+    }
+}
+
+impl DerefMut for NodeLockGuard<'_> {
+    fn deref_mut(&mut self) -> &mut NodeInner {
+        &mut self.guard
+    }
+}
+
+impl Drop for NodeLockGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(since) = self.held_since {
+            self.hold.record_ns(since.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
 }
 
 impl NodeHandle {
-    /// Acquires the node lock, counting the acquisition.
-    fn lock(&self) -> MutexGuard<'_, NodeInner> {
+    /// Acquires the node lock, counting the acquisition. Disabled
+    /// telemetry skips the clock entirely — the guard is then exactly a
+    /// counted `MutexGuard`.
+    fn lock(&self) -> NodeLockGuard<'_> {
         self.locks.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock()
+        let guard = self.inner.lock();
+        let held_since = self.lock_hold.is_enabled().then(Instant::now);
+        NodeLockGuard { guard, held_since, hold: &self.lock_hold }
     }
 
     /// How many times this handle (any clone of it) has acquired the node
@@ -261,18 +311,28 @@ impl NodeHandle {
     /// nodes get the HMS RAA provider installed for the contract's
     /// `get`/`mark` selectors.
     pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
         let pool_config = PoolConfig { market: Some(market_spec()), ..config.pool.clone() };
         let inner = NodeInner {
-            chain: ChainStore::with_validation_mode(genesis, config.validation_mode),
-            pool: Arc::new(TxPool::with_config(pool_config)),
+            chain: ChainStore::with_telemetry(genesis, config.validation_mode, telemetry.clone()),
+            pool: Arc::new(TxPool::with_telemetry(pool_config, telemetry.clone())),
             raa: RaaRegistry::new(),
             config,
             raa_service: None,
-            exec_stats: ExecStats::default(),
             orphans: Vec::new(),
             seen_txs: std::collections::HashSet::new(),
         };
-        let handle = Self { inner: Arc::new(Mutex::new(inner)), locks: Arc::new(AtomicU64::new(0)) };
+        let exec_cells = ExecStatsCells::register(&telemetry, "exec");
+        let validation_cells = inner.chain.validation_cells().clone();
+        let lock_hold = telemetry.histogram("node.lock_hold");
+        let handle = Self {
+            inner: Arc::new(Mutex::new(inner)),
+            locks: Arc::new(AtomicU64::new(0)),
+            telemetry,
+            exec_cells,
+            validation_cells,
+            lock_hold,
+        };
         {
             let mut inner = handle.inner.lock();
             if inner.config.kind == ClientKind::Sereth {
@@ -286,11 +346,10 @@ impl NodeHandle {
                         // Only the service backend pays for event
                         // buffering; unwatched pools skip it entirely.
                         inner.pool.subscribe();
-                        let service = Arc::new(RaaService::new(RaaConfig {
-                            shards,
-                            set_selector: set_selector(),
-                            hms,
-                        }));
+                        let service = Arc::new(RaaService::with_telemetry(
+                            RaaConfig { shards, set_selector: set_selector(), hms },
+                            handle.telemetry.clone(),
+                        ));
                         inner.raa_service = Some(service.clone());
                         Arc::new(ServiceRaaProvider::new(service, source))
                     }
@@ -425,20 +484,22 @@ impl NodeHandle {
     /// outside it, so submission from many clients contends on the pool's
     /// sender shards — not on the miner's node lock.
     pub fn receive_tx(&self, tx: Transaction, now: SimTime) -> bool {
-        let (pool, view) = {
-            let mut inner = self.lock();
-            if !inner.seen_txs.insert(tx.hash()) {
+        self.telemetry.time(Phase::ReceiveTx, || {
+            let (pool, view) = {
+                let mut inner = self.lock();
+                if !inner.seen_txs.insert(tx.hash()) {
+                    return false;
+                }
+                (inner.pool.clone(), inner.chain.head_state_view())
+            };
+            if !tx.verify_signature() {
                 return false;
             }
-            (inner.pool.clone(), inner.chain.head_state_view())
-        };
-        if !tx.verify_signature() {
-            return false;
-        }
-        if tx.nonce() < view.nonce_of(&tx.sender()) {
-            return false; // stale
-        }
-        pool.insert(tx, now).is_ok()
+            if tx.nonce() < view.nonce_of(&tx.sender()) {
+                return false; // stale
+            }
+            pool.insert(tx, now).is_ok()
+        })
     }
 
     /// Accepts a block from gossip, importing it and any orphans it
@@ -508,8 +569,11 @@ impl NodeHandle {
     /// Cumulative executor counters over every block this node has mined —
     /// the observable face of the parallel executor (fallbacks prove the
     /// mis-speculation path ran; fast commits prove speculation paid off).
+    ///
+    /// Registry-backed: reads relaxed atomics, never the node lock, so
+    /// monitoring cannot stall (or be stalled by) the miner.
     pub fn exec_stats(&self) -> ExecStats {
-        self.lock().exec_stats
+        self.exec_cells.snapshot()
     }
 
     /// Cumulative executor counters over every block this node has
@@ -517,9 +581,24 @@ impl NodeHandle {
     /// [`NodeHandle::exec_stats`]. Every import (gossip, orphan retry, and
     /// the node's own mined blocks) replays through the chain store, so
     /// this is the per-peer redundant-validation cost the paper's §II-D
-    /// cost model describes.
+    /// cost model describes. Lock-free, like [`NodeHandle::exec_stats`].
     pub fn validation_stats(&self) -> ExecStats {
-        self.lock().chain.validation_stats()
+        self.validation_cells.snapshot()
+    }
+
+    /// The node's telemetry hub (shared with the pool, store, executor
+    /// cells, and RAA service).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// An owned snapshot of every metric this node recorded — counters
+    /// (`pool.*`, `exec.*`, `validation.*`, `raa.*`), gauges, phase and
+    /// lock-hold histograms, and the recent block traces. Reads only
+    /// atomics and the short trace ring lock: **zero** node-lock
+    /// acquisitions, which `telemetry_reads_take_zero_node_locks` pins.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Seals a block at `now` (miner nodes only) and imports it locally.
@@ -544,9 +623,11 @@ impl NodeHandle {
             )
         };
         let budget = setup.candidate_budget.unwrap_or(usize::MAX);
-        let candidates = order_candidates_limited(&pool, &state.view(), &contract, &setup.policy, budget);
+        let (candidates, order_ns) = self.telemetry.time_ns(Phase::OrderCandidates, || {
+            order_candidates_limited(&pool, &state.view(), &contract, &setup.policy, budget)
+        });
         let timestamp = now.max(parent.timestamp_ms + 1);
-        let built = build_block_with_mode(
+        let built = build_block_traced(
             &parent,
             &state,
             &candidates,
@@ -554,9 +635,18 @@ impl NodeHandle {
             timestamp,
             &limits,
             &exec_mode,
+            &self.telemetry,
         );
+        // Lock-free bookkeeping before re-locking: executor counters land
+        // in the `exec.*` cells, the ordering span in the block's trace
+        // (the store adds an `import`-role trace for the same number).
+        self.exec_cells.absorb(&built.stats);
+        self.telemetry.trace_block(BlockTrace {
+            number: built.block.number(),
+            role: "build",
+            phase_ns: vec![(Phase::OrderCandidates, order_ns)],
+        });
         let mut inner = self.lock();
-        inner.exec_stats.absorb(&built.stats);
         let block = built.block.clone();
         match inner.chain.import(block.clone()) {
             Ok(ImportOutcome::ExtendedCanonical) | Ok(ImportOutcome::Reorged { .. }) => {
@@ -726,6 +816,7 @@ mod tests {
         NodeHandle::new(
             test_genesis(owner),
             NodeConfig {
+                telemetry: Default::default(),
                 pool: Default::default(),
                 exec_mode: Default::default(),
                 validation_mode: Default::default(),
@@ -911,6 +1002,70 @@ mod tests {
         assert_eq!(follower.head_number(), 0);
         assert_eq!(follower.receive_block(b1), BlockReceipt::Imported);
         assert_eq!(follower.head_number(), 2, "orphan retried after parent");
+    }
+
+    #[test]
+    fn telemetry_reads_take_zero_node_locks() {
+        // Satellite of the telemetry layer: metrics consumers must never
+        // contend with the miner. Every stats/snapshot read below goes
+        // through registry atomics, so the node-lock counter must not
+        // move at all.
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Sereth, &owner, true);
+        assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+        node.mine(15_000).expect("miner seals");
+
+        let before = node.lock_acquisitions();
+        let exec = node.exec_stats();
+        let validation = node.validation_stats();
+        let snapshot = node.telemetry_snapshot();
+        assert_eq!(node.lock_acquisitions(), before, "metrics reads must not take the node lock");
+
+        // The snapshot is the unified view: the same totals the typed
+        // accessors report, plus the phase histograms.
+        assert_eq!(snapshot.counters["exec.sequential_txs"], exec.sequential_txs);
+        assert_eq!(snapshot.counters["validation.waves"], validation.waves);
+        assert!(snapshot.histograms["phase.receive_tx"].count() >= 1);
+        assert!(snapshot.histograms["phase.admission"].count() >= 1);
+        assert!(snapshot.histograms["phase.order_candidates"].count() >= 1);
+        assert!(snapshot.histograms["phase.seal"].count() >= 1);
+        assert!(snapshot.histograms["phase.import"].count() >= 1);
+        assert!(snapshot.histograms["phase.validate"].count() >= 1);
+        assert!(snapshot.histograms["node.lock_hold"].count() >= 1);
+        let roles: Vec<&str> = snapshot.blocks.iter().map(|t| t.role).collect();
+        assert!(roles.contains(&"build") && roles.contains(&"import"), "traces: {roles:?}");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_and_costs_nothing() {
+        let owner = SecretKey::from_label(1);
+        let node = NodeHandle::new(
+            test_genesis(&owner),
+            NodeConfig {
+                telemetry: sereth_telemetry::TelemetryConfig { enabled: false },
+                pool: Default::default(),
+                exec_mode: Default::default(),
+                validation_mode: Default::default(),
+                raa_backend: Default::default(),
+                kind: ClientKind::Geth,
+                contract: default_contract_address(),
+                miner: Some(MinerSetup {
+                    candidate_budget: None,
+                    policy: MinerPolicy::Standard,
+                    schedule: BlockSchedule::Fixed(15_000),
+                    coinbase: Address::from_low_u64(0xc01),
+                }),
+                limits: BlockLimits::default(),
+                hms: HmsConfig::default(),
+            },
+        );
+        assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+        node.mine(15_000).expect("miner seals");
+        let snapshot = node.telemetry_snapshot();
+        assert!(snapshot.counters.is_empty(), "disabled hubs register nothing: {snapshot:?}");
+        assert!(snapshot.histograms.is_empty());
+        assert!(snapshot.blocks.is_empty());
+        assert_eq!(node.exec_stats(), ExecStats::default(), "stats views read zero when disabled");
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn node_with_modes(
     NodeHandle::new(
         genesis(keys, owner),
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             kind: ClientKind::Geth,
             contract: default_contract_address(),

@@ -64,6 +64,7 @@ fn node(miner: bool) -> NodeHandle {
     NodeHandle::new(
         genesis(),
         NodeConfig {
+            telemetry: Default::default(),
             kind: ClientKind::Geth,
             contract: default_contract_address(),
             miner: miner.then(|| MinerSetup {

@@ -44,6 +44,7 @@ fn sereth_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         test_genesis(owner),
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -17,8 +17,9 @@
 //!    those events to per-contract filtered series (Algorithm 2's output,
 //!    maintained incrementally) and rebuilds a contract's series graph
 //!    only when that contract's own transactions changed. Reads are
-//!    `RwLock`-read-cheap and O(1) on a clean cache; per-shard
-//!    [`metrics`](RaaMetrics) expose hit/rebuild/staleness counters.
+//!    `RwLock`-read-cheap and O(1) on a clean cache; registry-backed
+//!    [`metrics`](RaaMetrics) (`raa.*` telemetry counters) expose
+//!    hit/rebuild/staleness counts.
 //! 3. **[`ServiceRaaProvider`]** — the adapter that plugs the service
 //!    into the VM's RAA hook ([`sereth_vm::raa::RaaProvider`]), replacing
 //!    the recompute-per-query provider in `sereth-node`.

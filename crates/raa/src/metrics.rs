@@ -1,40 +1,40 @@
-//! Service observability: per-shard counters, aggregated on read.
+//! Service observability: registry-backed counters, aggregated on read.
 //!
-//! Counters are plain relaxed atomics — they are monotone event counts
-//! with no cross-counter invariants, so readers may observe a torn
-//! aggregate mid-update; that is fine for monitoring.
+//! Counters are telemetry [`Counter`]s (relaxed atomics) — they are
+//! monotone event counts with no cross-counter invariants, so readers
+//! may observe a torn aggregate mid-update; that is fine for
+//! monitoring. Because they live in a telemetry registry (named
+//! `raa.*`), a node-wide snapshot and the Prometheus/JSON exporters
+//! carry them without the service summing anything itself.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sereth_telemetry::{Counter, Telemetry};
 
-/// Per-shard counters (updated lock-free on the read and event paths).
-#[derive(Debug, Default)]
-pub struct ShardMetrics {
+/// The service's counters, registered as `raa.*` in a telemetry
+/// registry (updated lock-free on the read and event paths).
+#[derive(Debug, Clone)]
+pub(crate) struct RaaCounters {
     /// Views served straight from a clean cache.
-    pub hits: AtomicU64,
+    pub(crate) hits: Counter,
     /// Views that had to rebuild the contract's series graph first.
-    pub rebuilds: AtomicU64,
-    /// Pool events applied to this shard.
-    pub events: AtomicU64,
+    pub(crate) rebuilds: Counter,
+    /// Pool events applied across shards.
+    pub(crate) events: Counter,
     /// Events ignored because the transaction is not a tracked Sereth
     /// `set` (foreign traffic filtered by Algorithm 2).
-    pub filtered: AtomicU64,
+    pub(crate) filtered: Counter,
+    /// Full resynchronisations after event-buffer lag.
+    pub(crate) resyncs: Counter,
 }
 
-impl ShardMetrics {
-    pub(crate) fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn rebuild(&self) {
-        self.rebuilds.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn event(&self) {
-        self.events.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn filter(&self) {
-        self.filtered.fetch_add(1, Ordering::Relaxed);
+impl RaaCounters {
+    pub(crate) fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            hits: telemetry.counter("raa.hits"),
+            rebuilds: telemetry.counter("raa.rebuilds"),
+            events: telemetry.counter("raa.events_applied"),
+            filtered: telemetry.counter("raa.events_filtered"),
+            resyncs: telemetry.counter("raa.resyncs"),
+        }
     }
 }
 

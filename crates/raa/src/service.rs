@@ -14,7 +14,7 @@
 //! series.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sereth_chain::txpool::{PoolEvent, TxPool};
@@ -23,10 +23,11 @@ use sereth_core::outcome_from_nodes;
 use sereth_core::process::{filter_one, PendingTx, TxnNode};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
+use sereth_telemetry::Telemetry;
 use sereth_types::transaction::Transaction;
 use sereth_vm::abi::Selector;
 
-use crate::metrics::{RaaMetrics, ShardMetrics};
+use crate::metrics::{RaaCounters, RaaMetrics};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -72,23 +73,30 @@ struct Shard {
 pub struct RaaService {
     config: RaaConfig,
     shards: Vec<RwLock<Shard>>,
-    shard_metrics: Vec<ShardMetrics>,
+    counters: RaaCounters,
     /// Serialises event application; readers never take it.
     sync_cursor: Mutex<u64>,
-    resyncs: AtomicU64,
 }
 
 impl RaaService {
     /// Builds a service from `config` (`config.shards` is clamped to at
-    /// least 1).
+    /// least 1) with its own (enabled) telemetry hub backing
+    /// [`RaaService::metrics`].
     pub fn new(config: RaaConfig) -> Self {
+        Self::with_telemetry(config, Arc::new(Telemetry::enabled()))
+    }
+
+    /// Builds a service recording into a shared `telemetry` hub — what
+    /// a node does so `raa.*` counters land in the node-wide registry.
+    /// With a disabled hub, [`RaaService::metrics`] counters read as
+    /// zero (the `tracked_*` cache sizes still report).
+    pub fn with_telemetry(config: RaaConfig, telemetry: Arc<Telemetry>) -> Self {
         let shard_count = config.shards.max(1);
         Self {
             config,
             shards: (0..shard_count).map(|_| RwLock::new(Shard::default())).collect(),
-            shard_metrics: (0..shard_count).map(|_| ShardMetrics::default()).collect(),
+            counters: RaaCounters::register(&telemetry),
             sync_cursor: Mutex::new(0),
-            resyncs: AtomicU64::new(0),
         }
     }
 
@@ -122,7 +130,7 @@ impl RaaService {
             }
             Err(_lag) => {
                 *cursor = self.rebuild_from(pool);
-                self.resyncs.fetch_add(1, Ordering::Relaxed);
+                self.counters.resyncs.inc();
             }
         }
     }
@@ -155,7 +163,7 @@ impl RaaService {
                 let index = self.shard_index(contract);
                 let mut shard = self.shards[index].write();
                 let Some((owner, seq)) = shard.by_hash.remove(hash) else {
-                    self.shard_metrics[index].filter();
+                    self.counters.filtered.inc();
                     return;
                 };
                 if let Some(cache) = shard.contracts.get_mut(&owner) {
@@ -168,7 +176,7 @@ impl RaaService {
                         shard.contracts.remove(&owner);
                     }
                 }
-                self.shard_metrics[index].event();
+                self.counters.events.inc();
             }
         }
     }
@@ -184,7 +192,7 @@ impl RaaService {
             arrival_seq,
         };
         let Some(node) = filter_one(&pending, &contract, self.config.set_selector) else {
-            self.shard_metrics[index].filter();
+            self.counters.filtered.inc();
             return;
         };
         let mut shard = self.shards[index].write();
@@ -192,7 +200,7 @@ impl RaaService {
         let cache = shard.contracts.entry(contract).or_default();
         cache.nodes.insert(arrival_seq, node);
         cache.outcome = None;
-        self.shard_metrics[index].event();
+        self.counters.events.inc();
     }
 
     /// The READ-UNCOMMITTED view of `contract` given its committed
@@ -207,13 +215,13 @@ impl RaaService {
     /// included (what a semantic miner consumes).
     pub fn outcome(&self, contract: &Address, committed: (H256, H256)) -> HmsOutcome {
         let index = self.shard_index(contract);
-        let metrics = &self.shard_metrics[index];
+        let counters = &self.counters;
         {
             let shard = self.shards[index].read();
             match shard.contracts.get(contract) {
                 Some(cache) if cache.committed == committed => {
                     if let Some(outcome) = &cache.outcome {
-                        metrics.hit();
+                        counters.hits.inc();
                         return outcome.clone();
                     }
                 }
@@ -223,7 +231,7 @@ impl RaaService {
                     // list is empty and Algorithm 1 line 4 serves the
                     // committed view. No cache entry is created, so
                     // foreign contracts cannot bloat the service.
-                    metrics.hit();
+                    counters.hits.inc();
                     return outcome_from_nodes(Vec::new(), committed, &self.config.hms);
                 }
             }
@@ -231,14 +239,14 @@ impl RaaService {
 
         let mut shard = self.shards[index].write();
         let Some(cache) = shard.contracts.get_mut(contract) else {
-            metrics.hit();
+            counters.hits.inc();
             return outcome_from_nodes(Vec::new(), committed, &self.config.hms);
         };
         // Double-check under the write lock: another thread may have
         // rebuilt while we waited.
         if cache.committed == committed {
             if let Some(outcome) = &cache.outcome {
-                metrics.hit();
+                counters.hits.inc();
                 return outcome.clone();
             }
         }
@@ -246,19 +254,21 @@ impl RaaService {
         let outcome = outcome_from_nodes(nodes, committed, &self.config.hms);
         cache.committed = committed;
         cache.outcome = Some(outcome.clone());
-        metrics.rebuild();
+        counters.rebuilds.inc();
         outcome
     }
 
-    /// Aggregated counters across all shards.
+    /// Aggregated counters, read back from the registry cells plus a
+    /// walk of the shard caches for the `tracked_*` sizes.
     pub fn metrics(&self) -> RaaMetrics {
-        let mut out = RaaMetrics { resyncs: self.resyncs.load(Ordering::Relaxed), ..Default::default() };
-        for metrics in &self.shard_metrics {
-            out.hits += metrics.hits.load(Ordering::Relaxed);
-            out.rebuilds += metrics.rebuilds.load(Ordering::Relaxed);
-            out.events_applied += metrics.events.load(Ordering::Relaxed);
-            out.events_filtered += metrics.filtered.load(Ordering::Relaxed);
-        }
+        let mut out = RaaMetrics {
+            hits: self.counters.hits.get(),
+            rebuilds: self.counters.rebuilds.get(),
+            events_applied: self.counters.events.get(),
+            events_filtered: self.counters.filtered.get(),
+            resyncs: self.counters.resyncs.get(),
+            ..Default::default()
+        };
         for shard in &self.shards {
             let guard = shard.read();
             out.tracked_contracts += guard.contracts.len() as u64;

@@ -84,6 +84,7 @@ fn contended_node(
     NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             kind: ClientKind::Geth,
             contract,

@@ -111,6 +111,7 @@ fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, 
     let node = NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -91,6 +91,10 @@ pub struct RunMetrics {
     /// writer (see the EXT-PWV experiment), and only the set latency
     /// exposes it.
     pub set_latency_ms: Vec<f64>,
+    /// One telemetry snapshot per simulated node (index-aligned with the
+    /// scenario's node list): phase histograms, counters, and block
+    /// traces from the run, lock-free to read.
+    pub node_telemetry: Vec<sereth_telemetry::TelemetrySnapshot>,
 }
 
 impl RunMetrics {
@@ -207,6 +211,7 @@ mod tests {
             sets_succeeded: 10,
             buy_latency_ms: vec![],
             set_latency_ms: vec![],
+            node_telemetry: vec![],
         };
         assert!((metrics.eta_buys() - 0.4).abs() < 1e-12);
         assert!((metrics.eta_sets() - 1.0).abs() < 1e-12);

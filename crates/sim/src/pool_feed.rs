@@ -101,6 +101,7 @@ fn feed_node(
     NodeHandle::new(
         genesis_builder.build(),
         NodeConfig {
+            telemetry: Default::default(),
             kind: ClientKind::Geth,
             contract,
             miner: Some(MinerSetup {

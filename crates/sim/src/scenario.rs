@@ -202,6 +202,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
@@ -266,6 +267,7 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
@@ -320,6 +322,7 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
@@ -396,7 +399,8 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
     sim.schedule(config.tx_interval_ms, driver_id, Msg::WorkloadTick(0));
     sim.run_until(deadline);
 
-    let metrics = collect_metrics(&nodes[0], &log.lock());
+    let mut metrics = collect_metrics(&nodes[0], &log.lock());
+    metrics.node_telemetry = nodes.iter().map(|n| n.telemetry_snapshot()).collect();
     let final_stats = stats.lock().clone();
     let chain = snapshot_chain(&nodes[0]);
     (RunOutput { scenario: config.name.clone(), seed, metrics, chain }, final_stats)
@@ -452,7 +456,8 @@ fn run_plan(
     let last_submission = config.num_buys.max(1) * config.tx_interval_ms + config.tx_interval_ms;
     sim.run_until(last_submission + config.drain_ms);
 
-    let metrics = collect_metrics(&nodes[0], &log.lock());
+    let mut metrics = collect_metrics(&nodes[0], &log.lock());
+    metrics.node_telemetry = nodes.iter().map(|n| n.telemetry_snapshot()).collect();
     let chain = snapshot_chain(&nodes[0]);
     RunOutput { scenario: config.name.clone(), seed, metrics, chain }
 }

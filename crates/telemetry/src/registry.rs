@@ -1,0 +1,315 @@
+//! The lock-free metrics registry: atomic counters, gauges, and
+//! fixed-bucket latency histograms, keyed by name.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! `Arc`'d atomic cells. They cache the registry's on/off switch, so a
+//! disabled handle's record path is one branch — no atomics touched.
+//! The registry's name maps are behind `RwLock`s, but those are only
+//! taken to *create or look up* a handle; recording never locks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+/// Upper bounds (inclusive, nanoseconds) of the histogram buckets: an
+/// exponential ladder from 1µs to ~33.5s. Samples above the last bound
+/// land in one extra overflow bucket, so a [`HistogramSnapshot`] carries
+/// `HISTOGRAM_BUCKET_BOUNDS.len() + 1` counts.
+pub const HISTOGRAM_BUCKET_BOUNDS: [u64; 26] = {
+    let mut bounds = [0u64; 26];
+    let mut i = 0;
+    while i < 26 {
+        bounds[i] = 1_000u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// Number of bucket slots including the overflow bucket.
+pub(crate) const NUM_BUCKETS: usize = HISTOGRAM_BUCKET_BOUNDS.len() + 1;
+
+/// Index of the bucket a sample of `ns` nanoseconds falls into.
+fn bucket_index(ns: u64) -> usize {
+    // The bounds are `1000 << i`, so the index is computable without a
+    // scan — but a short scan over 26 u64s is branch-predictable and
+    // avoids off-by-one traps; record cost is dominated by the two
+    // `fetch_add`s either way.
+    HISTOGRAM_BUCKET_BOUNDS.iter().position(|&bound| ns <= bound).unwrap_or(NUM_BUCKETS - 1)
+}
+
+/// A monotone event counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    on: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter that records nothing and always reads 0 — what a
+    /// disabled registry hands out.
+    fn off() -> Self {
+        Self { on: false, cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.on {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    on: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn off() -> Self {
+        Self { on: false, cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if self.on {
+            self.cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared cell behind a [`Histogram`].
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum_ns: AtomicU64::new(0) }
+    }
+}
+
+impl HistogramCell {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bucket_counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket latency histogram over nanosecond samples. The total
+/// count is *derived* from the bucket counts (never stored separately),
+/// so a concurrent snapshot can never report a count that disagrees
+/// with its buckets. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    on: bool,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    fn off() -> Self {
+        Self { on: false, cell: Arc::new(HistogramCell::default()) }
+    }
+
+    /// `true` when records actually land (cached registry switch) —
+    /// callers use this to skip clock reads entirely when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if self.on {
+            self.cell.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+            self.cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// An owned snapshot of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+/// The name-keyed registry. One per [`crate::Telemetry`]; subsystems
+/// call [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] once at construction and keep the handles.
+///
+/// Handle creation is get-or-create: the same name always resolves to
+/// the same cell, so two subsystems naming the same counter share it.
+#[derive(Debug)]
+pub struct Registry {
+    on: bool,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+impl Registry {
+    /// A registry with the given switch. Disabled registries hand out
+    /// inert handles and stay empty — their snapshot has no entries.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            on: enabled,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// `true` when this registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.on {
+            return Counter::off();
+        }
+        Counter { on: true, cell: get_or_create(&self.counters, name, || Arc::new(AtomicU64::new(0))) }
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.on {
+            return Gauge::off();
+        }
+        Gauge { on: true, cell: get_or_create(&self.gauges, name, || Arc::new(AtomicU64::new(0))) }
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.on {
+            return Histogram::off();
+        }
+        Histogram {
+            on: true,
+            cell: get_or_create(&self.histograms, name, || Arc::new(HistogramCell::default())),
+        }
+    }
+
+    /// An owned snapshot of every registered metric. Block traces live
+    /// on [`crate::Telemetry`], which layers them in.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.snapshot()))
+                .collect(),
+            blocks: Vec::new(),
+        }
+    }
+}
+
+fn get_or_create<T: Clone>(map: &RwLock<BTreeMap<String, T>>, name: &str, make: impl FnOnce() -> T) -> T {
+    if let Some(existing) = map.read().get(name) {
+        return existing.clone();
+    }
+    map.write().entry(name.to_string()).or_insert_with(make).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_exponential_from_one_microsecond() {
+        assert_eq!(HISTOGRAM_BUCKET_BOUNDS[0], 1_000);
+        assert_eq!(HISTOGRAM_BUCKET_BOUNDS[1], 2_000);
+        for window in HISTOGRAM_BUCKET_BOUNDS.windows(2) {
+            assert_eq!(window[1], window[0] * 2);
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_inclusive_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let registry = Registry::new(true);
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(registry.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_stays_empty() {
+        let registry = Registry::new(false);
+        let counter = registry.counter("x");
+        counter.add(10);
+        registry.gauge("g").set(5);
+        let histogram = registry.histogram("h");
+        histogram.record_ns(1_234);
+        assert_eq!(counter.get(), 0);
+        assert!(!histogram.is_enabled());
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.gauges.is_empty());
+        assert!(snapshot.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_count_is_sum_of_buckets() {
+        let registry = Registry::new(true);
+        let histogram = registry.histogram("h");
+        for ns in [10, 1_000, 5_000, 1_000_000, u64::MAX] {
+            histogram.record_ns(ns);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), 5);
+        assert_eq!(snapshot.count(), snapshot.bucket_counts.iter().sum::<u64>());
+        // Overflow landed in the last slot.
+        assert_eq!(snapshot.bucket_counts[NUM_BUCKETS - 1], 1);
+    }
+}

@@ -88,6 +88,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -44,6 +44,7 @@ fn main() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),

@@ -41,6 +41,7 @@ fn main() {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             // `auto` picks the wave executor on multi-core hosts and the
             // sequential loop on single-CPU ones, for both the build and

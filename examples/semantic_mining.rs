@@ -41,6 +41,7 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -1,0 +1,117 @@
+//! Telemetry tour: mine a short chain and read the node's built-in
+//! instrumentation — phase histograms, registry counters, the per-block
+//! lifecycle timeline, and the Prometheus exposition text.
+//!
+//! ```text
+//! cargo run --example telemetry
+//! ```
+
+use sereth::chain::builder::BlockLimits;
+use sereth::chain::genesis::GenesisBuilder;
+use sereth::crypto::{Address, SecretKey, H256};
+use sereth::hms::hms::HmsConfig;
+use sereth::hms::mark::genesis_mark;
+use sereth::node::client::{Buyer, Owner};
+use sereth::node::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
+use sereth::node::miner::MinerPolicy;
+use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::types::U256;
+
+fn main() {
+    // --- 1. A mining Sereth node with telemetry on (the default). ---
+    let owner_key = SecretKey::from_label(1);
+    let contract = default_contract_address();
+    let initial_price = H256::from_low_u64(50);
+    let mut genesis =
+        GenesisBuilder::new().fund(owner_key.address(), U256::from(1_000_000_000u64)).contract_with_storage(
+            contract,
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner_key.address(), initial_price),
+        );
+    let buyer_keys: Vec<SecretKey> = (10..14).map(SecretKey::from_label).collect();
+    for key in &buyer_keys {
+        genesis = genesis.fund(key.address(), U256::from(1_000_000_000u64));
+    }
+    let node = NodeHandle::new(
+        genesis.build(),
+        NodeConfig {
+            telemetry: Default::default(), // enabled: true
+            pool: Default::default(),
+            exec_mode: Default::default(),
+            validation_mode: Default::default(),
+            raa_backend: Default::default(),
+            kind: ClientKind::Sereth,
+            contract,
+            miner: Some(MinerSetup {
+                candidate_budget: None,
+                policy: MinerPolicy::Semantic(HmsConfig::default()),
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xc0b0),
+            }),
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+        },
+    );
+
+    // --- 2. Three blocks of market traffic: reprices racing buys. ---
+    let mut owner = Owner::with_value(owner_key, contract, genesis_mark(), initial_price, 1);
+    let mut buyers: Vec<Buyer> =
+        buyer_keys.iter().map(|k| Buyer::new(k.clone(), contract, ClientKind::Sereth, 1)).collect();
+    let mut now = 0;
+    for round in 0..3u64 {
+        let set = owner.next_set(&node, H256::from_low_u64(60 + 10 * round));
+        now += 100;
+        node.receive_tx(set, now);
+        for buyer in &mut buyers {
+            let buy = buyer.next_buy(&node);
+            now += 100;
+            node.receive_tx(buy, now);
+        }
+        let block = node.mine(15_000 * (round + 1)).expect("miner seals");
+        println!("mined block #{} with {} transactions", block.number(), block.transactions.len());
+    }
+
+    // --- 3. Read the registry: zero node locks, torn-free by design. ---
+    let snapshot = node.telemetry_snapshot();
+
+    println!("\nphase latency histograms (ns):");
+    println!(
+        "| {:<22} | {:>5} | {:>9} | {:>9} | {:>9} | {:>9} |",
+        "phase", "count", "mean", "p50", "p95", "p99"
+    );
+    for (name, histogram) in &snapshot.histograms {
+        println!(
+            "| {name:<22} | {:>5} | {:>9.0} | {:>9.0} | {:>9.0} | {:>9.0} |",
+            histogram.count(),
+            histogram.mean_ns(),
+            histogram.p50_ns(),
+            histogram.p95_ns(),
+            histogram.p99_ns(),
+        );
+    }
+
+    println!("\ncounters:");
+    for (name, value) in &snapshot.counters {
+        println!("  {name} = {value}");
+    }
+
+    // --- 4. The per-block lifecycle timeline (ring of recent blocks). ---
+    println!("\nblock timeline:");
+    for trace in &snapshot.blocks {
+        let phases: Vec<String> =
+            trace.phase_ns.iter().map(|(phase, ns)| format!("{}={}µs", phase.name(), ns / 1_000)).collect();
+        println!("  block #{} [{}] {}", trace.number, trace.role, phases.join(" "));
+    }
+
+    // --- 5. Prometheus exposition text, ready to scrape. ---
+    let prometheus = node.telemetry_snapshot().to_prometheus();
+    println!("\nprometheus export ({} lines), counters excerpt:", prometheus.lines().count());
+    for line in prometheus.lines().filter(|l| l.starts_with("sereth_") && !l.contains("bucket")).take(12) {
+        println!("  {line}");
+    }
+
+    assert!(snapshot.histograms["phase.seal"].count() >= 3, "three sealed blocks were timed");
+    assert!(snapshot.blocks.iter().any(|t| t.role == "build"));
+    assert!(snapshot.blocks.iter().any(|t| t.role == "import"));
+    println!("\ntelemetry OK");
+}

@@ -23,6 +23,7 @@
 //! | [`net`] | `sereth-net` | deterministic discrete-event network |
 //! | [`node`] | `sereth-node` | Sereth contract, Geth/Sereth clients, miners |
 //! | [`sim`] | `sereth-sim` | Figure 2 scenarios, metrics, statistics |
+//! | [`telemetry`] | `sereth-telemetry` | lock-free metrics registry, phase tracing, exporters |
 //!
 //! # Quickstart
 //!
@@ -51,5 +52,6 @@ pub use sereth_net as net;
 pub use sereth_node as node;
 pub use sereth_raa as raa;
 pub use sereth_sim as sim;
+pub use sereth_telemetry as telemetry;
 pub use sereth_types as types;
 pub use sereth_vm as vm;

@@ -70,6 +70,7 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
     NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

@@ -35,6 +35,7 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),
@@ -215,6 +216,7 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
             NodeHandle::new(
                 genesis.clone(),
                 NodeConfig {
+                    telemetry: Default::default(),
                     pool: Default::default(),
                     exec_mode: Default::default(),
                     validation_mode: Default::default(),

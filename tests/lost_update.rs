@@ -42,6 +42,7 @@ fn fixture(policy: MinerPolicy) -> Fixture {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

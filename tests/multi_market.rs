@@ -50,6 +50,7 @@ fn setup() -> (NodeHandle, Owner, Owner) {
     let node = NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode: Default::default(),

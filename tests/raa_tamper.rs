@@ -35,6 +35,7 @@ fn make_node_validating(owner: &SecretKey, validation_mode: ValidationMode) -> N
     NodeHandle::new(
         genesis,
         NodeConfig {
+            telemetry: Default::default(),
             pool: Default::default(),
             exec_mode: Default::default(),
             validation_mode,
