@@ -1,0 +1,253 @@
+//! PIPE-SCALE: sealed blocks per second, the serial `mine()` loop vs the
+//! cross-block `PipelinedMiner`, across block sizes and conflict ratios.
+//!
+//! Each point stands up two miner nodes over an identical genesis —
+//! `size` funded senders plus counter contracts, the EXEC-PAR workload
+//! shape — preloads both pools with `blocks × size` calls (so a backlog
+//! always exists for the pipeline to prespeculate into), and drains the
+//! backlog block by block on both, asserting every sealed block is
+//! hash-identical before reporting mean wall-clock per block. A
+//! `conflict_pct`% subset of each block's senders hits one shared
+//! counter, the rest their own: at 0 % a held prediction reuses (almost)
+//! the whole prespeculated wave, at 100 % nearly every prefed outcome
+//! invalidates against the in-block dirty set and re-executes live — the
+//! adversarial case the `PIPE_MAX_SLOWDOWN` gate bounds.
+//!
+//! No gossip runs here, so every prediction holds: the measurement
+//! isolates the steady-state overlap win (prespeculation racing the
+//! previous block's import/replay), not the replan paths — those are
+//! pinned functionally by `pipelined_mining.rs`.
+//!
+//! Prints a markdown table and writes the `BENCH_pipe.json` artifact
+//! (conflict-free sweep) for CI upload. Knobs (env): `PIPE_TXS` (comma
+//! list of block sizes; default `64,256`), `PIPE_CONFLICTS` (percent
+//! list; default `0,100`), `PIPE_BLOCKS` (blocks per measurement; default
+//! 8), `PIPE_THREADS` (4), `PIPE_MIN_SPEEDUP` (if positive, exit nonzero
+//! unless the pipelined miner beats the serial loop by this factor at the
+//! largest conflict-free size — the CI gate), `PIPE_MAX_SLOWDOWN` (if
+//! positive, exit nonzero if any 100 % point is more than this factor
+//! slower than the serial loop).
+
+use std::time::{Duration, Instant};
+
+use sereth_bench::exec_fixture::{contract_address, counter_code};
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::genesis::{Genesis, GenesisBuilder};
+use sereth_chain::parallel::ExecMode;
+use sereth_chain::txpool::PoolConfig;
+use sereth_core::hms::HmsConfig;
+use sereth_crypto::address::Address;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::default_contract_address;
+use sereth_node::miner::MinerPolicy;
+use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::pipeline::PipelinedMiner;
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+use sereth_vm::exec::ContractCode;
+
+/// Sender-key label base and contract address base (distinct from the
+/// other benches', so the fixtures stay disjoint).
+const LABELS: u64 = 60_000;
+const CONTRACTS: u64 = 0xF0_0000;
+
+fn genesis(size: u64) -> Genesis {
+    let mut builder = GenesisBuilder::new();
+    for i in 0..size {
+        builder = builder.fund(SecretKey::from_label(LABELS + i).address(), U256::from(100_000_000u64));
+    }
+    let code = counter_code();
+    for i in 0..=size {
+        builder = builder.contract(contract_address(CONTRACTS, i), ContractCode::Bytecode(code.clone()));
+    }
+    builder.build()
+}
+
+fn node(size: u64, blocks: u64, threads: usize) -> NodeHandle {
+    NodeHandle::new(
+        genesis(size),
+        NodeConfig {
+            telemetry: Default::default(),
+            pool: PoolConfig {
+                capacity: (size * blocks) as usize + 64,
+                event_capacity: 4 * (size * blocks) as usize + 64,
+                ..PoolConfig::default()
+            },
+            kind: ClientKind::Geth,
+            contract: default_contract_address(),
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Standard,
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(0xfee),
+                candidate_budget: Some(size as usize),
+            }),
+            // Exactly one batch of `size` calls per block.
+            limits: BlockLimits { gas_limit: size * 120_000 + 1_000_000, max_txs: Some(size as usize) },
+            hms: HmsConfig::default(),
+            raa_backend: Default::default(),
+            exec_mode: ExecMode::Parallel { threads },
+            validation_mode: Default::default(),
+        },
+    )
+}
+
+/// The EXEC-PAR call shape at an explicit nonce: `conflict_pct`% of the
+/// senders (spread by a stride) hit the shared counter 0, the rest each
+/// hit their own.
+fn call(i: u64, nonce: u64, conflict_pct: u64) -> Transaction {
+    let conflicting = (i * 997) % 100 < conflict_pct;
+    let target =
+        if conflicting { contract_address(CONTRACTS, 0) } else { contract_address(CONTRACTS, 1 + i) };
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 1,
+            gas_limit: 120_000,
+            to: Some(target),
+            value: U256::ZERO,
+            input: bytes::Bytes::new(),
+        },
+        &SecretKey::from_label(LABELS + i),
+    )
+}
+
+/// Preloads the full backlog — `blocks` nonces for each of `size` senders,
+/// in block-major arrival order so fee-priority ordering drains it one
+/// whole batch per block.
+fn preload(node: &NodeHandle, size: u64, blocks: u64, conflict_pct: u64) {
+    let mut now = 0u64;
+    for nonce in 0..blocks {
+        for i in 0..size {
+            assert!(node.receive_tx(call(i, nonce, conflict_pct), now), "pool must accept the backlog");
+            now += 1;
+        }
+    }
+}
+
+struct Measured {
+    serial: Duration,
+    pipelined: Duration,
+    speedup: f64,
+    reused: u64,
+    invalidated: u64,
+}
+
+fn measure(size: u64, conflict_pct: u64, blocks: u64, threads: usize) -> Measured {
+    let serial_node = node(size, blocks, threads);
+    let pipelined = PipelinedMiner::new(node(size, blocks, threads));
+    preload(&serial_node, size, blocks, conflict_pct);
+    preload(pipelined.node(), size, blocks, conflict_pct);
+
+    let mut serial_blocks = Vec::with_capacity(blocks as usize);
+    let start = Instant::now();
+    for k in 1..=blocks {
+        serial_blocks.push(serial_node.mine(15_000 * k).expect("serial miner seals"));
+    }
+    let serial = start.elapsed() / blocks.max(1) as u32;
+
+    let start = Instant::now();
+    for k in 1..=blocks {
+        let block = pipelined.mine(15_000 * k).expect("pipelined miner seals");
+        // Equivalence before anything else: the pipeline may move work,
+        // never results.
+        assert_eq!(
+            block.hash(),
+            serial_blocks[k as usize - 1].hash(),
+            "pipelined/serial divergence in the bench fixture (size {size}, conflict {conflict_pct}%, block {k})"
+        );
+        assert_eq!(block.transactions.len() as u64, size, "every block must drain one full batch");
+    }
+    let pipelined_time = start.elapsed() / blocks.max(1) as u32;
+
+    let snapshot = pipelined.node().telemetry_snapshot();
+    let reused = snapshot.counters.get("pipeline.prefed_reused").copied().unwrap_or(0);
+    let invalidated = snapshot.counters.get("pipeline.prefed_invalidated").copied().unwrap_or(0);
+    let speedup = serial.as_nanos() as f64 / pipelined_time.as_nanos().max(1) as f64;
+    Measured { serial, pipelined: pipelined_time, speedup, reused, invalidated }
+}
+
+fn main() {
+    let sizes = env_list_or("PIPE_TXS", &[64, 256]);
+    let conflicts = env_list_or("PIPE_CONFLICTS", &[0, 100]);
+    let blocks = env_or("PIPE_BLOCKS", 8u64);
+    let threads = env_or("PIPE_THREADS", 4usize);
+    let min_speedup = env_or("PIPE_MIN_SPEEDUP", 0.0f64);
+    let max_slowdown = env_or("PIPE_MAX_SLOWDOWN", 0.0f64);
+
+    println!(
+        "Mining loop: serial mine() vs cross-block PipelinedMiner ({threads} threads), \
+         {blocks} blocks per point, equivalence-checked"
+    );
+    println!("| txs/block | conflict | serial/block | pipelined/block | speedup | reused | invalidated |");
+    println!("|-----------|----------|--------------|-----------------|---------|--------|-------------|");
+
+    let mut clean_points: Vec<BenchPoint> = Vec::new();
+    let mut clean_gate: Option<(u64, f64)> = None;
+    let mut worst_conflicted_speedup = f64::INFINITY;
+    for &size in &sizes {
+        for &conflict_pct in &conflicts {
+            let m = measure(size, conflict_pct, blocks, threads);
+            println!(
+                "| {size:>9} | {conflict_pct:>7}% | {:>9.1} µs | {:>12.1} µs | {:>6.2}x | {:>6} | {:>11} |",
+                m.serial.as_nanos() as f64 / 1e3,
+                m.pipelined.as_nanos() as f64 / 1e3,
+                m.speedup,
+                m.reused,
+                m.invalidated,
+            );
+            if conflict_pct == 0 {
+                clean_points.push(BenchPoint::from_durations(size, m.serial, m.pipelined));
+                if clean_gate.is_none_or(|(gate_size, _)| size >= gate_size) {
+                    clean_gate = Some((size, m.speedup));
+                }
+            } else if conflict_pct == 100 {
+                worst_conflicted_speedup = worst_conflicted_speedup.min(m.speedup);
+            }
+        }
+    }
+
+    match write_bench_artifact(
+        "pipe",
+        "pipe_scale",
+        &[
+            ("threads", threads.to_string()),
+            ("blocks", blocks.to_string()),
+            ("conflict_pct", "0".to_string()),
+            ("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get()).to_string()),
+        ],
+        &clean_points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_pipe.json: {error}"),
+    }
+
+    // CI gates, mirroring EXEC-PAR: the pipeline must win on the
+    // conflict-free backlog at the largest size, and may not cost more
+    // than a bounded factor when every prediction's work invalidates. A
+    // gate without its measurement is a config error, not a pass.
+    if min_speedup > 0.0 {
+        assert!(
+            clean_gate.is_some(),
+            "PIPE_MIN_SPEEDUP is set but PIPE_CONFLICTS={conflicts:?} has no 0% point to gate on"
+        );
+        let (size, speedup) = clean_gate.expect("checked above");
+        assert!(
+            speedup >= min_speedup,
+            "pipelined mining regressed: {speedup:.2}x < required {min_speedup:.2}x \
+             on the conflict-free backlog at {size} txs/block"
+        );
+    }
+    if max_slowdown > 0.0 {
+        assert!(
+            worst_conflicted_speedup.is_finite(),
+            "PIPE_MAX_SLOWDOWN is set but PIPE_CONFLICTS={conflicts:?} has no 100% point to gate on"
+        );
+        let floor = 1.0 / max_slowdown;
+        assert!(
+            worst_conflicted_speedup >= floor,
+            "pipelined mining degradation violated: {worst_conflicted_speedup:.2}x speedup at 100% \
+             conflicts means more than {max_slowdown:.2}x slower than the serial loop"
+        );
+    }
+}

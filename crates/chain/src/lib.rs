@@ -30,10 +30,12 @@ pub mod store;
 pub mod txpool;
 pub mod validation;
 
-pub use builder::{build_block, build_block_traced, build_block_with_mode, BlockLimits, BuiltBlock};
+pub use builder::{
+    build_block, build_block_pipelined, build_block_traced, build_block_with_mode, BlockLimits, BuiltBlock,
+};
 pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxApplyError, TxState};
 pub use genesis::{Genesis, GenesisBuilder};
-pub use parallel::{ExecMode, ExecStats, ExecStatsCells};
+pub use parallel::{ExecMode, ExecStats, ExecStatsCells, PipelineSink};
 pub use state::{Account, Snapshot, StateDb, StateView};
 pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};

@@ -375,6 +375,17 @@ impl Storage for SpecStorage<'_> {
             }
         }
     }
+
+    fn note_env_read(&self, key: sereth_vm::exec::EnvRead) {
+        // TIMESTAMP / NUMBER bypass storage, so without this hook a
+        // speculation would look env-independent. Within a block the env
+        // is constant (nothing marks these keys dirty); the cross-block
+        // pipeline marks them dirty when its *predicted* env missed.
+        self.read(match key {
+            sereth_vm::exec::EnvRead::Timestamp => AccessKey::Timestamp,
+            sereth_vm::exec::EnvRead::Number => AccessKey::Number,
+        });
+    }
 }
 
 impl TxState for SpecStorage<'_> {
@@ -565,6 +576,82 @@ fn speculate_wave(
     results.into_iter().map(|slot| slot.into_inner().expect("workers joined")).collect()
 }
 
+/// Speculated outcomes carried *across a block boundary* by the
+/// cross-block pipelined miner: while block `N` seals and imports, the
+/// next block's candidates are speculated against `N`'s predicted
+/// post-state and parked here; when block `N + 1` actually builds, the
+/// wave driver consumes them in place of fresh speculation.
+///
+/// Validation is the same dirty-key rule waves use, over a wider scope:
+/// a prefed outcome is reusable iff its observed reads miss
+/// [`PipelineSink::invalidate`]'s seed (the keys that differ between the
+/// predicted and actual pre-state, plus env keys when the predicted
+/// timestamp or number missed) *and* every write merged earlier in the
+/// block. A miss falls back to live execution — byte-equivalence never
+/// depends on the prediction.
+pub struct PipelineSink {
+    outcomes: HashMap<H256, SpecOutcome>,
+    /// Keys dirty *relative to the prespeculation base*: the seed from
+    /// prediction validation plus every write this block has applied.
+    dirty: HashSet<AccessKey>,
+    reused: u64,
+    invalidated: u64,
+}
+
+impl PipelineSink {
+    /// Speculates `candidates` against `base` (the predicted pre-state of
+    /// the next block) under `env` (the predicted block env), on
+    /// `threads` workers. Only each sender's first candidate speculates —
+    /// later nonces of a chain would read the earlier commit's writes and
+    /// always invalidate.
+    pub fn prespeculate(
+        base: &StateView,
+        env: &BlockEnv,
+        candidates: &[Transaction],
+        threads: usize,
+    ) -> Self {
+        let mut senders: HashSet<Address> = HashSet::new();
+        let plan: Vec<bool> = candidates.iter().map(|tx| senders.insert(tx.sender())).collect();
+        let results = speculate_wave(candidates, &plan, base, env, threads.max(1));
+        let outcomes = candidates
+            .iter()
+            .zip(results)
+            .filter_map(|(tx, result)| result.map(|outcome| (tx.hash(), outcome)))
+            .collect();
+        Self { outcomes, dirty: HashSet::new(), reused: 0, invalidated: 0 }
+    }
+
+    /// Seeds the dirty set with keys whose predicted values missed — the
+    /// pre-state diff between the predicted and actual parent state, and
+    /// the env keys ([`AccessKey::Timestamp`] / [`AccessKey::Number`])
+    /// when the predicted block env missed. Call before the build; an
+    /// empty seed means the prediction held wholesale.
+    pub fn invalidate(&mut self, keys: impl IntoIterator<Item = AccessKey>) {
+        self.dirty.extend(keys);
+    }
+
+    /// Number of prespeculated outcomes parked (before the build) or
+    /// still unconsumed (after).
+    pub fn pending(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Prefed outcomes merged without re-execution.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Prefed outcomes whose reads hit the dirty set and re-executed
+    /// live.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    fn take(&mut self, hash: &H256) -> Option<SpecOutcome> {
+        self.outcomes.remove(hash)
+    }
+}
+
 /// What the wave driver asks of its consumer: the policy half of the
 /// algorithm. [`run_waves`] owns planning, speculation, in-order merging,
 /// dirty-key validation, and adaptive degradation; the sink owns admission
@@ -600,6 +687,25 @@ pub(crate) fn run_waves<S: WaveSink>(
     sink: &mut S,
     telemetry: &Telemetry,
 ) -> ExecStats {
+    run_waves_with(state, env, candidates, threads, sink, telemetry, None)
+}
+
+/// [`run_waves`] with an optional cross-block [`PipelineSink`]: prefed
+/// outcomes replace fresh speculation for their transactions and merge
+/// through the same dirty-key validation, scoped to the whole block (the
+/// prespeculation base is the block's pre-state, so every earlier write
+/// in the block can invalidate, not just this wave's). Everything else —
+/// planning, admission order, fallback execution, degradation — is
+/// identical, which is what keeps the pipelined build byte-equivalent.
+pub(crate) fn run_waves_with<S: WaveSink>(
+    state: &mut StateDb,
+    env: &BlockEnv,
+    candidates: &[Transaction],
+    threads: usize,
+    sink: &mut S,
+    telemetry: &Telemetry,
+    mut pipeline: Option<&mut PipelineSink>,
+) -> ExecStats {
     let threads = threads.max(1);
     let window = (threads * 8).clamp(8, 64);
     let mut stats = ExecStats::default();
@@ -625,8 +731,17 @@ pub(crate) fn run_waves<S: WaveSink>(
                     continue;
                 }
                 stats.sequential_txs += 1;
+                let journal_mark = state.checkpoint();
                 match apply_transaction(state, env, tx, sink.next_index()) {
-                    Ok(receipt) => sink.include(tx, receipt),
+                    Ok(receipt) => {
+                        // Degraded windows never consume prefed outcomes,
+                        // but their writes must still invalidate later
+                        // ones (the block-scoped dirty set).
+                        if let Some(p) = pipeline.as_deref_mut() {
+                            p.dirty.extend(state.journal_writes_since(journal_mark));
+                        }
+                        sink.include(tx, receipt);
+                    }
                     Err(error) => {
                         if !sink.reject(chunk_base + offset, error) {
                             return stats;
@@ -645,7 +760,16 @@ pub(crate) fn run_waves<S: WaveSink>(
 
         stats.waves += 1;
         let base = state.view();
-        let plan = plan_wave(chunk, &base);
+        let mut plan = plan_wave(chunk, &base);
+        if let Some(p) = pipeline.as_deref_mut() {
+            // Prefed transactions skip fresh speculation; their parked
+            // outcome is validated (block-scoped) at merge instead.
+            for (i, tx) in chunk.iter().enumerate() {
+                if p.outcomes.contains_key(&tx.hash()) {
+                    plan[i] = false;
+                }
+            }
+        }
         let mut results =
             telemetry.time(Phase::Speculate, || speculate_wave(chunk, &plan, &base, env, threads));
         stats.speculated += results.iter().filter(|r| r.is_some()).count() as u64;
@@ -660,14 +784,41 @@ pub(crate) fn run_waves<S: WaveSink>(
                 if !sink.admit(tx) {
                     continue;
                 }
-                match results[offset].take() {
-                    Some(spec) if !spec.access.reads_hit(&dirty) => {
+                // A fresh wave speculation validates against this wave's
+                // dirty set (its base saw everything merged before the
+                // wave); a prefed cross-block outcome validates against
+                // the pipeline's block-scoped set (its base predates the
+                // whole block, seeded with the prediction's misses).
+                let spec = match results[offset].take() {
+                    Some(spec) => Some((spec, false)),
+                    None => match pipeline.as_deref_mut() {
+                        Some(p) => p.take(&tx.hash()).map(|spec| (spec, true)),
+                        None => None,
+                    },
+                };
+                let valid = spec.as_ref().is_some_and(|(spec, prefed)| {
+                    let scope = if *prefed {
+                        &pipeline.as_deref().expect("prefed implies pipeline").dirty
+                    } else {
+                        &dirty
+                    };
+                    !spec.access.reads_hit(scope)
+                });
+                match spec {
+                    Some((spec, prefed)) if valid => {
+                        if prefed {
+                            pipeline.as_deref_mut().expect("prefed implies pipeline").reused += 1;
+                        }
                         match spec.result {
                             Ok(commit) => {
                                 stats.fast_commits += 1;
                                 let receipt = apply_commit(state, &commit, &env.miner, sink.next_index());
                                 dirty.extend(spec.access.writes.iter().copied());
                                 dirty.insert(AccessKey::Balance(env.miner));
+                                if let Some(p) = pipeline.as_deref_mut() {
+                                    p.dirty.extend(spec.access.writes.iter().copied());
+                                    p.dirty.insert(AccessKey::Balance(env.miner));
+                                }
                                 sink.include(tx, receipt);
                             }
                             // A still-valid predicted apply error merges
@@ -687,16 +838,24 @@ pub(crate) fn run_waves<S: WaveSink>(
                         // sequential execution. Either way: run the plain
                         // sequential path against the live state and feed its
                         // journaled write set into the dirty tracker.
-                        if invalid_or_planned.is_some() {
-                            stats.fallbacks += 1;
-                            wave_conflicts += 1;
-                        } else {
-                            stats.sequential_txs += 1;
+                        match invalid_or_planned {
+                            Some((_, prefed)) => {
+                                stats.fallbacks += 1;
+                                wave_conflicts += 1;
+                                if prefed {
+                                    pipeline.as_deref_mut().expect("prefed implies pipeline").invalidated +=
+                                        1;
+                                }
+                            }
+                            None => stats.sequential_txs += 1,
                         }
                         let journal_mark = state.checkpoint();
                         match apply_transaction(state, env, tx, sink.next_index()) {
                             Ok(receipt) => {
                                 dirty.extend(state.journal_writes_since(journal_mark));
+                                if let Some(p) = pipeline.as_deref_mut() {
+                                    p.dirty.extend(state.journal_writes_since(journal_mark));
+                                }
                                 sink.include(tx, receipt);
                             }
                             Err(error) => {
@@ -763,6 +922,25 @@ pub(crate) fn execute_candidates(
 ) -> ExecOutcome {
     let mut sink = BuildSink { out: ExecOutcome::default(), limits };
     let stats = run_waves(state, env, candidates, threads, &mut sink, telemetry);
+    let mut out = sink.out;
+    out.stats = stats;
+    out
+}
+
+/// [`execute_candidates`] consuming a cross-block [`PipelineSink`]:
+/// identical admission, ordering, and output — prefed outcomes only
+/// replace fresh speculation work, never change what merges.
+pub(crate) fn execute_candidates_pipelined(
+    state: &mut StateDb,
+    env: &BlockEnv,
+    candidates: &[Transaction],
+    limits: &BlockLimits,
+    threads: usize,
+    telemetry: &Telemetry,
+    pipeline: &mut PipelineSink,
+) -> ExecOutcome {
+    let mut sink = BuildSink { out: ExecOutcome::default(), limits };
+    let stats = run_waves_with(state, env, candidates, threads, &mut sink, telemetry, Some(pipeline));
     let mut out = sink.out;
     out.stats = stats;
     out
@@ -978,6 +1156,139 @@ mod tests {
         assert_eq!(built.stats.waves, 0, "single-CPU auto mode must not speculate");
         assert_eq!(built.stats.speculated, 0);
         assert_eq!(built.block.transactions.len(), 4);
+    }
+
+    #[test]
+    fn held_prediction_reuses_every_prespeculated_outcome() {
+        use crate::builder::build_block_pipelined;
+        let keys: Vec<SecretKey> = (0..8).map(SecretKey::from_label).collect();
+        let (parent, state) = genesis_with_counter(&keys, Address::from_low_u64(0xc0de));
+        let candidates: Vec<Transaction> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| transfer(key, 0, Address::from_low_u64(0x9000 + i as u64), 5))
+            .collect();
+        let miner = Address::from_low_u64(0xaa);
+        let limits = BlockLimits::default();
+        let sequential = build_block(&parent, &state, candidates.clone(), miner, 15_000, &limits);
+        // Prespeculate against exactly the state and env the build will
+        // use (a held prediction); no keys are dirty.
+        let env =
+            BlockEnv { number: parent.number + 1, timestamp_ms: 15_000, gas_limit: limits.gas_limit, miner };
+        let mut pipeline = PipelineSink::prespeculate(&state.view(), &env, &candidates, 2);
+        assert_eq!(pipeline.pending(), 8);
+        let built = build_block_pipelined(
+            &parent,
+            &state,
+            &candidates,
+            miner,
+            15_000,
+            &limits,
+            2,
+            &mut pipeline,
+            Telemetry::off(),
+        );
+        assert_eq!(built.block.hash(), sequential.block.hash());
+        assert_eq!(built.receipts, sequential.receipts);
+        assert_eq!(built.post_state.state_root(), sequential.post_state.state_root());
+        assert_eq!(pipeline.reused(), 8, "every outcome carries over: {:?}", built.stats);
+        assert_eq!(pipeline.invalidated(), 0);
+        assert_eq!(built.stats.speculated, 0, "no fresh speculation was needed");
+        assert_eq!(built.stats.fast_commits, 8);
+    }
+
+    #[test]
+    fn mispredicted_state_invalidates_only_the_dirty_candidates() {
+        use crate::builder::build_block_pipelined;
+        let keys: Vec<SecretKey> = (0..8).map(SecretKey::from_label).collect();
+        let (parent, predicted) = genesis_with_counter(&keys, Address::from_low_u64(0xc0de));
+        let candidates: Vec<Transaction> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| transfer(key, 0, Address::from_low_u64(0x9000 + i as u64), 5))
+            .collect();
+        let miner = Address::from_low_u64(0xaa);
+        let limits = BlockLimits::default();
+        let env =
+            BlockEnv { number: parent.number + 1, timestamp_ms: 15_000, gas_limit: limits.gas_limit, miner };
+        let mut pipeline = PipelineSink::prespeculate(&predicted.view(), &env, &candidates, 2);
+        // The prediction missed: sender 0's balance changed under us
+        // (a gossip block landed). Seed the diff; only that sender's
+        // speculation dies.
+        let mut actual = predicted.clone();
+        actual.credit(&keys[0].address(), U256::from(1u64));
+        actual.clear_journal();
+        pipeline.invalidate(actual.view().diff_access_keys(&predicted.view()));
+        let sequential = build_block(&parent, &actual, candidates.clone(), miner, 15_000, &limits);
+        let built = build_block_pipelined(
+            &parent,
+            &actual,
+            &candidates,
+            miner,
+            15_000,
+            &limits,
+            2,
+            &mut pipeline,
+            Telemetry::off(),
+        );
+        assert_eq!(built.block.hash(), sequential.block.hash());
+        assert_eq!(built.post_state.state_root(), sequential.post_state.state_root());
+        assert_eq!(pipeline.invalidated(), 1, "only the dirty sender replans: {:?}", built.stats);
+        assert_eq!(pipeline.reused(), 7);
+    }
+
+    #[test]
+    fn mispredicted_timestamp_invalidates_time_reading_outcomes() {
+        use crate::builder::build_block_pipelined;
+        // A contract that stores TIMESTAMP into slot 0 — its outcome is
+        // wrong whenever the predicted timestamp missed, which only the
+        // env-read tracking can see (the read bypasses storage).
+        let keys: Vec<SecretKey> = (0..2).map(SecretKey::from_label).collect();
+        let clock = Address::from_low_u64(0xc10c);
+        let mut builder = GenesisBuilder::new();
+        for key in &keys {
+            builder = builder.fund(key.address(), U256::from(10_000_000u64));
+        }
+        let genesis = builder.build();
+        let parent = genesis.block.header;
+        let mut state = genesis.state;
+        state.set_code(
+            &clock,
+            ContractCode::Bytecode(Bytes::from(assemble("TIMESTAMP\nPUSH1 0x00\nSSTORE\nSTOP").unwrap())),
+        );
+        state.clear_journal();
+        // One clock call, one plain transfer.
+        let candidates =
+            vec![call_tx(&keys[0], 0, clock), transfer(&keys[1], 0, Address::from_low_u64(0x9000), 5)];
+        let miner = Address::from_low_u64(0xaa);
+        let limits = BlockLimits::default();
+        // Predicted timestamp 15_000; the block actually seals at 16_000.
+        let predicted_env =
+            BlockEnv { number: parent.number + 1, timestamp_ms: 15_000, gas_limit: limits.gas_limit, miner };
+        let mut pipeline = PipelineSink::prespeculate(&state.view(), &predicted_env, &candidates, 2);
+        pipeline.invalidate([AccessKey::Timestamp]);
+        let sequential = build_block(&parent, &state, candidates.clone(), miner, 16_000, &limits);
+        let built = build_block_pipelined(
+            &parent,
+            &state,
+            &candidates,
+            miner,
+            16_000,
+            &limits,
+            2,
+            &mut pipeline,
+            Telemetry::off(),
+        );
+        assert_eq!(built.block.hash(), sequential.block.hash());
+        assert_eq!(built.post_state.state_root(), sequential.post_state.state_root());
+        use sereth_vm::exec::Storage as _;
+        assert_eq!(
+            built.post_state.storage_get(&clock, &H256::ZERO),
+            H256::from_low_u64(16_000),
+            "the sealed timestamp, not the predicted one, must be stored"
+        );
+        assert_eq!(pipeline.invalidated(), 1, "the clock call replans");
+        assert_eq!(pipeline.reused(), 1, "the transfer carries over");
     }
 
     #[test]

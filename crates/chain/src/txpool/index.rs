@@ -10,14 +10,17 @@
 //!
 //! Two indexes are maintained:
 //!
-//! * **ready index** — per-sender nonce chains mirrored from the events,
-//!   a `heads` set ordering every sender's lowest-nonce entry by
-//!   `(gas_price, arrival)`, and an `all` set ordering every entry (the
-//!   eviction path's "globally cheapest" in O(log n)). A fee-priority
-//!   read is then a lazy merge: walk `heads` descending, promote each
-//!   emitted sender's next nonce into a side heap, and always take the
-//!   larger of (next static head, heap top) — `O(k log k)` for `k`
-//!   returned candidates instead of the rescan's `O(k · senders)`.
+//! * **ready index** — per-sender nonce chains mirrored from the events
+//!   and an `all` set ordering every entry by `(gas_price, arrival)` (its
+//!   minimum doubles as the eviction path's "globally cheapest" in
+//!   O(log n)). A fee-priority read is a lazy merge: walk `all`
+//!   descending, keep a per-sender nonce cursor seeded from the caller's
+//!   `base_nonce` on first touch (so stale and gapped entries are skipped
+//!   exactly, not deferred to the next `prune_stale`), promote each
+//!   emitted sender's next nonce into a side heap when the walk has
+//!   already passed it, and always take the larger of (next walk entry,
+//!   heap top) — `O(k log k)` for `k` returned candidates instead of the
+//!   rescan's `O(k · senders)`.
 //! * **market index** — per-contract arrival-ordered `set`/`buy` entries
 //!   with their [`Fpv`] pre-parsed once at insert (exactly what
 //!   `RaaService` does per event), so semantic/PWV miners stop re-decoding
@@ -112,8 +115,6 @@ pub(super) struct CandidateIndex {
     /// Next event sequence number to apply.
     pub cursor: u64,
     senders: HashMap<Address, BTreeMap<u64, IndexedTx>>,
-    /// Every sender's lowest-nonce entry, keyed `(price, !arrival, sender)`.
-    heads: BTreeSet<(u64, u64, Address)>,
     /// Every entry, keyed `(price, !arrival, sender, nonce)`; `first()` is
     /// the eviction victim (cheapest, newest-arrival tie-break).
     all: BTreeSet<(u64, u64, Address, u64)>,
@@ -131,7 +132,6 @@ impl CandidateIndex {
         market: Option<&MarketSpec>,
     ) {
         self.senders.clear();
-        self.heads.clear();
         self.all.clear();
         self.by_hash.clear();
         self.markets.clear();
@@ -162,22 +162,11 @@ impl CandidateIndex {
             self.remove(&stale_hash);
         }
         let chain = self.senders.entry(sender).or_default();
-        let old_head = chain.first_key_value().map(|(n, e)| (*n, e.rank()));
         let indexed = IndexedTx { tx: tx.clone(), arrival_seq };
         let (price, rev) = indexed.rank();
         chain.insert(nonce, indexed);
         self.by_hash.insert(tx.hash(), (sender, nonce));
         self.all.insert((price, rev, sender, nonce));
-        match old_head {
-            None => {
-                self.heads.insert((price, rev, sender));
-            }
-            Some((old_nonce, (old_price, old_rev))) if nonce < old_nonce => {
-                self.heads.remove(&(old_price, old_rev, sender));
-                self.heads.insert((price, rev, sender));
-            }
-            Some(_) => {}
-        }
         if let (Some(spec), Some(to)) = (market, tx.to()) {
             if let Some(entry) = MarketEntry::classify(tx, arrival_seq, spec.set_selector, spec.buy_selector)
             {
@@ -193,14 +182,6 @@ impl CandidateIndex {
                 if let Some(entry) = chain.remove(&nonce) {
                     let (price, rev) = entry.rank();
                     self.all.remove(&(price, rev, sender, nonce));
-                    // `heads` held this key iff the entry was the sender's
-                    // head; on removal the next nonce (if any) takes over.
-                    if self.heads.remove(&(price, rev, sender)) {
-                        if let Some((_, next)) = chain.first_key_value() {
-                            let (next_price, next_rev) = next.rank();
-                            self.heads.insert((next_price, next_rev, sender));
-                        }
-                    }
                 }
                 if chain.is_empty() {
                     self.senders.remove(&sender);
@@ -229,23 +210,34 @@ impl CandidateIndex {
         self.markets.get(contract).map(|entries| entries.values().cloned().collect()).unwrap_or_default()
     }
 
-    /// The fee-priority ready order (see module docs): `Some(candidates)`
-    /// with at most `limit` transactions, or `None` when a sender holds a
-    /// *stale prefix* (pooled nonce below `base_nonce`) — then the walk's
-    /// head keys no longer describe the first selectable entry and the
-    /// caller must fall back to a rescan to keep the order exact.
-    pub fn ready_by_price(
-        &self,
-        base_nonce: &dyn Fn(&Address) -> u64,
-        limit: usize,
-    ) -> Option<Vec<Transaction>> {
+    /// The fee-priority ready order (see module docs): at most `limit`
+    /// transactions, price-descending with arrival tie-break, nonce-exact
+    /// against the caller's `base_nonce` — stale entries (nonce below
+    /// base) and gapped entries (nonce above the sender's next selectable
+    /// nonce) are skipped in place, so the result equals the full rescan's
+    /// for every pool shape and every limit, including pools whose
+    /// `prune_stale` has not yet caught up with the latest import.
+    ///
+    /// Why the walk is exact: it merges two price-descending streams —
+    /// the `all` set walked backwards and a heap of *promoted successors*
+    /// (the next nonce of each emitted sender, pushed only when the walk
+    /// has already passed its key, otherwise the walk itself will reach
+    /// it). At every step each sender's next selectable entry (its cursor
+    /// nonce) is either ahead of the walk or in the heap, so taking the
+    /// larger of (heap top, next walk entry) and skipping cursor
+    /// mismatches always emits the globally best selectable entry — the
+    /// same greedy choice the rescan makes.
+    pub fn ready_by_price(&self, base_nonce: &dyn Fn(&Address) -> u64, limit: usize) -> Vec<Transaction> {
         let mut out = Vec::new();
-        let mut statics = self.heads.iter().rev().peekable();
-        // Promoted nonce-chain successors, keyed like `heads`.
+        let mut walk = self.all.iter().rev().peekable();
+        // Promoted nonce-chain successors, keyed like `all`.
         let mut heap: BinaryHeap<(u64, u64, Address, u64)> = BinaryHeap::new();
+        // Each sender's next selectable nonce, seeded from `base_nonce`
+        // the first time the walk meets the sender.
+        let mut cursors: HashMap<Address, u64> = HashMap::new();
         while out.len() < limit {
-            let from_heap = match (heap.peek(), statics.peek()) {
-                (Some(&(hp, hr, _, _)), Some(&&(sp, sr, _))) => (hp, hr) > (sp, sr),
+            let from_heap = match (heap.peek(), walk.peek()) {
+                (Some(&(hp, hr, _, _)), Some(&&(wp, wr, _, _))) => (hp, hr) > (wp, wr),
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => break,
@@ -254,28 +246,37 @@ impl CandidateIndex {
                 let (_, _, sender, nonce) = heap.pop().expect("peeked above");
                 (sender, nonce)
             } else {
-                let &(_, _, sender) = statics.next().expect("peeked above");
-                let chain = self.senders.get(&sender).expect("head key implies a chain");
-                let (&head_nonce, _) = chain.first_key_value().expect("chains are never empty");
-                let base = base_nonce(&sender);
-                if base > head_nonce {
-                    return None; // stale prefix: exact order needs a rescan
+                let &(_, _, sender, nonce) = walk.next().expect("peeked above");
+                let cursor = *cursors.entry(sender).or_insert_with(|| base_nonce(&sender));
+                if nonce != cursor {
+                    // Below: stale (already mined, or emitted earlier via
+                    // the heap). Above: blocked behind a gap or a cheaper
+                    // predecessor the walk has not reached yet — if that
+                    // predecessor is emitted later, this entry re-enters
+                    // through the successor heap.
+                    continue;
                 }
-                if base < head_nonce {
-                    continue; // nonce gap: sender is held back entirely
-                }
-                (sender, head_nonce)
+                (sender, nonce)
             };
             let chain = self.senders.get(&sender).expect("emitted sender has a chain");
             let entry = chain.get(&nonce).expect("emitted nonce is indexed");
             out.push(entry.tx.clone());
             if let Some(next_nonce) = nonce.checked_add(1) {
+                cursors.insert(sender, next_nonce);
                 if let Some(next) = chain.get(&next_nonce) {
-                    let (price, rev) = next.rank();
-                    heap.push((price, rev, sender, next_nonce));
+                    let key = (next.rank().0, next.rank().1, sender, next_nonce);
+                    // Promote only entries the walk already passed; the
+                    // walk reaches the rest on its own.
+                    let passed = match walk.peek() {
+                        Some(&&ahead) => key > ahead,
+                        None => true,
+                    };
+                    if passed {
+                        heap.push(key);
+                    }
                 }
             }
         }
-        Some(out)
+        out
     }
 }

@@ -740,10 +740,7 @@ impl TxPool {
     /// held back entirely.
     ///
     /// Served from the incremental index in `O(k log k)` for `k` returned
-    /// candidates. When a sender still holds a nonce below its account
-    /// nonce (pool not yet pruned against the caller's state), the read
-    /// falls back to [`TxPool::ready_by_price_rescan`] so the order stays
-    /// exact — counted in [`PoolStats::rescans`].
+    /// candidates — counted in [`PoolStats::index_hits`].
     pub fn ready_by_price(&self, base_nonce: impl Fn(&Address) -> u64) -> Vec<Transaction> {
         self.ready_by_price_limited(base_nonce, usize::MAX)
     }
@@ -754,37 +751,30 @@ impl TxPool {
     ///
     /// # Exactness
     ///
-    /// With `limit == usize::MAX` the result always equals the rescan
-    /// oracle: the walk visits every sender head, so a stale prefix
-    /// (pooled nonce below `base_nonce`) is always detected and diverts
-    /// to the rescan. A *limited* walk stops early by design, so a stale
-    /// prefix hiding beyond the stop line makes the read exact only up
-    /// to that sender — the pruned steady state every node maintains
-    /// ([`TxPool::prune_stale`] runs on every import, and node admission
-    /// rejects below-nonce transactions) never holds such entries. A
-    /// submission racing an import can slip one in, and it survives
-    /// until the next import's prune — during that window a budgeted
-    /// read may order as if the stale-prefixed sender were absent, which
-    /// is safe (the block builder re-validates nonces) but can differ
-    /// from the rescan oracle; single-threaded drivers (sim, benches,
-    /// the property suites) never hit it.
+    /// Equal to the rescan oracle for every pool shape, every
+    /// `base_nonce`, and every `limit`. The indexed walk seeds each
+    /// sender's nonce cursor from `base_nonce` on first touch, so stale
+    /// entries (pooled nonce below the caller's account nonce — a
+    /// submission racing an import before the next [`TxPool::prune_stale`]
+    /// catches it, or a pipelined miner reading against a predicted
+    /// post-state ahead of the pool's pruning) are skipped per-entry
+    /// during the walk itself rather than deferred to the next import's
+    /// prune. There is no fallback path: budgeted reads under churn stay
+    /// index-served and byte-equal to [`TxPool::ready_by_price_rescan`],
+    /// which the `txpool_index_props` suite pins across randomized
+    /// stale/gap/limit grids.
     pub fn ready_by_price_limited(
         &self,
         base_nonce: impl Fn(&Address) -> u64,
         limit: usize,
     ) -> Vec<Transaction> {
-        let ordered = {
+        let out = {
             let mut index = self.index.lock();
             self.refresh_index(&mut index);
             index.ready_by_price(&|sender| base_nonce(sender), limit)
         };
-        match ordered {
-            Some(out) => {
-                self.stats.index_hits.inc();
-                out
-            }
-            None => self.ready_by_price_rescan(base_nonce, limit),
-        }
+        self.stats.index_hits.inc();
+        out
     }
 
     /// The pre-index implementation: a repeated-selection walk over every
@@ -1031,7 +1021,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_prefix_falls_back_to_rescan() {
+    fn stale_prefix_is_served_exactly_by_the_index() {
         let pool = TxPool::new();
         let key = SecretKey::from_label(1);
         pool.insert(tx(&key, 0, 10), 0).unwrap();
@@ -1040,17 +1030,41 @@ mod tests {
         assert_eq!(pool.ready_by_price(|_| 0).len(), 2);
         let before = pool.stats();
         // Account nonce moved past the pooled head without a prune: the
-        // indexed walk cannot serve this exactly and must rescan.
+        // indexed walk skips the stale entry in place — no rescan.
         let ready = pool.ready_by_price(|_| 1);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].nonce(), 1);
         let after = pool.stats();
-        assert_eq!(after.rescans, before.rescans + 1);
-        // After pruning, the indexed path serves it again.
+        assert_eq!(after.rescans, before.rescans);
+        assert_eq!(after.index_hits, before.index_hits + 1);
+        // Pruning leaves the answer unchanged.
         pool.prune_stale(|_| 1);
         let pruned = pool.ready_by_price(|_| 1);
         assert_eq!(pruned.len(), 1);
         assert_eq!(pool.stats().rescans, after.rescans);
+    }
+
+    #[test]
+    fn limited_read_ranks_by_the_effective_entry_not_the_stale_head() {
+        // Sender A's head is a stale cheap nonce-0, but its effective
+        // entry (nonce 1) outprices everyone. A head-ranked walk would
+        // place A below B and emit B under limit 1; the exact walk must
+        // emit A's nonce-1 first, like the rescan.
+        let pool = TxPool::new();
+        let a = SecretKey::from_label(1);
+        let b = SecretKey::from_label(2);
+        pool.insert(tx(&a, 0, 1), 0).unwrap();
+        pool.insert(tx(&a, 1, 100), 1).unwrap();
+        pool.insert(tx(&b, 0, 50), 2).unwrap();
+        let base = |sender: &Address| if *sender == a.address() { 1 } else { 0 };
+        let limited = pool.ready_by_price_limited(base, 1);
+        assert_eq!(limited.len(), 1);
+        assert_eq!(limited[0].sender(), a.address());
+        assert_eq!(limited[0].nonce(), 1);
+        assert_eq!(limited, pool.ready_by_price_rescan(base, 1));
+        let full = pool.ready_by_price(base);
+        assert_eq!(full, pool.ready_by_price_rescan(base, usize::MAX));
+        assert_eq!(full.len(), 2);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * [`client`] — the owner/buyer transaction builders whose view of state
 //!   (committed vs. HMS tail) is exactly what the three experimental
 //!   scenarios vary;
-//! * [`messages`] — the simulation's message vocabulary.
+//! * [`messages`] — the simulation's message vocabulary;
+//! * [`pipeline`] — cross-block pipelined mining: block `N + 1`'s
+//!   candidates speculate against `N`'s predicted post-state while `N`'s
+//!   import holds the node lock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@ pub mod contract;
 pub mod messages;
 pub mod miner;
 pub mod node;
+pub mod pipeline;
 
 pub use client::{classify, transfer, Buyer, Owner, SerethCall, SERETH_TX_GAS};
 pub use contract::{
@@ -33,3 +37,4 @@ pub use node::{
     BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeActor, NodeConfig, NodeHandle, NodeInner,
     TxCommitStatus,
 };
+pub use pipeline::PipelinedMiner;

@@ -201,7 +201,7 @@ pub struct NodeHandle {
     telemetry: Arc<Telemetry>,
     /// Registry cells accumulating the miner's executor stats (`exec.*`)
     /// — absorbed outside the node lock, read without any lock.
-    exec_cells: ExecStatsCells,
+    pub(crate) exec_cells: ExecStatsCells,
     /// The store's `validation.*` cells, shared so replay counters are
     /// readable without the node lock.
     validation_cells: ExecStatsCells,
@@ -212,7 +212,7 @@ pub struct NodeHandle {
 /// The counted node-lock guard: dereferences to [`NodeInner`] and, when
 /// telemetry is enabled, records how long the lock was *held* (not
 /// waited for) into the `node.lock_hold` histogram on drop.
-struct NodeLockGuard<'a> {
+pub(crate) struct NodeLockGuard<'a> {
     guard: MutexGuard<'a, NodeInner>,
     held_since: Option<Instant>,
     hold: &'a Histogram,
@@ -244,7 +244,7 @@ impl NodeHandle {
     /// Acquires the node lock, counting the acquisition. Disabled
     /// telemetry skips the clock entirely — the guard is then exactly a
     /// counted `MutexGuard`.
-    fn lock(&self) -> NodeLockGuard<'_> {
+    pub(crate) fn lock(&self) -> NodeLockGuard<'_> {
         self.locks.fetch_add(1, Ordering::Relaxed);
         let guard = self.inner.lock();
         let held_since = self.lock_hold.is_enabled().then(Instant::now);
@@ -646,8 +646,15 @@ impl NodeHandle {
             role: "build",
             phase_ns: vec![(Phase::OrderCandidates, order_ns)],
         });
+        self.import_mined(built.block)
+    }
+
+    /// The second lock of a mining pass: imports a block this node just
+    /// sealed. Shared by [`NodeHandle::mine`] and the pipelined miner so
+    /// every self-import outcome — including the failure telemetry — is
+    /// handled identically.
+    pub(crate) fn import_mined(&self, block: Block) -> Option<Block> {
         let mut inner = self.lock();
-        let block = built.block.clone();
         match inner.chain.import(block.clone()) {
             Ok(ImportOutcome::ExtendedCanonical) | Ok(ImportOutcome::Reorged { .. }) => {
                 Self::after_import(&mut inner, &block);
@@ -659,7 +666,19 @@ impl NodeHandle {
             // the next attempt (before the pool feed, building happened
             // under the node lock and this race could not exist).
             Ok(ImportOutcome::SideChain) | Ok(ImportOutcome::AlreadyKnown) => Some(block),
-            Err(_) => None,
+            // A block this node sealed failing its own import is a real
+            // fault (a reorg mid-build can orphan the parent; anything
+            // else is a bug) — count it by kind instead of swallowing it.
+            Err(error) => {
+                drop(inner);
+                self.telemetry.counter("node.self_import_failed").inc();
+                let kind = match error {
+                    ImportError::UnknownParent => "node.self_import_failed.unknown_parent",
+                    ImportError::Invalid(_) => "node.self_import_failed.invalid",
+                };
+                self.telemetry.counter(kind).inc();
+                None
+            }
         }
     }
 
@@ -974,6 +993,46 @@ mod tests {
         let owner = SecretKey::from_label(1);
         let node = node(ClientKind::Geth, &owner, false);
         assert!(node.mine(1_000).is_none());
+    }
+
+    #[test]
+    fn self_import_failure_is_counted_not_swallowed() {
+        // Regression: `mine()`'s import tail used to map `Err(_)` to
+        // `None` silently. Force the failure by handing `import_mined` a
+        // block sealed on a *different genesis* (its parent hash is
+        // unknown here) and pin the failure telemetry.
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, true);
+        let foreign_owner = SecretKey::from_label(2);
+        let foreign = NodeHandle::new(
+            GenesisBuilder::new().fund(foreign_owner.address(), U256::from(1_000_000_000u64)).build(),
+            NodeConfig {
+                telemetry: Default::default(),
+                pool: Default::default(),
+                exec_mode: Default::default(),
+                validation_mode: Default::default(),
+                raa_backend: Default::default(),
+                kind: ClientKind::Geth,
+                contract: default_contract_address(),
+                miner: Some(MinerSetup {
+                    candidate_budget: None,
+                    policy: MinerPolicy::Standard,
+                    schedule: BlockSchedule::Fixed(15_000),
+                    coinbase: Address::from_low_u64(0xc01),
+                }),
+                limits: BlockLimits::default(),
+                hms: HmsConfig::default(),
+            },
+        );
+        let alien = foreign.mine(15_000).expect("foreign miner seals");
+        assert!(node.import_mined(alien).is_none());
+        let snapshot = node.telemetry_snapshot();
+        assert_eq!(snapshot.counters.get("node.self_import_failed").copied(), Some(1));
+        assert_eq!(snapshot.counters.get("node.self_import_failed.unknown_parent").copied(), Some(1));
+        assert_eq!(snapshot.counters.get("node.self_import_failed.invalid").copied(), None);
+        // A successful mine is unaffected.
+        assert!(node.mine(15_000).is_some());
+        assert_eq!(node.telemetry_snapshot().counters.get("node.self_import_failed").copied(), Some(1));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Cross-block pipelined mining: the `PipelinedMiner` seals byte-identical
+//! blocks to the serial `mine()` loop under every race the pipeline is
+//! exposed to — gossip blocks preempting the predicted parent, timestamp
+//! jitter invalidating env-reading speculation, repeated misses degrading
+//! to the serial twin — while keeping the two-acquisition node-lock
+//! discipline and actually reusing prespeculated work.
+//!
+//! The equivalence case is a randomized property (scaled by
+//! `PROPTEST_CASES` like the other suites): each case replays the same
+//! submission/gossip/jitter schedule against a serial miner and a
+//! pipelined miner and requires hash-equal blocks every round.
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bytes::Bytes;
+use sereth_chain::builder::BlockLimits;
+use sereth_chain::genesis::{Genesis, GenesisBuilder};
+use sereth_chain::parallel::ExecMode;
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::hms::HmsConfig;
+use sereth_core::mark::genesis_mark;
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    buy_selector, default_contract_address, sereth_code, sereth_genesis_slots, ContractForm,
+};
+use sereth_node::miner::MinerPolicy;
+use sereth_node::node::{BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::pipeline::PipelinedMiner;
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+use sereth_vm::asm::assemble;
+use sereth_vm::exec::ContractCode;
+
+const SENDERS: usize = 6;
+const BLOCK_CAP: usize = 6;
+
+/// Address of a contract that reads the block env: `TIMESTAMP` and
+/// `NUMBER` both land in storage, so a mispredicted env that slipped
+/// through validation would change the sealed state root.
+fn clock_address() -> Address {
+    Address::from_low_u64(0xc10c)
+}
+
+fn sender_key(i: usize) -> SecretKey {
+    SecretKey::from_label(9_100 + i as u64)
+}
+
+fn rival_key() -> SecretKey {
+    SecretKey::from_label(9_099)
+}
+
+fn genesis(owner: &SecretKey) -> Genesis {
+    let clock =
+        assemble("TIMESTAMP\nPUSH1 0x00\nSSTORE\nNUMBER\nPUSH1 0x01\nSSTORE\nSTOP").expect("clock assembles");
+    let mut builder = GenesisBuilder::new()
+        .fund(owner.address(), U256::from(1_000_000_000u64))
+        .fund(rival_key().address(), U256::from(1_000_000_000u64))
+        .contract_with_storage(
+            default_contract_address(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+        )
+        .contract(clock_address(), ContractCode::Bytecode(Bytes::from(clock)));
+    for i in 0..SENDERS {
+        builder = builder.fund(sender_key(i).address(), U256::from(1_000_000_000u64));
+    }
+    builder.build()
+}
+
+fn node(owner: &SecretKey, coinbase: u64, exec_mode: ExecMode) -> NodeHandle {
+    NodeHandle::new(
+        genesis(owner),
+        NodeConfig {
+            telemetry: Default::default(),
+            pool: Default::default(),
+            kind: ClientKind::Geth,
+            contract: default_contract_address(),
+            miner: Some(MinerSetup {
+                policy: MinerPolicy::Standard,
+                schedule: BlockSchedule::Fixed(15_000),
+                coinbase: Address::from_low_u64(coinbase),
+                candidate_budget: None,
+            }),
+            // A small cap keeps a backlog behind every block, so there is
+            // always something for the pipeline to prespeculate.
+            limits: BlockLimits { gas_limit: 8_000_000, max_txs: Some(BLOCK_CAP) },
+            hms: HmsConfig::default(),
+            raa_backend: Default::default(),
+            exec_mode,
+            validation_mode: Default::default(),
+        },
+    )
+}
+
+fn transfer(key: &SecretKey, nonce: u64, to: u64, value: u64) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 1,
+            gas_limit: 21_000,
+            to: Some(Address::from_low_u64(0xa000 + to)),
+            value: U256::from(value),
+            input: Bytes::new(),
+        },
+        key,
+    )
+}
+
+/// A call into the clock contract: stores the block's timestamp and
+/// number, so every clock call both conflicts with every other (slot 0/1)
+/// and depends on the env prediction.
+fn clock_tx(key: &SecretKey, nonce: u64) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 2,
+            gas_limit: 100_000,
+            to: Some(clock_address()),
+            value: U256::ZERO,
+            input: Bytes::new(),
+        },
+        key,
+    )
+}
+
+/// A contending market buy (everything hits the Sereth contract's
+/// mark/value slots; failures seal as no-effect receipts, identically on
+/// both miners).
+fn buy_tx(key: &SecretKey, nonce: u64, value: u64) -> Transaction {
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 3,
+            gas_limit: 200_000,
+            to: Some(default_contract_address()),
+            value: U256::ZERO,
+            input: Fpv::new(Flag::Success, genesis_mark(), H256::from_low_u64(value))
+                .to_calldata(buy_selector()),
+        },
+        key,
+    )
+}
+
+/// Deterministic splitmix64 — the same per-case schedule on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One randomized case: identical submissions and gossip preemptions
+/// against a serial miner and a pipelined miner must seal hash-equal
+/// chains. Returns the pipelined node for telemetry inspection.
+fn run_equivalence_case(seed: u64, rounds: u64) -> NodeHandle {
+    let owner = SecretKey::from_label(1);
+    let serial = node(&owner, 0xc01, ExecMode::Sequential);
+    let pipelined = PipelinedMiner::new(node(&owner, 0xc01, ExecMode::Parallel { threads: 2 }));
+    // The rival miner models the rest of the network: its blocks arrive
+    // by gossip and move the head out from under the prediction. A
+    // distinct coinbase keeps its fee credits (not ours) in the
+    // pre-state diff.
+    let rival = node(&owner, 0xd1f, ExecMode::Sequential);
+
+    let mut rng = Rng(seed);
+    let mut nonces = [0u64; SENDERS];
+    let mut rival_nonce = 0u64;
+    let mut now = 15_000u64;
+    for round in 0..rounds {
+        // A randomized batch, wider than the block cap so a backlog
+        // accumulates for prespeculation.
+        let batch = BLOCK_CAP as u64 + 2 + rng.below(4);
+        for _ in 0..batch {
+            let s = rng.below(SENDERS as u64) as usize;
+            let key = sender_key(s);
+            let tx = match rng.below(3) {
+                0 => clock_tx(&key, nonces[s]),
+                1 => buy_tx(&key, nonces[s], 40 + rng.below(30)),
+                _ => transfer(&key, nonces[s], rng.below(16), 1 + rng.below(9)),
+            };
+            nonces[s] += 1;
+            assert!(serial.receive_tx(tx.clone(), now), "serial rejects at round {round}");
+            assert!(pipelined.node().receive_tx(tx, now), "pipelined rejects at round {round}");
+        }
+
+        // Sometimes a rival block lands first: both miners import it and
+        // the pipelined miner's parked prediction misses its parent.
+        if rng.below(3) == 0 {
+            assert!(rival.receive_tx(transfer(&rival_key(), rival_nonce, 99, 7), now));
+            rival_nonce += 1;
+            let gossip = rival.mine(now + 1).expect("rival seals");
+            assert_eq!(serial.receive_block(gossip.clone()), BlockReceipt::Imported);
+            assert_eq!(pipelined.node().receive_block(gossip), BlockReceipt::Imported);
+        }
+
+        // Jittered production times: the predicted next timestamp
+        // (now + interval) is wrong whenever the jitter changes, which
+        // must invalidate exactly the clock-reading speculation.
+        now += 14_000 + rng.below(3) * 1_000;
+        let ours = serial.mine(now).expect("serial seals");
+        let theirs = pipelined.mine(now).expect("pipelined seals");
+        assert_eq!(
+            theirs.hash(),
+            ours.hash(),
+            "pipelined block diverged at seed {seed} round {round} (serial {} txs, pipelined {} txs)",
+            ours.transactions.len(),
+            theirs.transactions.len()
+        );
+        // Keep the rival on the canonical chain so its next preemption
+        // extends the same head.
+        assert_eq!(rival.receive_block(ours), BlockReceipt::Imported);
+    }
+
+    assert_eq!(pipelined.node().head_number(), serial.head_number(), "seed {seed}");
+    assert_eq!(
+        pipelined.node().with_inner(|inner| inner.chain.head_state().state_root()),
+        serial.with_inner(|inner| inner.chain.head_state().state_root()),
+        "post-state diverged at seed {seed}"
+    );
+    pipelined.node().clone()
+}
+
+#[test]
+fn pipelined_miner_matches_the_serial_twin_under_randomized_races() {
+    let cases = common::cases(12);
+    let mut held = 0u64;
+    let mut replanned = 0u64;
+    let mut reused = 0u64;
+    for case in 0..cases as u64 {
+        let node = run_equivalence_case(0x5e_ed + case * 7_919, 6);
+        let snapshot = node.telemetry_snapshot();
+        held += snapshot.counters.get("pipeline.predictions_held").copied().unwrap_or(0);
+        replanned += snapshot.counters.get("pipeline.predictions_replanned").copied().unwrap_or(0);
+        reused += snapshot.counters.get("pipeline.prefed_reused").copied().unwrap_or(0);
+    }
+    // The suite is vacuous unless both validation verdicts occurred and
+    // prespeculated work was actually consumed.
+    assert!(held > 0, "no prediction ever held across {cases} cases");
+    assert!(replanned > 0, "no gossip preemption ever forced a replan across {cases} cases");
+    assert!(reused > 0, "no prespeculated outcome was ever reused across {cases} cases");
+}
+
+#[test]
+fn repeated_misses_degrade_to_the_serial_twin_and_recover() {
+    let owner = SecretKey::from_label(1);
+    let serial = node(&owner, 0xc01, ExecMode::Sequential);
+    let pipelined = PipelinedMiner::new(node(&owner, 0xc01, ExecMode::Sequential));
+    let rival = node(&owner, 0xd1f, ExecMode::Sequential);
+
+    let mut nonces = [0u64; SENDERS];
+    let mut rival_nonce = 0u64;
+    let mut now = 15_000u64;
+    let mine_round = |preempt: bool, nonces: &mut [u64; SENDERS], rival_nonce: &mut u64, now: &mut u64| {
+        for (s, nonce) in nonces.iter_mut().enumerate() {
+            let tx = transfer(&sender_key(s), *nonce, s as u64, 3);
+            *nonce += 1;
+            assert!(serial.receive_tx(tx.clone(), *now));
+            assert!(pipelined.node().receive_tx(tx, *now));
+        }
+        if preempt {
+            assert!(rival.receive_tx(transfer(&rival_key(), *rival_nonce, 99, 7), *now));
+            *rival_nonce += 1;
+            let gossip = rival.mine(*now + 1).expect("rival seals");
+            assert_eq!(serial.receive_block(gossip.clone()), BlockReceipt::Imported);
+            assert_eq!(pipelined.node().receive_block(gossip), BlockReceipt::Imported);
+        }
+        *now += 15_000;
+        let ours = serial.mine(*now).expect("serial seals");
+        let theirs = pipelined.mine(*now).expect("pipelined seals");
+        assert_eq!(theirs.hash(), ours.hash(), "diverged under degradation");
+        assert_eq!(rival.receive_block(ours), BlockReceipt::Imported);
+    };
+
+    // Relentless preemption: every prediction misses, so the second miss
+    // degrades the miner to the serial twin for its backoff window —
+    // blocks must stay byte-identical throughout.
+    for _ in 0..8 {
+        mine_round(true, &mut nonces, &mut rival_nonce, &mut now);
+    }
+    let snapshot = pipelined.node().telemetry_snapshot();
+    let replanned = snapshot.counters.get("pipeline.predictions_replanned").copied().unwrap_or(0);
+    let abandoned = snapshot.counters.get("pipeline.predictions_abandoned").copied().unwrap_or(0);
+    assert!(replanned >= 2, "misses must replan before degrading: {replanned}");
+    assert!(abandoned >= 1, "two consecutive misses must degrade at least one block: {abandoned}");
+    assert_eq!(snapshot.counters.get("pipeline.predictions_held").copied().unwrap_or(0), 0);
+
+    // Calm gossip: the miner must climb back out of degradation and start
+    // holding predictions again.
+    for _ in 0..4 {
+        mine_round(false, &mut nonces, &mut rival_nonce, &mut now);
+    }
+    let snapshot = pipelined.node().telemetry_snapshot();
+    let held = snapshot.counters.get("pipeline.predictions_held").copied().unwrap_or(0);
+    assert!(held >= 1, "the pipeline must recover once gossip calms: {held}");
+}
+
+#[test]
+fn pipelined_mine_takes_exactly_two_node_lock_acquisitions() {
+    let owner = SecretKey::from_label(1);
+    let pipelined = PipelinedMiner::new(node(&owner, 0xc01, ExecMode::Sequential));
+    for s in 0..SENDERS {
+        assert!(pipelined.node().receive_tx(transfer(&sender_key(s), 0, s as u64, 2), 100));
+    }
+    // Two sealed blocks: the first builds serially (nothing parked yet),
+    // the second consumes the prespeculation. Both must keep `mine()`'s
+    // two-lock discipline — the prespeculation thread may touch only the
+    // pool's own shard locks and its owned state snapshot.
+    for round in 1..=2u64 {
+        for s in 0..SENDERS {
+            assert!(pipelined.node().receive_tx(transfer(&sender_key(s), round, s as u64, 2), 100 + round));
+        }
+        let before = pipelined.node().lock_acquisitions();
+        let block = pipelined.mine(15_000 * round).expect("seals");
+        assert!(!block.transactions.is_empty());
+        assert_eq!(
+            pipelined.node().lock_acquisitions() - before,
+            2,
+            "pipelined mining must lock only to snapshot and to import (round {round})"
+        );
+    }
+}
+
+#[test]
+fn pipelined_miner_survives_concurrent_submission_fire() {
+    const SUBMIT_THREADS: usize = 3;
+    const NONCES_PER_SENDER: u64 = 10;
+    let owner = SecretKey::from_label(1);
+    let miner = PipelinedMiner::new(node(&owner, 0xc01, ExecMode::Parallel { threads: 2 }));
+    let follower = node(&owner, 0xc01, ExecMode::Sequential);
+
+    let submitting = AtomicBool::new(true);
+    let submissions = AtomicU64::new(0);
+    let blocks = std::thread::scope(|scope| {
+        let miner_ref = &miner;
+        let submitting_ref = &submitting;
+        let submissions_ref = &submissions;
+        let mut handles = Vec::new();
+        for t in 0..SUBMIT_THREADS {
+            handles.push(scope.spawn(move || {
+                for nonce in 0..NONCES_PER_SENDER {
+                    for s in 0..SENDERS {
+                        if s % SUBMIT_THREADS != t {
+                            continue;
+                        }
+                        let key = sender_key(s);
+                        let tx = match (s + nonce as usize) % 3 {
+                            0 => clock_tx(&key, nonce),
+                            1 => buy_tx(&key, nonce, 40 + nonce),
+                            _ => transfer(&key, nonce, s as u64, 1 + nonce),
+                        };
+                        assert!(miner_ref.node().receive_tx(tx, nonce), "rejected s={s} nonce={nonce}");
+                        submissions_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+
+        let locks_before = miner.node().lock_acquisitions();
+        let mining = scope.spawn(move || {
+            let mut sealed = Vec::new();
+            let mut timestamp = 15_000u64;
+            let mut idle = 0;
+            while idle < 3 {
+                let block = miner_ref.mine(timestamp).expect("seals");
+                timestamp += 15_000;
+                if block.transactions.is_empty() && !submitting_ref.load(Ordering::Relaxed) {
+                    idle += 1;
+                } else {
+                    idle = 0;
+                }
+                sealed.push(block);
+                std::thread::yield_now();
+            }
+            sealed
+        });
+        for handle in handles {
+            handle.join().expect("submitter");
+        }
+        submitting.store(false, Ordering::Relaxed);
+        let blocks = mining.join().expect("miner thread");
+        // ≤ 2 node-lock acquisitions per sealed block: the total spent in
+        // the window is the miner's 2-per-block budget plus one per
+        // concurrent submission — nothing else may touch the lock.
+        let locks = miner.node().lock_acquisitions() - locks_before;
+        let budget = 2 * blocks.len() as u64 + submissions.load(Ordering::Relaxed);
+        assert!(locks <= budget, "lock budget exceeded: {locks} > {budget}");
+        blocks
+    });
+    assert!(blocks.len() >= 3);
+
+    // Nothing lost or duplicated under fire, and an unmodified follower
+    // replay-validates the whole pipelined chain.
+    let committed: Vec<H256> =
+        blocks.iter().flat_map(|b| b.transactions.iter().map(Transaction::hash)).collect();
+    let unique: HashSet<H256> = committed.iter().copied().collect();
+    assert_eq!(committed.len(), unique.len(), "a transaction committed twice");
+    assert_eq!(unique.len(), SENDERS * NONCES_PER_SENDER as usize, "transactions lost under concurrency");
+    assert_eq!(miner.node().pool_len(), 0, "pool must drain");
+    for block in &blocks {
+        assert_eq!(follower.receive_block(block.clone()), BlockReceipt::Imported);
+    }
+    assert_eq!(follower.head_number(), miner.node().head_number());
+}

@@ -216,19 +216,17 @@ fn assert_indexed_matches_rescan(pool: &TxPool, label: &str) {
         let indexed = pool.ready_by_price(base);
         let rescan = pool.ready_by_price_rescan(base, usize::MAX);
         assert_eq!(hashes(&indexed), hashes(&rescan), "{label}: ready_by_price diverged (base={name})");
-        // The limited read is exactly a prefix of the full order under a
-        // zero floor (stale prefixes are impossible there; for nonzero
-        // floors the exactness contract requires a pruned pool — covered
-        // by `limited_reads_are_exact_on_pruned_pools`).
-        if *name == "zero" {
-            for limit in [0usize, 1, 3, indexed.len() / 2, indexed.len() + 3] {
-                let limited = pool.ready_by_price_limited(base, limit);
-                assert_eq!(
-                    hashes(&limited),
-                    hashes(&indexed[..indexed.len().min(limit)]),
-                    "{label}: limited({limit}) is not a prefix (base={name})"
-                );
-            }
+        // The limited read is exactly a prefix of the full order under
+        // EVERY floor — including floors the pool was never pruned
+        // against (stale prefixes), which the per-entry cursor walk now
+        // serves exactly instead of deferring to the next prune.
+        for limit in [0usize, 1, 3, indexed.len() / 2, indexed.len() + 3] {
+            let limited = pool.ready_by_price_limited(base, limit);
+            assert_eq!(
+                hashes(&limited),
+                hashes(&indexed[..indexed.len().min(limit)]),
+                "{label}: limited({limit}) is not a prefix (base={name})"
+            );
         }
     }
 
@@ -349,9 +347,11 @@ proptest! {
 }
 
 /// Deterministic regression: a stale prefix (account nonce beyond the
-/// pooled head without a prune) must divert through the rescan fallback
-/// and still match the oracle — pinned here so the property suite's
-/// random coverage of this corner is not the only guard.
+/// pooled head without a prune) is served by the *index*, exactly —
+/// limited reads included. Before the cursor walk this case diverted to
+/// the rescan fallback (full reads) or was only documented (limited
+/// reads); pinned here so the property suite's random coverage of this
+/// corner is not the only guard.
 #[test]
 fn stale_prefix_reads_match_oracle_exactly() {
     let pool = TxPool::with_config(PoolConfig { market: Some(market_spec()), ..PoolConfig::default() });
@@ -363,10 +363,16 @@ fn stale_prefix_reads_match_oracle_exactly() {
     // Warm the index, then read with a nonce floor the pool was never
     // pruned against.
     assert_eq!(pool.ready_by_price(|_| 0).len(), 9);
-    let before = pool.stats().rescans;
+    let rescans_before = pool.stats().rescans;
     let indexed = pool.ready_by_price(|_| 2);
     let oracle = pool.ready_by_price_rescan(|_| 2, usize::MAX);
     assert_eq!(hashes(&indexed), hashes(&oracle));
     assert_eq!(indexed.len(), 3);
-    assert!(pool.stats().rescans > before, "stale prefix must be served by the rescan fallback");
+    for limit in 0..4usize {
+        let limited = pool.ready_by_price_limited(|_| 2, limit);
+        assert_eq!(hashes(&limited), hashes(&indexed[..indexed.len().min(limit)]));
+    }
+    // Only the oracle calls above rescanned; every read under test was
+    // index-served.
+    assert_eq!(pool.stats().rescans, rescans_before + 1);
 }
