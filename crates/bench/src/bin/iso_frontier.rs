@@ -1,0 +1,189 @@
+//! ISO-FRONTIER: the isolation-ladder sweep — what each rung costs and
+//! what it buys.
+//!
+//! Runs the Figure 2 `sereth_client` market scenario once per
+//! [`IsolationLevel`] (read-uncommitted → read-committed → sequential),
+//! audits every run through the offline `sereth-consistency` checker, and
+//! reports, per rung: state throughput, buy efficiency η, observe-path
+//! read latency (micro-measured against a node with a pending write in
+//! its pool, so the read-uncommitted rung pays its real speculation
+//! cost), and the anomaly count the audit found. This is the paper's
+//! trade made explicit: read-uncommitted buys throughput by admitting
+//! dirty reads; the stricter rungs give them back.
+//!
+//! Writes `BENCH_iso.json` where `size` is the level ordinal and
+//! `speedup` is `throughput(level) / throughput(sequential)` — the
+//! ladder's performance frontier, tracked by `bench_trend` like every
+//! other artifact.
+//!
+//! Knobs (env): `ISO_BUYS` / `ISO_SETS` (workload size per run; default
+//! 24 / 6), `ISO_SEEDS` (replications per rung; default 3), `ISO_READS`
+//! (observe-latency micro-measure reads; default 2000), `ISO_GATES`
+//! (default 1: assert the audit found **zero** anomalies at sequential
+//! and that counts are monotone non-increasing up the ladder — the CI
+//! smoke gate; set 0 to only report).
+
+use std::time::Instant;
+
+use sereth_bench::{env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::genesis::GenesisBuilder;
+use sereth_core::mark::genesis_mark;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::client::Owner;
+use sereth_node::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
+use sereth_node::node::{NodeConfig, NodeHandle};
+use sereth_sim::audit_run;
+use sereth_sim::scenario::{run_scenario, ScenarioConfig};
+use sereth_types::u256::U256;
+use sereth_types::IsolationLevel;
+
+struct RungResult {
+    level: IsolationLevel,
+    throughput_tps: f64,
+    eta_buys: f64,
+    read_us: f64,
+    anomalies: u64,
+    dirty_reads: u64,
+}
+
+/// Mean state throughput, η, and audited anomaly counts over `seeds`
+/// replications of the market scenario pinned at `level`.
+fn sweep_rung(level: IsolationLevel, buys: u64, sets: u64, seeds: u64) -> RungResult {
+    let mut throughput = 0.0;
+    let mut eta = 0.0;
+    let mut anomalies = 0u64;
+    let mut dirty_reads = 0u64;
+    for seed in 0..seeds.max(1) {
+        let mut config = ScenarioConfig::sereth_client(buys, sets).with_isolation(level);
+        config.drain_ms = 60_000;
+        let output = run_scenario(&config, 40 + seed);
+        let report = audit_run(&output, config.initial_price);
+        anomalies += report.violations.len() as u64;
+        dirty_reads += report.tallies.dirty_reads as u64;
+        throughput += output.metrics.state_throughput_tps();
+        eta += output.metrics.eta_buys();
+    }
+    let n = seeds.max(1) as f64;
+    RungResult {
+        level,
+        throughput_tps: throughput / n,
+        eta_buys: eta / n,
+        read_us: 0.0,
+        anomalies,
+        dirty_reads,
+    }
+}
+
+/// Mean wall-clock latency of one ladder-dispatched `query_observed`
+/// against a Sereth node holding a pending `set` — read-uncommitted
+/// speculates over it, the stricter rungs skip it.
+fn read_latency_us(level: IsolationLevel, reads: usize) -> f64 {
+    let owner = SecretKey::from_label(1);
+    let genesis = GenesisBuilder::new()
+        .fund(owner.address(), U256::from(1_000_000_000u64))
+        .contract_with_storage(
+            default_contract_address(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+        )
+        .build();
+    let node =
+        NodeHandle::new(genesis, NodeConfig::sereth(default_contract_address()).isolation(level).build());
+    let mut client = Owner::new(owner.clone(), default_contract_address(), genesis_mark(), 1);
+    let pending = client.next_set(&node, H256::from_low_u64(75));
+    assert!(node.receive_tx(pending, 100), "the pending write enters the pool");
+
+    let caller = owner.address();
+    std::hint::black_box(node.query_observed(caller)).expect("sereth node answers");
+    let start = Instant::now();
+    for _ in 0..reads {
+        std::hint::black_box(node.query_observed(caller)).expect("sereth node answers");
+    }
+    start.elapsed().as_nanos() as f64 / 1e3 / reads.max(1) as f64
+}
+
+fn main() {
+    let buys = env_or("ISO_BUYS", 24u64);
+    let sets = env_or("ISO_SETS", 6u64);
+    let seeds = env_or("ISO_SEEDS", 3u64);
+    let reads = env_or("ISO_READS", 2_000usize);
+    let enforce = env_or("ISO_GATES", 1u64) != 0;
+
+    println!("Isolation frontier: sereth_client market, {buys} buys / {sets} sets, {seeds} seeds per rung");
+    println!("| level            | state tps | eta(buys) | observe/read | anomalies | dirty reads |");
+    println!("|------------------|-----------|-----------|--------------|-----------|-------------|");
+    let mut results: Vec<RungResult> = Vec::new();
+    for level in IsolationLevel::ALL {
+        let mut result = sweep_rung(level, buys, sets, seeds);
+        result.read_us = read_latency_us(level, reads);
+        println!(
+            "| {:<16} | {:>9.2} | {:>9.3} | {:>9.2} µs | {:>9} | {:>11} |",
+            level.label(),
+            result.throughput_tps,
+            result.eta_buys,
+            result.read_us,
+            result.anomalies,
+            result.dirty_reads,
+        );
+        results.push(result);
+    }
+
+    // Sequential is the ladder's top rung and the frontier's baseline:
+    // `speedup` is how much throughput each weaker rung buys over it.
+    let sequential = results.last().expect("ALL is non-empty");
+    let base_us = 1e6 / sequential.throughput_tps.max(1e-9);
+    let points: Vec<BenchPoint> = results
+        .iter()
+        .map(|rung| {
+            let fast_us = 1e6 / rung.throughput_tps.max(1e-9);
+            BenchPoint {
+                size: rung.level.ordinal() as u64,
+                base_us,
+                fast_us,
+                speedup: rung.throughput_tps / sequential.throughput_tps.max(1e-9),
+            }
+        })
+        .collect();
+
+    let mut config: Vec<(&str, String)> = vec![
+        ("buys", buys.to_string()),
+        ("sets", sets.to_string()),
+        ("seeds", seeds.to_string()),
+        ("reads", reads.to_string()),
+    ];
+    let anomaly_entries: Vec<(String, String)> = results
+        .iter()
+        .flat_map(|rung| {
+            [
+                (format!("anomalies_{}", rung.level.ordinal()), rung.anomalies.to_string()),
+                (format!("throughput_tps_{}", rung.level.ordinal()), format!("{:.3}", rung.throughput_tps)),
+                (format!("read_us_{}", rung.level.ordinal()), format!("{:.3}", rung.read_us)),
+            ]
+        })
+        .collect();
+    config.extend(anomaly_entries.iter().map(|(name, value)| (name.as_str(), value.clone())));
+
+    match write_bench_artifact("iso", "iso_frontier", &config, &points) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_iso.json: {error}"),
+    }
+
+    if enforce {
+        assert_eq!(
+            sequential.anomalies, 0,
+            "the sequential rung admitted anomalies — the pinned-view read path leaked"
+        );
+        for pair in results.windows(2) {
+            assert!(
+                pair[0].anomalies >= pair[1].anomalies,
+                "anomaly counts must not increase up the ladder: {} at {} < {} at {}",
+                pair[0].anomalies,
+                pair[0].level.label(),
+                pair[1].anomalies,
+                pair[1].level.label(),
+            );
+        }
+        println!("gates: sequential clean, counts monotone non-increasing up the ladder");
+    }
+}

@@ -34,12 +34,11 @@ use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::Genesis;
 use sereth_chain::txpool::PoolConfig;
 use sereth_chain::GenesisBuilder;
-use sereth_core::hms::HmsConfig;
 use sereth_crypto::address::Address;
 use sereth_crypto::sig::SecretKey;
 use sereth_node::contract::default_contract_address;
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{BlockSchedule, NodeConfig, NodeHandle};
 use sereth_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
@@ -65,23 +64,14 @@ fn genesis(senders: u64) -> Genesis {
 fn node(senders: u64, enabled: bool) -> NodeHandle {
     NodeHandle::new(
         genesis(senders),
-        NodeConfig {
-            telemetry: TelemetryConfig { enabled },
-            kind: ClientKind::Geth,
-            contract: default_contract_address(),
-            miner: Some(MinerSetup {
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(1_000),
-                coinbase: Address::from_low_u64(0xc01),
-                candidate_budget: Some(256),
-            }),
-            limits: BlockLimits { gas_limit: 30_000_000, max_txs: Some(256) },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            pool: PoolConfig { shards: 8, ..PoolConfig::default() },
-        },
+        NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+            .schedule(BlockSchedule::Fixed(1_000))
+            .coinbase(Address::from_low_u64(0xc01))
+            .candidate_budget(Some(256))
+            .limits(BlockLimits { gas_limit: 30_000_000, max_txs: Some(256) })
+            .pool(PoolConfig { shards: 8, ..PoolConfig::default() })
+            .telemetry(TelemetryConfig { enabled })
+            .build(),
     )
 }
 

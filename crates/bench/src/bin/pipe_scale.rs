@@ -36,12 +36,11 @@ use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::{Genesis, GenesisBuilder};
 use sereth_chain::parallel::ExecMode;
 use sereth_chain::txpool::PoolConfig;
-use sereth_core::hms::HmsConfig;
 use sereth_crypto::address::Address;
 use sereth_crypto::sig::SecretKey;
 use sereth_node::contract::default_contract_address;
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{NodeConfig, NodeHandle};
 use sereth_node::pipeline::PipelinedMiner;
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
@@ -67,28 +66,18 @@ fn genesis(size: u64) -> Genesis {
 fn node(size: u64, blocks: u64, threads: usize) -> NodeHandle {
     NodeHandle::new(
         genesis(size),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: PoolConfig {
+        NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+            .coinbase(Address::from_low_u64(0xfee))
+            .candidate_budget(Some(size as usize))
+            // Exactly one batch of `size` calls per block.
+            .limits(BlockLimits { gas_limit: size * 120_000 + 1_000_000, max_txs: Some(size as usize) })
+            .pool(PoolConfig {
                 capacity: (size * blocks) as usize + 64,
                 event_capacity: 4 * (size * blocks) as usize + 64,
                 ..PoolConfig::default()
-            },
-            kind: ClientKind::Geth,
-            contract: default_contract_address(),
-            miner: Some(MinerSetup {
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xfee),
-                candidate_budget: Some(size as usize),
-            }),
-            // Exactly one batch of `size` calls per block.
-            limits: BlockLimits { gas_limit: size * 120_000 + 1_000_000, max_txs: Some(size as usize) },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode: ExecMode::Parallel { threads },
-            validation_mode: Default::default(),
-        },
+            })
+            .exec_mode(ExecMode::Parallel { threads })
+            .build(),
     )
 }
 

@@ -21,17 +21,15 @@
 use std::time::Instant;
 
 use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
-use sereth_chain::builder::BlockLimits;
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::GenesisBuilder;
-use sereth_core::hms::HmsConfig;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_crypto::sig::SecretKey;
 use sereth_node::contract::{
     default_contract_address, get_selector, mark_selector, sereth_code, sereth_genesis_slots, ContractForm,
 };
-use sereth_node::node::{ClientKind, NodeConfig, NodeHandle};
+use sereth_node::node::{NodeConfig, NodeHandle};
 use sereth_types::u256::U256;
 use sereth_vm::abi;
 
@@ -46,21 +44,7 @@ fn build_node(accounts: usize) -> NodeHandle {
     for i in 0..accounts as u64 {
         genesis_builder = genesis_builder.fund(Address::from_low_u64(0x1_0000_0000 + i), U256::from(1u64));
     }
-    NodeHandle::new(
-        genesis_builder.build(),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            kind: ClientKind::Sereth,
-            contract: default_contract_address(),
-            miner: None,
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-        },
-    )
+    NodeHandle::new(genesis_builder.build(), NodeConfig::sereth(default_contract_address()).build())
 }
 
 /// The pre-COW read path, reconstructed: deep-clone the whole head state,

@@ -20,6 +20,16 @@
 //!   and every no-op buy was genuinely stale. Within an interval, buys may
 //!   interleave arbitrarily; across intervals they may not.
 //!
+//! Both conditions (and the Adya-style anomaly passes added for the
+//! isolation ladder — G0 dirty-write cycles, G1a dirty/aborted reads,
+//! lost updates) are also available behind one unified surface: the
+//! [`Checker`] trait in [`checker`] returns a common [`Report`] whose
+//! every violation is tagged with the weakest [`IsolationLevel`] that
+//! forbids it, so `report.holds_at(level)` answers "does this history
+//! satisfy that rung of the ladder?". The module-level `check` functions
+//! above remain the underlying engines — nothing is deprecated; the
+//! unified checkers delegate to them.
+//!
 //! The checkers work from calldata and receipts alone — they re-derive
 //! what the contract *must* have done and compare against what the chain
 //! *says* happened, so they are an independent oracle: a violation means
@@ -52,10 +62,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checker;
 pub mod record;
 pub mod seqcon;
 pub mod sss;
 
-pub use record::{History, MarketOp, MarketSpec, TxRecord};
+pub use checker::{
+    Anomaly, AnomalyChecker, Checker, FullChecker, LevelVerdict, Report, SeqConChecker, SssChecker, Tallies,
+    Violation,
+};
+pub use record::{History, MarketOp, MarketSpec, ReadRecord, TxRecord};
 pub use seqcon::SeqConViolation;
+pub use sereth_types::IsolationLevel;
 pub use sss::{SssReport, SssViolation};

@@ -75,16 +75,50 @@ pub struct TxRecord {
     pub effective: bool,
 }
 
-/// A committed history: market operations in commit (block) order.
+/// One read-only client observation of the market — a `query_view` /
+/// `committed_amv` answer as logged by a node or the simulator. Reads
+/// never commit, so they live beside the committed [`TxRecord`]s; the
+/// dirty-read (G1a) pass of the unified checker consumes them to decide
+/// whether each observation was of committed or of speculative state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The reading client's address.
+    pub reader: Address,
+    /// Committed head height of the node that served the read, at the
+    /// moment it answered.
+    pub at_height: u64,
+    /// The mark the client observed.
+    pub observed_mark: H256,
+    /// The value the client observed.
+    pub observed_value: H256,
+}
+
+/// A committed history: market operations in commit (block) order, plus
+/// the read-only observations clients made along the way (empty unless
+/// logged — [`History::from_blocks`] sees only what committed).
 #[derive(Debug, Clone, Default)]
 pub struct History {
     records: Vec<TxRecord>,
+    reads: Vec<ReadRecord>,
 }
 
 impl History {
     /// Builds a history from records already in commit order.
     pub fn from_records(records: Vec<TxRecord>) -> Self {
-        Self { records }
+        Self { records, reads: Vec::new() }
+    }
+
+    /// Attaches a read-observation log (builder style). Order within the
+    /// log is irrelevant — each read is judged against the committed
+    /// chain as of its own `at_height`.
+    pub fn with_reads(mut self, reads: Vec<ReadRecord>) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    /// The logged read observations.
+    pub fn reads(&self) -> &[ReadRecord] {
+        &self.reads
     }
 
     /// Extracts the market history from a canonical chain.
@@ -132,7 +166,7 @@ impl History {
                 });
             }
         }
-        Self { records }
+        Self { records, reads: Vec::new() }
     }
 
     /// The records in commit order.

@@ -22,7 +22,7 @@ use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 
 use crate::contract::{buy_selector, set_selector};
-use crate::node::{ClientKind, NodeHandle};
+use crate::node::{ClientKind, IsoObservation, NodeHandle};
 
 /// Gas limit generous enough for any Sereth call.
 pub const SERETH_TX_GAS: u64 = 200_000;
@@ -163,9 +163,19 @@ impl Buyer {
     /// The view of `(mark, price)` this buyer's client provides: committed
     /// state on Geth, the RAA/HMS view on Sereth.
     pub fn observe(&self, node: &NodeHandle) -> (H256, H256) {
+        let observation = self.observe_recorded(node);
+        (observation.mark, observation.value)
+    }
+
+    /// Like [`Buyer::observe`], but returns the full [`IsoObservation`]
+    /// (isolation level served at, committed height of the serving node)
+    /// so callers can log the read for the offline anomaly checker.
+    pub fn observe_recorded(&self, node: &NodeHandle) -> IsoObservation {
         match self.kind {
-            ClientKind::Geth => node.committed_amv(),
-            ClientKind::Sereth => node.query_view(self.key.address()).unwrap_or_else(|| node.committed_amv()),
+            ClientKind::Geth => node.committed_observed(),
+            ClientKind::Sereth => {
+                node.query_observed(self.key.address()).unwrap_or_else(|| node.committed_observed())
+            }
         }
     }
 
@@ -233,10 +243,8 @@ mod tests {
     use super::*;
     use crate::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
     use crate::miner::MinerPolicy;
-    use crate::node::{BlockSchedule, MinerSetup, NodeConfig};
-    use sereth_chain::builder::BlockLimits;
+    use crate::node::NodeConfig;
     use sereth_chain::genesis::GenesisBuilder;
-    use sereth_core::hms::HmsConfig;
     use sereth_core::mark::genesis_mark;
 
     fn make_node(kind: ClientKind, owner_key: &SecretKey, buyer_key: &SecretKey) -> NodeHandle {
@@ -252,23 +260,10 @@ mod tests {
             .build();
         NodeHandle::new(
             genesis,
-            NodeConfig {
-                telemetry: Default::default(),
-                pool: Default::default(),
-                exec_mode: Default::default(),
-                validation_mode: Default::default(),
-                raa_backend: Default::default(),
-                kind,
-                contract,
-                miner: Some(MinerSetup {
-                    candidate_budget: None,
-                    policy: MinerPolicy::Standard,
-                    schedule: BlockSchedule::Fixed(15_000),
-                    coinbase: Address::from_low_u64(0xc01),
-                }),
-                limits: BlockLimits::default(),
-                hms: HmsConfig::default(),
-            },
+            NodeConfig::miner(contract, MinerPolicy::Standard)
+                .kind(kind)
+                .coinbase(Address::from_low_u64(0xc01))
+                .build(),
         )
     }
 

@@ -34,7 +34,7 @@ use sereth_raa::{RaaConfig, RaaDataSource, RaaService, ServiceRaaProvider};
 use sereth_telemetry::{BlockTrace, Histogram, Phase, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use sereth_types::block::Block;
 use sereth_types::transaction::Transaction;
-use sereth_types::SimTime;
+use sereth_types::{IsolationLevel, SimTime};
 use sereth_vm::abi;
 use sereth_vm::raa::RaaRegistry;
 
@@ -78,6 +78,10 @@ impl BlockSchedule {
 }
 
 /// Mining configuration for a node.
+///
+/// `Default` is a standard-ordering miner on a fixed 15 s schedule with
+/// the sim's conventional coinbase — the base the
+/// [`NodeConfigBuilder`]'s mining setters refine.
 #[derive(Debug, Clone)]
 pub struct MinerSetup {
     /// Ordering policy.
@@ -92,6 +96,17 @@ pub struct MinerSetup {
     /// fail execution; `None` (the default everywhere) orders the whole
     /// ready set, exactly as before the indexed pool feed.
     pub candidate_budget: Option<usize>,
+}
+
+impl Default for MinerSetup {
+    fn default() -> Self {
+        Self {
+            policy: MinerPolicy::Standard,
+            schedule: BlockSchedule::Fixed(15_000),
+            coinbase: Address::from_low_u64(0xc0b0),
+            candidate_budget: None,
+        }
+    }
 }
 
 /// Which implementation serves RAA views on a Sereth node.
@@ -117,6 +132,13 @@ impl Default for RaaBackend {
 }
 
 /// Per-node configuration.
+///
+/// Construct through [`NodeConfig::builder`] or the presets
+/// ([`NodeConfig::geth`], [`NodeConfig::sereth`], [`NodeConfig::miner`]):
+/// the builder is the one construction surface, so a new knob (like
+/// [`NodeConfig::isolation`]) never again requires touching every
+/// call site. The fields stay public for inspection and for
+/// `NodeHandle::with_inner_mut`-style rewiring.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
     /// Client kind (decides whether RAA/HMS is compiled in).
@@ -149,6 +171,208 @@ pub struct NodeConfig {
     /// leave running); disabled, every subsystem records nothing and the
     /// registry-backed stats views read zero.
     pub telemetry: TelemetryConfig,
+    /// Which rung of the isolation ladder this node serves read-only
+    /// queries (and miner ordering) at. The default —
+    /// [`IsolationLevel::ReadUncommitted`] — is the paper's mode and
+    /// preserves the historical behavior of every read path exactly:
+    ///
+    /// * `ReadUncommitted`: RAA/HMS queries see the pending pool;
+    /// * `ReadCommitted`: queries answer from the committed head only,
+    ///   and semantic/PWV miner ordering (which reads pending state)
+    ///   degrades to standard ordering;
+    /// * `Sequential`: queries additionally answer from a view pinned at
+    ///   the last import — one serialization point between blocks, no
+    ///   speculative answers.
+    pub isolation: IsolationLevel,
+}
+
+impl Default for NodeConfig {
+    /// A non-mining Geth client on the default contract at
+    /// READ-UNCOMMITTED — the base every preset refines.
+    fn default() -> Self {
+        Self {
+            kind: ClientKind::Geth,
+            contract: crate::contract::default_contract_address(),
+            miner: None,
+            limits: BlockLimits::default(),
+            hms: HmsConfig::default(),
+            raa_backend: RaaBackend::default(),
+            exec_mode: ExecMode::default(),
+            validation_mode: ValidationMode::default(),
+            pool: PoolConfig::default(),
+            telemetry: TelemetryConfig::default(),
+            isolation: IsolationLevel::default(),
+        }
+    }
+}
+
+impl NodeConfig {
+    /// A builder over [`NodeConfig::default`].
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder { config: NodeConfig::default() }
+    }
+
+    /// Preset: a non-mining standard (Geth) client on `contract`.
+    pub fn geth(contract: Address) -> NodeConfigBuilder {
+        Self::builder().kind(ClientKind::Geth).contract(contract)
+    }
+
+    /// Preset: a non-mining Sereth client (RAA/HMS compiled in) on
+    /// `contract`.
+    pub fn sereth(contract: Address) -> NodeConfigBuilder {
+        Self::builder().kind(ClientKind::Sereth).contract(contract)
+    }
+
+    /// Preset: a mining node on `contract` ordering with `policy`. The
+    /// client kind follows the policy — semantic/PWV ordering is the
+    /// modified client's behavior, standard ordering the stock one —
+    /// and can be overridden with [`NodeConfigBuilder::kind`].
+    pub fn miner(contract: Address, policy: MinerPolicy) -> NodeConfigBuilder {
+        let kind = match policy {
+            MinerPolicy::Standard => ClientKind::Geth,
+            _ => ClientKind::Sereth,
+        };
+        Self::builder().kind(kind).contract(contract).mining(policy)
+    }
+}
+
+/// Chainable constructor for [`NodeConfig`] — every construction site
+/// outside this module goes through it (or a preset returning it).
+#[derive(Debug, Clone, Default)]
+pub struct NodeConfigBuilder {
+    config: NodeConfig,
+}
+
+impl NodeConfigBuilder {
+    /// Sets the client kind.
+    pub fn kind(mut self, kind: ClientKind) -> Self {
+        self.config.kind = kind;
+        self
+    }
+
+    /// Sets the managed contract address.
+    pub fn contract(mut self, contract: Address) -> Self {
+        self.config.contract = contract;
+        self
+    }
+
+    /// Sets the isolation level read paths run at.
+    pub fn isolation(mut self, level: IsolationLevel) -> Self {
+        self.config.isolation = level;
+        self
+    }
+
+    /// Installs a fully specified mining setup.
+    pub fn miner_setup(mut self, setup: MinerSetup) -> Self {
+        self.config.miner = Some(setup);
+        self
+    }
+
+    /// Makes this node mine with `policy` (default schedule and
+    /// coinbase; refine with [`NodeConfigBuilder::schedule`],
+    /// [`NodeConfigBuilder::coinbase`],
+    /// [`NodeConfigBuilder::candidate_budget`]).
+    pub fn mining(mut self, policy: MinerPolicy) -> Self {
+        self.miner_mut().policy = policy;
+        self
+    }
+
+    /// Removes any mining setup (presets like [`NodeConfig::miner`]
+    /// install one).
+    pub fn no_miner(mut self) -> Self {
+        self.config.miner = None;
+        self
+    }
+
+    /// Sets the miner's block-production schedule (installing a
+    /// standard-ordering setup if none exists yet).
+    pub fn schedule(mut self, schedule: BlockSchedule) -> Self {
+        self.miner_mut().schedule = schedule;
+        self
+    }
+
+    /// Sets the miner's coinbase (installing a standard-ordering setup
+    /// if none exists yet).
+    pub fn coinbase(mut self, coinbase: Address) -> Self {
+        self.miner_mut().coinbase = coinbase;
+        self
+    }
+
+    /// Caps the per-block candidate-ordering pass (installing a
+    /// standard-ordering setup if none exists yet).
+    pub fn candidate_budget(mut self, budget: Option<usize>) -> Self {
+        self.miner_mut().candidate_budget = budget;
+        self
+    }
+
+    fn miner_mut(&mut self) -> &mut MinerSetup {
+        self.config.miner.get_or_insert_with(MinerSetup::default)
+    }
+
+    /// Sets the block capacity limits.
+    pub fn limits(mut self, limits: BlockLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Sets the block gas limit, keeping the other limits.
+    pub fn gas_limit(mut self, gas_limit: u64) -> Self {
+        self.config.limits.gas_limit = gas_limit;
+        self
+    }
+
+    /// Sets the per-block transaction cap, keeping the other limits.
+    pub fn max_txs(mut self, max_txs: Option<usize>) -> Self {
+        self.config.limits.max_txs = max_txs;
+        self
+    }
+
+    /// Sets the HMS extension parameters.
+    pub fn hms(mut self, hms: HmsConfig) -> Self {
+        self.config.hms = hms;
+        self
+    }
+
+    /// Sets the RAA serving backend (Sereth nodes only).
+    pub fn raa_backend(mut self, backend: RaaBackend) -> Self {
+        self.config.raa_backend = backend;
+        self
+    }
+
+    /// Sets how mined blocks execute their candidates.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.config.exec_mode = mode;
+        self
+    }
+
+    /// Sets how received blocks replay during validation.
+    pub fn validation_mode(mut self, mode: ValidationMode) -> Self {
+        self.config.validation_mode = mode;
+        self
+    }
+
+    /// Sets the transaction-pool configuration.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.config.pool = pool;
+        self
+    }
+
+    /// Sets the telemetry configuration.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Switches telemetry on or off, keeping the rest of its config.
+    pub fn telemetry_enabled(mut self, enabled: bool) -> Self {
+        self.config.telemetry.enabled = enabled;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> NodeConfig {
+        self.config
+    }
 }
 
 /// The lock-protected node state.
@@ -170,6 +394,12 @@ pub struct NodeInner {
     orphans: Vec<Block>,
     /// Gossip dedup for transactions.
     seen_txs: std::collections::HashSet<H256>,
+    /// The SEQUENTIAL rung's serialization point: the head `(height,
+    /// view)` as of the last import. Queries at
+    /// [`IsolationLevel::Sequential`] answer from this pin — never from
+    /// a head that moved mid-conversation — so every read between two
+    /// imports observes one consistent height.
+    pinned_view: (u64, sereth_chain::state::StateView),
 }
 
 /// Outcome of [`NodeHandle::receive_block`].
@@ -184,6 +414,50 @@ pub enum BlockReceipt {
     Orphaned,
     /// Validation failed; dropped.
     Rejected,
+}
+
+/// One read-only market observation, stamped with the serialization
+/// point it was served at. Clients log these; the offline checker in
+/// `sereth-consistency` judges each against the committed chain as of
+/// `height` to count dirty reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsoObservation {
+    /// The read mode that produced the answer (the node's isolation
+    /// level for queries; READ COMMITTED for `committed_observed`).
+    pub level: IsolationLevel,
+    /// Committed head height the answer was served at (the pinned
+    /// height at SEQUENTIAL).
+    pub height: u64,
+    /// Observed mark.
+    pub mark: H256,
+    /// Observed value.
+    pub value: H256,
+}
+
+/// Per-rung read counter names (`iso.reads.*`).
+fn iso_read_counter(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadUncommitted => "iso.reads.read_uncommitted",
+        IsolationLevel::ReadCommitted => "iso.reads.read_committed",
+        IsolationLevel::Sequential => "iso.reads.sequential",
+    }
+}
+
+/// The ordering policy a miner may actually run at `isolation`:
+/// semantic and PWV ordering consult the pending pool's uncommitted
+/// writes, which READ COMMITTED and SEQUENTIAL forbid — there they
+/// degrade to standard (price) ordering, counted on
+/// `iso.policy_degraded` per ordering pass.
+pub(crate) fn effective_policy(
+    policy: &MinerPolicy,
+    isolation: IsolationLevel,
+    telemetry: &Telemetry,
+) -> MinerPolicy {
+    if isolation == IsolationLevel::ReadUncommitted || matches!(policy, MinerPolicy::Standard) {
+        return policy.clone();
+    }
+    telemetry.counter("iso.policy_degraded").inc();
+    MinerPolicy::Standard
 }
 
 /// A shareable handle to one node. Clients attached to the node (the
@@ -313,14 +587,17 @@ impl NodeHandle {
     pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
         let telemetry = Arc::new(Telemetry::new(config.telemetry));
         let pool_config = PoolConfig { market: Some(market_spec()), ..config.pool.clone() };
+        let chain = ChainStore::with_telemetry(genesis, config.validation_mode, telemetry.clone());
+        let pinned_view = (chain.head_number(), chain.head_state_view());
         let inner = NodeInner {
-            chain: ChainStore::with_telemetry(genesis, config.validation_mode, telemetry.clone()),
+            chain,
             pool: Arc::new(TxPool::with_telemetry(pool_config, telemetry.clone())),
             raa: RaaRegistry::new(),
             config,
             raa_service: None,
             orphans: Vec::new(),
             seen_txs: std::collections::HashSet::new(),
+            pinned_view,
         };
         let exec_cells = ExecStatsCells::register(&telemetry, "exec");
         let validation_cells = inner.chain.validation_cells().clone();
@@ -335,7 +612,13 @@ impl NodeHandle {
         };
         {
             let mut inner = handle.inner.lock();
-            if inner.config.kind == ClientKind::Sereth {
+            // The RAA provider exists to serve READ-UNCOMMITTED views;
+            // at the stronger rungs queries never consult it, so neither
+            // the provider nor the pool's event buffering is installed —
+            // a Sereth node at READ COMMITTED pays nothing for RAA.
+            if inner.config.kind == ClientKind::Sereth
+                && inner.config.isolation == IsolationLevel::ReadUncommitted
+            {
                 let source = Arc::new(NodeSource(Arc::downgrade(&handle.inner)));
                 let provider: Arc<dyn sereth_vm::raa::RaaProvider> = match inner.config.raa_backend {
                     RaaBackend::Recompute => {
@@ -374,6 +657,17 @@ impl NodeHandle {
         self.lock().config.kind
     }
 
+    /// The isolation level this node serves read-only queries at.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.lock().config.isolation
+    }
+
+    /// The height the SEQUENTIAL rung is currently pinned to (the head
+    /// as of the last import).
+    pub fn pinned_height(&self) -> u64 {
+        self.lock().pinned_view.0
+    }
+
     /// Canonical head height.
     pub fn head_number(&self) -> u64 {
         self.lock().chain.head_number()
@@ -392,11 +686,21 @@ impl NodeHandle {
     /// The committed `(mark, value)` of the managed contract — what a
     /// standard Geth client sees (READ-COMMITTED).
     pub fn committed_amv(&self) -> (H256, H256) {
-        let (view, contract) = {
+        let observation = self.committed_observed();
+        (observation.mark, observation.value)
+    }
+
+    /// [`NodeHandle::committed_amv`] with its serialization point: the
+    /// committed `(mark, value)` stamped with the head height it was
+    /// read at, in the same single lock acquisition. This is the
+    /// observation clients log for the offline dirty-read audit.
+    pub fn committed_observed(&self) -> IsoObservation {
+        let (height, view, contract) = {
             let inner = self.lock();
-            (inner.chain.head_state_view(), inner.config.contract)
+            (inner.chain.head_number(), inner.chain.head_state_view(), inner.config.contract)
         };
-        committed_amv(&view, &contract)
+        let (mark, value) = committed_amv(&view, &contract);
+        IsoObservation { level: IsolationLevel::ReadCommitted, height, mark, value }
     }
 
     /// Account nonce at the canonical head.
@@ -413,14 +717,18 @@ impl NodeHandle {
     }
 
     /// Issues the two read-only calls `mark(...)` and `get(...)` against
-    /// the contract, with RAA applied when this node is a Sereth client
-    /// (paper Fig. 1). Returns `(mark, value)`.
+    /// the contract, answered at the node's configured
+    /// [`IsolationLevel`]. Returns `(mark, value)`.
     ///
-    /// On a Geth node the calls execute without augmentation and echo the
-    /// zero arguments — callers should use [`NodeHandle::committed_amv`]
-    /// instead, exactly as unmodified clients must.
+    /// At READ UNCOMMITTED (the default, the paper's mode) the calls
+    /// execute with RAA applied when this node is a Sereth client (paper
+    /// Fig. 1); on a Geth node they execute without augmentation and
+    /// echo the zero arguments — callers should use
+    /// [`NodeHandle::committed_amv`] instead, exactly as unmodified
+    /// clients must. At the stronger rungs both kinds answer from
+    /// committed state only — see [`NodeHandle::query_observed`].
     pub fn query_view(&self, caller: Address) -> Option<(H256, H256)> {
-        self.query_view_inner(None, caller)
+        self.query_observed_inner(None, caller).map(|observation| (observation.mark, observation.value))
     }
 
     /// Like [`NodeHandle::query_view`] but against an explicit contract —
@@ -428,41 +736,91 @@ impl NodeHandle {
     /// provided RAA was enabled for that contract's selectors (see
     /// [`NodeHandle::enable_market`]).
     pub fn query_view_for(&self, contract: Address, caller: Address) -> Option<(H256, H256)> {
-        self.query_view_inner(Some(contract), caller)
+        self.query_observed_inner(Some(contract), caller)
+            .map(|observation| (observation.mark, observation.value))
     }
 
-    /// The single-lock read path shared by [`NodeHandle::query_view`] and
-    /// [`NodeHandle::query_view_for`]: ONE lock acquisition captures the
-    /// configured contract (when none was given), an O(1) state view, the
-    /// registry, and the head's block environment. The calls themselves
-    /// execute outside the lock against the frozen view, so read latency
-    /// is independent of both state size and writer activity.
-    fn query_view_inner(&self, contract: Option<Address>, caller: Address) -> Option<(H256, H256)> {
-        let (contract, state, raa, env) = {
+    /// [`NodeHandle::query_view`] with its serialization point: the
+    /// answer stamped with the level that produced it and the height it
+    /// was served at — at [`IsolationLevel::Sequential`] the *pinned*
+    /// height, which moves only on import. This is the observation
+    /// clients log for the offline dirty-read audit.
+    pub fn query_observed(&self, caller: Address) -> Option<IsoObservation> {
+        self.query_observed_inner(None, caller)
+    }
+
+    /// [`NodeHandle::query_observed`] against an explicit contract.
+    pub fn query_observed_for(&self, contract: Address, caller: Address) -> Option<IsoObservation> {
+        self.query_observed_inner(Some(contract), caller)
+    }
+
+    /// The single-lock read path behind every query entry point: ONE
+    /// lock acquisition captures the configured contract (when none was
+    /// given) and whatever the isolation level serves from — head view +
+    /// RAA registry + block env at READ UNCOMMITTED, the bare head view
+    /// at READ COMMITTED, the pinned view at SEQUENTIAL. The answer is
+    /// produced outside the lock against the frozen view, so read
+    /// latency is independent of both state size and writer activity at
+    /// every rung, and each rung counts its reads (`iso.reads.*`).
+    fn query_observed_inner(&self, contract: Option<Address>, caller: Address) -> Option<IsoObservation> {
+        enum ReadMode {
+            Speculative { raa: RaaRegistry, env: BlockEnv },
+            Committed,
+        }
+        let (level, contract, height, state, mode) = {
             let inner = self.lock();
-            let head = inner.chain.head_block().header.clone();
-            (
-                contract.unwrap_or(inner.config.contract),
-                inner.chain.head_state_view(),
-                inner.raa.clone(),
-                BlockEnv {
-                    number: head.number,
-                    timestamp_ms: head.timestamp_ms,
-                    gas_limit: head.gas_limit,
-                    miner: head.miner,
-                },
-            )
+            let level = inner.config.isolation;
+            let contract = contract.unwrap_or(inner.config.contract);
+            match level {
+                IsolationLevel::ReadUncommitted => {
+                    let head = inner.chain.head_block().header.clone();
+                    let env = BlockEnv {
+                        number: head.number,
+                        timestamp_ms: head.timestamp_ms,
+                        gas_limit: head.gas_limit,
+                        miner: head.miner,
+                    };
+                    let mode = ReadMode::Speculative { raa: inner.raa.clone(), env };
+                    (level, contract, head.number, inner.chain.head_state_view(), mode)
+                }
+                IsolationLevel::ReadCommitted => {
+                    let height = inner.chain.head_number();
+                    (level, contract, height, inner.chain.head_state_view(), ReadMode::Committed)
+                }
+                IsolationLevel::Sequential => {
+                    let (height, view) = inner.pinned_view.clone();
+                    (level, contract, height, view, ReadMode::Committed)
+                }
+            }
         };
-        // The lock is released: the provider re-locks the node inside
-        // `augment` without deadlocking.
-        let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
-        let mark_out =
-            call_readonly(&state, caller, contract, abi::encode_call(mark_selector(), &zero), &env, &raa);
-        let mark = abi::decode_word(&mark_out.return_data)?;
-        let get_out =
-            call_readonly(&state, caller, contract, abi::encode_call(get_selector(), &zero), &env, &raa);
-        let value = abi::decode_word(&get_out.return_data)?;
-        Some((mark, value))
+        self.telemetry.counter(iso_read_counter(level)).inc();
+        let (mark, value) = match mode {
+            ReadMode::Speculative { raa, env } => {
+                // The lock is released: the provider re-locks the node
+                // inside `augment` without deadlocking.
+                let zero = [H256::ZERO, H256::ZERO, H256::ZERO];
+                let mark_out = call_readonly(
+                    &state,
+                    caller,
+                    contract,
+                    abi::encode_call(mark_selector(), &zero),
+                    &env,
+                    &raa,
+                );
+                let mark = abi::decode_word(&mark_out.return_data)?;
+                let get_out = call_readonly(
+                    &state,
+                    caller,
+                    contract,
+                    abi::encode_call(get_selector(), &zero),
+                    &env,
+                    &raa,
+                );
+                (mark, abi::decode_word(&get_out.return_data)?)
+            }
+            ReadMode::Committed => committed_amv(&state, &contract),
+        };
+        Some(IsoObservation { level, height, mark, value })
     }
 
     /// Enables RAA on this node for an additional market contract's
@@ -531,6 +889,10 @@ impl NodeHandle {
         pool.remove_committed(block.transactions.iter());
         let head_state = chain.head_state();
         pool.prune_stale(|sender| head_state.nonce_of(sender));
+        // Advance the SEQUENTIAL serialization point: imports are the
+        // only place the pin moves, so between two imports every pinned
+        // query answers at one height.
+        inner.pinned_view = (inner.chain.head_number(), inner.chain.head_state_view());
     }
 
     fn retry_orphans(inner: &mut NodeInner) {
@@ -609,7 +971,7 @@ impl NodeHandle {
     /// unlocked — client submission keeps flowing into the pool shards
     /// while the block is being built.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
-        let (setup, parent, state, pool, contract, limits, exec_mode) = {
+        let (setup, parent, state, pool, contract, limits, exec_mode, isolation) = {
             let inner = self.lock();
             let setup = inner.config.miner.clone()?;
             (
@@ -620,11 +982,13 @@ impl NodeHandle {
                 inner.config.contract,
                 inner.config.limits.clone(),
                 inner.config.exec_mode,
+                inner.config.isolation,
             )
         };
         let budget = setup.candidate_budget.unwrap_or(usize::MAX);
+        let policy = effective_policy(&setup.policy, isolation, &self.telemetry);
         let (candidates, order_ns) = self.telemetry.time_ns(Phase::OrderCandidates, || {
-            order_candidates_limited(&pool, &state.view(), &contract, &setup.policy, budget)
+            order_candidates_limited(&pool, &state.view(), &contract, &policy, budget)
         });
         let timestamp = now.max(parent.timestamp_ms + 1);
         let built = build_block_traced(
@@ -832,26 +1196,15 @@ mod tests {
     }
 
     fn node(kind: ClientKind, owner: &SecretKey, miner: bool) -> NodeHandle {
-        NodeHandle::new(
-            test_genesis(owner),
-            NodeConfig {
-                telemetry: Default::default(),
-                pool: Default::default(),
-                exec_mode: Default::default(),
-                validation_mode: Default::default(),
-                raa_backend: Default::default(),
-                kind,
-                contract: default_contract_address(),
-                miner: miner.then(|| MinerSetup {
-                    candidate_budget: None,
-                    policy: MinerPolicy::Standard,
-                    schedule: BlockSchedule::Fixed(15_000),
-                    coinbase: Address::from_low_u64(0xc01),
-                }),
-                limits: BlockLimits::default(),
-                hms: HmsConfig::default(),
-            },
-        )
+        node_at(kind, owner, miner, IsolationLevel::ReadUncommitted)
+    }
+
+    fn node_at(kind: ClientKind, owner: &SecretKey, miner: bool, level: IsolationLevel) -> NodeHandle {
+        let mut builder = NodeConfig::builder().kind(kind).isolation(level);
+        if miner {
+            builder = builder.mining(MinerPolicy::Standard).coinbase(Address::from_low_u64(0xc01));
+        }
+        NodeHandle::new(test_genesis(owner), builder.build())
     }
 
     fn set_tx(owner: &SecretKey, nonce: u64, prev: H256, value: u64) -> Transaction {
@@ -1006,23 +1359,9 @@ mod tests {
         let foreign_owner = SecretKey::from_label(2);
         let foreign = NodeHandle::new(
             GenesisBuilder::new().fund(foreign_owner.address(), U256::from(1_000_000_000u64)).build(),
-            NodeConfig {
-                telemetry: Default::default(),
-                pool: Default::default(),
-                exec_mode: Default::default(),
-                validation_mode: Default::default(),
-                raa_backend: Default::default(),
-                kind: ClientKind::Geth,
-                contract: default_contract_address(),
-                miner: Some(MinerSetup {
-                    candidate_budget: None,
-                    policy: MinerPolicy::Standard,
-                    schedule: BlockSchedule::Fixed(15_000),
-                    coinbase: Address::from_low_u64(0xc01),
-                }),
-                limits: BlockLimits::default(),
-                hms: HmsConfig::default(),
-            },
+            NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+                .coinbase(Address::from_low_u64(0xc01))
+                .build(),
         );
         let alien = foreign.mine(15_000).expect("foreign miner seals");
         assert!(node.import_mined(alien).is_none());
@@ -1100,23 +1439,10 @@ mod tests {
         let owner = SecretKey::from_label(1);
         let node = NodeHandle::new(
             test_genesis(&owner),
-            NodeConfig {
-                telemetry: sereth_telemetry::TelemetryConfig { enabled: false },
-                pool: Default::default(),
-                exec_mode: Default::default(),
-                validation_mode: Default::default(),
-                raa_backend: Default::default(),
-                kind: ClientKind::Geth,
-                contract: default_contract_address(),
-                miner: Some(MinerSetup {
-                    candidate_budget: None,
-                    policy: MinerPolicy::Standard,
-                    schedule: BlockSchedule::Fixed(15_000),
-                    coinbase: Address::from_low_u64(0xc01),
-                }),
-                limits: BlockLimits::default(),
-                hms: HmsConfig::default(),
-            },
+            NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+                .coinbase(Address::from_low_u64(0xc01))
+                .telemetry_enabled(false)
+                .build(),
         );
         assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
         node.mine(15_000).expect("miner seals");
@@ -1125,6 +1451,123 @@ mod tests {
         assert!(snapshot.histograms.is_empty());
         assert!(snapshot.blocks.is_empty());
         assert_eq!(node.exec_stats(), ExecStats::default(), "stats views read zero when disabled");
+    }
+
+    #[test]
+    fn builder_presets_cover_the_ladder() {
+        let contract = Address::from_low_u64(0xfeed);
+        let geth = NodeConfig::geth(contract).build();
+        assert_eq!(geth.kind, ClientKind::Geth);
+        assert_eq!(geth.contract, contract);
+        assert!(geth.miner.is_none());
+        assert_eq!(geth.isolation, IsolationLevel::ReadUncommitted, "the default is the paper's mode");
+
+        let sereth = NodeConfig::sereth(contract).isolation(IsolationLevel::Sequential).build();
+        assert_eq!(sereth.kind, ClientKind::Sereth);
+        assert_eq!(sereth.isolation, IsolationLevel::Sequential);
+
+        let miner = NodeConfig::miner(contract, MinerPolicy::Semantic(HmsConfig::default()))
+            .coinbase(Address::from_low_u64(0xc0de))
+            .candidate_budget(Some(64))
+            .max_txs(Some(10))
+            .build();
+        assert_eq!(miner.kind, ClientKind::Sereth, "semantic mining implies the modified client");
+        let setup = miner.miner.expect("preset installs a miner");
+        assert!(matches!(setup.policy, MinerPolicy::Semantic(_)));
+        assert_eq!(setup.coinbase, Address::from_low_u64(0xc0de));
+        assert_eq!(setup.candidate_budget, Some(64));
+        assert_eq!(miner.limits.max_txs, Some(10));
+
+        let standard = NodeConfig::miner(contract, MinerPolicy::Standard).build();
+        assert_eq!(standard.kind, ClientKind::Geth);
+    }
+
+    #[test]
+    fn read_committed_queries_never_observe_a_pending_pool_write() {
+        // The ladder's regression guarantee: a Sereth node configured at
+        // READ COMMITTED answers queries from committed state only, even
+        // with a fresher write sitting in its pool.
+        let owner = SecretKey::from_label(1);
+        let node = node_at(ClientKind::Sereth, &owner, false, IsolationLevel::ReadCommitted);
+        assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+        assert_eq!(node.pool_len(), 1, "the write is pending");
+        let (mark, value) = node.query_view(owner.address()).unwrap();
+        assert_eq!(mark, genesis_mark(), "no speculative mark leaks through");
+        assert_eq!(value, H256::from_low_u64(50), "the committed price, not the pending 75");
+        // And the per-level counter attributed the read.
+        let counters = node.telemetry_snapshot().counters;
+        assert_eq!(counters.get("iso.reads.read_committed").copied(), Some(1));
+        assert_eq!(counters.get("iso.reads.read_uncommitted").copied(), None);
+    }
+
+    #[test]
+    fn sequential_queries_pin_to_the_last_import() {
+        use sereth_core::mark::compute_mark;
+        let owner = SecretKey::from_label(1);
+        let node = node_at(ClientKind::Sereth, &owner, true, IsolationLevel::Sequential);
+        assert_eq!(node.pinned_height(), 0);
+        assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+        let observation = node.query_observed(owner.address()).unwrap();
+        assert_eq!(observation.level, IsolationLevel::Sequential);
+        assert_eq!(observation.height, 0, "pinned at genesis until an import moves it");
+        assert_eq!(observation.value, H256::from_low_u64(50));
+
+        node.mine(15_000).expect("miner seals");
+        assert_eq!(node.pinned_height(), 1, "the import advanced the pin");
+        let observation = node.query_observed(owner.address()).unwrap();
+        assert_eq!(observation.height, 1);
+        assert_eq!(observation.mark, compute_mark(&genesis_mark(), &H256::from_low_u64(75)));
+        assert_eq!(observation.value, H256::from_low_u64(75));
+        assert_eq!(
+            node.telemetry_snapshot().counters.get("iso.reads.sequential").copied(),
+            Some(2),
+            "both pinned reads counted"
+        );
+    }
+
+    #[test]
+    fn every_isolation_level_keeps_the_single_lock_read_discipline() {
+        let owner = SecretKey::from_label(1);
+        for level in IsolationLevel::ALL {
+            for kind in [ClientKind::Geth, ClientKind::Sereth] {
+                let node = node_at(kind, &owner, false, level);
+                let before = node.lock_acquisitions();
+                node.query_view(owner.address()).unwrap();
+                assert_eq!(node.lock_acquisitions() - before, 1, "query_view at {level} on {kind:?}");
+                let before = node.lock_acquisitions();
+                node.committed_observed();
+                assert_eq!(node.lock_acquisitions() - before, 1, "committed_observed at {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_ordering_degrades_to_standard_above_read_uncommitted() {
+        let owner = SecretKey::from_label(1);
+        let contract = default_contract_address();
+        for level in [IsolationLevel::ReadCommitted, IsolationLevel::Sequential] {
+            let node = NodeHandle::new(
+                test_genesis(&owner),
+                NodeConfig::miner(contract, MinerPolicy::Semantic(HmsConfig::default()))
+                    .coinbase(Address::from_low_u64(0xc01))
+                    .isolation(level)
+                    .build(),
+            );
+            assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+            node.mine(15_000).expect("miner seals");
+            let counters = node.telemetry_snapshot().counters;
+            assert_eq!(counters.get("iso.policy_degraded").copied(), Some(1), "degraded at {level}");
+        }
+        // At READ UNCOMMITTED the semantic policy runs undegraded.
+        let node = NodeHandle::new(
+            test_genesis(&owner),
+            NodeConfig::miner(contract, MinerPolicy::Semantic(HmsConfig::default()))
+                .coinbase(Address::from_low_u64(0xc01))
+                .build(),
+        );
+        assert!(node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100));
+        node.mine(15_000).expect("miner seals");
+        assert_eq!(node.telemetry_snapshot().counters.get("iso.policy_degraded").copied(), None);
     }
 
     #[test]

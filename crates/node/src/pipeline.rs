@@ -49,8 +49,8 @@ use sereth_types::transaction::Transaction;
 use sereth_types::SimTime;
 use sereth_vm::access::AccessKey;
 
-use crate::miner::order_candidates_limited;
-use crate::node::{BlockSchedule, NodeHandle};
+use crate::miner::{order_candidates_limited, MinerPolicy};
+use crate::node::{effective_policy, BlockSchedule, NodeHandle};
 
 /// Consecutive prediction misses before degrading to the serial twin.
 const DEGRADE_AFTER_MISSES: u32 = 2;
@@ -114,7 +114,7 @@ impl PipelinedMiner {
     /// returns, and seals the byte-identical block.
     pub fn mine(&self, now: SimTime) -> Option<Block> {
         // Lock #1: the same snapshot `mine()` takes.
-        let (setup, parent, state, pool, contract, limits, exec_mode) = {
+        let (setup, parent, state, pool, contract, limits, exec_mode, isolation) = {
             let inner = self.node.lock();
             let setup = inner.config.miner.clone()?;
             (
@@ -125,16 +125,21 @@ impl PipelinedMiner {
                 inner.config.contract,
                 inner.config.limits.clone(),
                 inner.config.exec_mode,
+                inner.config.isolation,
             )
         };
         let telemetry = self.node.telemetry().clone();
         let budget = setup.candidate_budget.unwrap_or(usize::MAX);
+        // Same isolation degradation as the serial twin: the policy is
+        // resolved once per mine call and shared with the
+        // prespeculation pass, so both order identically.
+        let policy = effective_policy(&setup.policy, isolation, &telemetry);
         // Candidates are always ordered fresh against the *actual* head
         // state — ordering is never speculated, so a pool that churned
         // (or a head that moved) during the previous import changes
         // nothing vs. the serial twin.
         let (candidates, order_ns) = telemetry.time_ns(Phase::OrderCandidates, || {
-            order_candidates_limited(&pool, &state.view(), &contract, &setup.policy, budget)
+            order_candidates_limited(&pool, &state.view(), &contract, &policy, budget)
         });
         let timestamp = now.max(parent.timestamp_ms + 1);
         let threads = match exec_mode {
@@ -246,6 +251,7 @@ impl PipelinedMiner {
                         built.post_state,
                         &built.block,
                         &setup,
+                        &policy,
                         &contract,
                         &limits,
                         budget,
@@ -280,6 +286,7 @@ fn prespeculate_next(
     post_state: StateDb,
     sealed: &Block,
     setup: &crate::node::MinerSetup,
+    policy: &MinerPolicy,
     contract: &sereth_crypto::address::Address,
     limits: &sereth_chain::builder::BlockLimits,
     budget: usize,
@@ -291,7 +298,7 @@ fn prespeculate_next(
     // prunes them is racing us); ordering against the post-state nonces
     // skips them exactly — the stale-prefix exactness of
     // `ready_by_price_limited`.
-    let candidates: Vec<Transaction> = order_candidates_limited(pool, &view, contract, &setup.policy, budget);
+    let candidates: Vec<Transaction> = order_candidates_limited(pool, &view, contract, policy, budget);
     let predicted_timestamp = match setup.schedule {
         // The sim drives fixed-schedule miners on exact ticks.
         BlockSchedule::Fixed(interval) => (now + interval).max(sealed.header.timestamp_ms + 1),

@@ -4,11 +4,9 @@
 //! followers, and the executor's counters surface through the handle.
 
 use bytes::Bytes;
-use sereth_chain::builder::BlockLimits;
 use sereth_chain::parallel::ExecMode;
 use sereth_chain::validation::ValidationMode;
 use sereth_core::fpv::{Flag, Fpv};
-use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -17,7 +15,7 @@ use sereth_node::contract::{
     buy_selector, default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
 };
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{BlockReceipt, NodeConfig, NodeHandle};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 
@@ -47,23 +45,11 @@ fn node_with_modes(
 ) -> NodeHandle {
     NodeHandle::new(
         genesis(keys, owner),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            kind: ClientKind::Geth,
-            contract: default_contract_address(),
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc01),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode,
-            validation_mode,
-        },
+        NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+            .coinbase(Address::from_low_u64(0xc01))
+            .exec_mode(exec_mode)
+            .validation_mode(validation_mode)
+            .build(),
     )
 }
 

@@ -20,7 +20,6 @@ use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::{Genesis, GenesisBuilder};
 use sereth_chain::parallel::ExecMode;
 use sereth_core::fpv::{Flag, Fpv};
-use sereth_core::hms::HmsConfig;
 use sereth_core::mark::genesis_mark;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -29,7 +28,7 @@ use sereth_node::contract::{
     buy_selector, default_contract_address, sereth_code, sereth_genesis_slots, ContractForm,
 };
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{BlockReceipt, NodeConfig, NodeHandle};
 use sereth_node::pipeline::PipelinedMiner;
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
@@ -75,25 +74,13 @@ fn genesis(owner: &SecretKey) -> Genesis {
 fn node(owner: &SecretKey, coinbase: u64, exec_mode: ExecMode) -> NodeHandle {
     NodeHandle::new(
         genesis(owner),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            kind: ClientKind::Geth,
-            contract: default_contract_address(),
-            miner: Some(MinerSetup {
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(coinbase),
-                candidate_budget: None,
-            }),
+        NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+            .coinbase(Address::from_low_u64(coinbase))
             // A small cap keeps a backlog behind every block, so there is
             // always something for the pipeline to prespeculate.
-            limits: BlockLimits { gas_limit: 8_000_000, max_txs: Some(BLOCK_CAP) },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode,
-            validation_mode: Default::default(),
-        },
+            .limits(BlockLimits { gas_limit: 8_000_000, max_txs: Some(BLOCK_CAP) })
+            .exec_mode(exec_mode)
+            .build(),
     )
 }
 

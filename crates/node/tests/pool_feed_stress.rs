@@ -17,13 +17,12 @@ use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::Genesis;
 use sereth_chain::txpool::PoolConfig;
 use sereth_chain::GenesisBuilder;
-use sereth_core::hms::HmsConfig;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_crypto::sig::SecretKey;
 use sereth_node::contract::default_contract_address;
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{BlockReceipt, BlockSchedule, NodeConfig, NodeHandle};
 use sereth_types::block::Block;
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
@@ -61,28 +60,19 @@ fn genesis() -> Genesis {
 }
 
 fn node(miner: bool) -> NodeHandle {
-    NodeHandle::new(
-        genesis(),
-        NodeConfig {
-            telemetry: Default::default(),
-            kind: ClientKind::Geth,
-            contract: default_contract_address(),
-            miner: miner.then(|| MinerSetup {
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(1_000),
-                coinbase: Address::from_low_u64(0xc01),
-                // A real block budget: each ordering pass reads O(64)
-                // candidates from the index, never the whole backlog.
-                candidate_budget: Some(64),
-            }),
-            limits: BlockLimits { gas_limit: 8_000_000, max_txs: Some(64) },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            pool: PoolConfig { shards: 16, ..PoolConfig::default() },
-        },
-    )
+    let mut config = NodeConfig::geth(default_contract_address())
+        .limits(BlockLimits { gas_limit: 8_000_000, max_txs: Some(64) })
+        .pool(PoolConfig { shards: 16, ..PoolConfig::default() });
+    if miner {
+        config = config
+            .mining(MinerPolicy::Standard)
+            .schedule(BlockSchedule::Fixed(1_000))
+            .coinbase(Address::from_low_u64(0xc01))
+            // A real block budget: each ordering pass reads O(64)
+            // candidates from the index, never the whole backlog.
+            .candidate_budget(Some(64));
+    }
+    NodeHandle::new(genesis(), config.build())
 }
 
 #[test]

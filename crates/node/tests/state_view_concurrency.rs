@@ -11,10 +11,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::{Genesis, GenesisBuilder};
 use sereth_core::fpv::{Flag, Fpv};
-use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -23,7 +21,7 @@ use sereth_node::contract::{
     default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
 };
 use sereth_node::miner::{committed_amv, MinerPolicy};
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 
@@ -43,23 +41,10 @@ fn test_genesis(owner: &SecretKey) -> Genesis {
 fn sereth_node(owner: &SecretKey) -> NodeHandle {
     NodeHandle::new(
         test_genesis(owner),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            kind: ClientKind::Sereth,
-            contract: default_contract_address(),
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc01),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-        },
+        NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+            .kind(ClientKind::Sereth)
+            .coinbase(Address::from_low_u64(0xc01))
+            .build(),
     )
 }
 

@@ -15,7 +15,6 @@ use sereth_chain::genesis::GenesisBuilder;
 use sereth_chain::parallel::{ExecMode, ExecStats};
 use sereth_chain::validation::ValidationMode;
 use sereth_core::fpv::{Flag, Fpv};
-use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -24,7 +23,7 @@ use sereth_node::contract::{
     buy_selector, default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
 };
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{NodeConfig, NodeHandle};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 
@@ -83,23 +82,12 @@ fn contended_node(
     }
     NodeHandle::new(
         genesis_builder.build(),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            kind: ClientKind::Geth,
-            contract,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b1),
-            }),
-            limits: BlockLimits { gas_limit: 64_000_000, max_txs: None },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode: mode,
-            validation_mode,
-        },
+        NodeConfig::miner(contract, MinerPolicy::Standard)
+            .coinbase(Address::from_low_u64(0xc0b1))
+            .limits(BlockLimits { gas_limit: 64_000_000, max_txs: None })
+            .exec_mode(mode)
+            .validation_mode(validation_mode)
+            .build(),
     )
 }
 

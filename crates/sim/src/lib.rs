@@ -12,6 +12,8 @@
 //! * [`pool_feed`] — many submitters feeding a sharded, incrementally
 //!   indexed TxPool, hash-checked against an unsharded oracle twin;
 //! * [`metrics`] — state throughput and transaction efficiency η (§III-A);
+//! * [`audit`] — post-hoc isolation-ladder auditing of a run's committed
+//!   chain + read log through the unified `sereth-consistency` checker;
 //! * [`experiment`] — seed-replicated parameter sweeps (Figure 2's data);
 //! * [`stats`] — means, 90 % confidence intervals, smoothing;
 //! * [`report`] — tables, CSV, and a terminal Figure 2.
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod contended;
 pub mod experiment;
 pub mod many_markets;
@@ -43,6 +46,7 @@ pub mod scenario;
 pub mod stats;
 pub mod workload;
 
+pub use audit::{audit_run, market_spec, run_history};
 pub use contended::{run_contended_market, ContendedConfig, ContendedReport};
 pub use experiment::{paper_scenarios, run_point, sweep, SweepPoint, PAPER_SET_COUNTS};
 pub use many_markets::{

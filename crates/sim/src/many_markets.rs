@@ -24,7 +24,7 @@ use sereth_crypto::sig::SecretKey;
 use sereth_node::client::Owner;
 use sereth_node::contract::{sereth_code, sereth_genesis_slots, set_selector, ContractForm};
 use sereth_node::miner::{pending_view, MinerPolicy};
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle, RaaBackend};
+use sereth_node::node::{ClientKind, NodeConfig, NodeHandle, RaaBackend};
 use sereth_raa::RaaMetrics;
 use sereth_types::u256::U256;
 
@@ -110,23 +110,12 @@ fn market_fixture(config: &ManyMarketsConfig) -> (Vec<SecretKey>, Vec<Address>, 
     }
     let node = NodeHandle::new(
         genesis_builder.build(),
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            kind: ClientKind::Sereth,
-            contract: contracts[0],
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits { gas_limit: 64_000_000, max_txs: None },
-            hms: HmsConfig::default(),
-            raa_backend: config.backend.clone(),
-        },
+        NodeConfig::miner(contracts[0], MinerPolicy::Standard)
+            .kind(ClientKind::Sereth)
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .limits(BlockLimits { gas_limit: 64_000_000, max_txs: None })
+            .raa_backend(config.backend.clone())
+            .build(),
     );
     for contract in &contracts {
         node.enable_market(*contract);

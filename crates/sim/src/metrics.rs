@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use sereth_consistency::ReadRecord;
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_node::client::SerethCall;
@@ -16,10 +17,14 @@ use sereth_node::node::NodeHandle;
 use sereth_types::SimTime;
 
 /// When and what each submitted transaction was — recorded by the workload
-/// driver, joined against the chain afterwards.
+/// driver, joined against the chain afterwards. Also carries the read
+/// observations the driver's buyers made (which node height served each
+/// `observe`), so the offline checker can judge every read against the
+/// committed chain.
 #[derive(Debug, Clone, Default)]
 pub struct SubmissionLog {
     entries: HashMap<H256, Submission>,
+    reads: Vec<ReadRecord>,
 }
 
 /// One submitted transaction.
@@ -63,6 +68,17 @@ impl SubmissionLog {
     pub fn count(&self, call: SerethCall) -> u64 {
         self.entries.values().filter(|s| s.call == call).count() as u64
     }
+
+    /// Records one read-only observation (a buyer's `observe` before its
+    /// buy) for the offline anomaly checker.
+    pub fn record_read(&mut self, read: ReadRecord) {
+        self.reads.push(read);
+    }
+
+    /// The logged read observations.
+    pub fn reads(&self) -> &[ReadRecord] {
+        &self.reads
+    }
 }
 
 /// Everything measured from one simulation run.
@@ -95,6 +111,11 @@ pub struct RunMetrics {
     /// scenario's node list): phase histograms, counters, and block
     /// traces from the run, lock-free to read.
     pub node_telemetry: Vec<sereth_telemetry::TelemetrySnapshot>,
+    /// Every read-only observation the workload's buyers made (mark,
+    /// value, and the serving node's committed height at answer time) —
+    /// fed to `sereth-consistency`'s dirty-read pass by
+    /// [`crate::audit::audit_run`].
+    pub reads: Vec<ReadRecord>,
 }
 
 impl RunMetrics {
@@ -150,6 +171,7 @@ pub fn collect_metrics(node: &NodeHandle, log: &SubmissionLog) -> RunMetrics {
     let mut metrics = RunMetrics {
         buys_submitted: log.count(SerethCall::Buy),
         sets_submitted: log.count(SerethCall::Set),
+        reads: log.reads().to_vec(),
         ..RunMetrics::default()
     };
 
@@ -212,6 +234,7 @@ mod tests {
             buy_latency_ms: vec![],
             set_latency_ms: vec![],
             node_telemetry: vec![],
+            reads: vec![],
         };
         assert!((metrics.eta_buys() - 0.4).abs() < 1e-12);
         assert!((metrics.eta_sets() - 1.0).abs() < 1e-12);

@@ -17,7 +17,6 @@ use sereth_chain::builder::BlockLimits;
 use sereth_chain::genesis::GenesisBuilder;
 use sereth_chain::txpool::{PoolConfig, PoolStats};
 use sereth_core::fpv::{Flag, Fpv};
-use sereth_core::hms::HmsConfig;
 use sereth_core::mark::{compute_mark, genesis_mark};
 use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
@@ -26,7 +25,7 @@ use sereth_node::contract::{
     buy_selector, default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
 };
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth_node::node::{NodeConfig, NodeHandle};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
 
@@ -100,23 +99,14 @@ fn feed_node(
     }
     NodeHandle::new(
         genesis_builder.build(),
-        NodeConfig {
-            telemetry: Default::default(),
-            kind: ClientKind::Geth,
-            contract,
-            miner: Some(MinerSetup {
-                policy: config.policy.clone(),
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b2),
-                candidate_budget: config.candidate_budget,
-            }),
-            limits: BlockLimits { gas_limit: 64_000_000, max_txs: config.candidate_budget },
-            hms: HmsConfig::default(),
-            raa_backend: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            pool: PoolConfig { shards, ..PoolConfig::default() },
-        },
+        NodeConfig::builder()
+            .contract(contract)
+            .mining(config.policy.clone())
+            .coinbase(Address::from_low_u64(0xc0b2))
+            .candidate_budget(config.candidate_budget)
+            .limits(BlockLimits { gas_limit: 64_000_000, max_txs: config.candidate_budget })
+            .pool(PoolConfig { shards, ..PoolConfig::default() })
+            .build(),
     )
 }
 
@@ -234,6 +224,7 @@ pub fn run_pool_feed(config: &PoolFeedConfig) -> PoolFeedReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sereth_core::hms::HmsConfig;
 
     #[test]
     fn sharded_feed_matches_the_unsharded_oracle() {

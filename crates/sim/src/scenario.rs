@@ -21,9 +21,9 @@ use sereth_node::client::{Buyer, Owner};
 use sereth_node::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
 use sereth_node::messages::Msg;
 use sereth_node::miner::MinerPolicy;
-use sereth_node::node::{BlockSchedule, ClientKind, MinerSetup, NodeActor, NodeConfig, NodeHandle};
+use sereth_node::node::{BlockSchedule, ClientKind, NodeActor, NodeConfig, NodeHandle};
 use sereth_types::u256::U256;
-use sereth_types::SimTime;
+use sereth_types::{IsolationLevel, SimTime};
 
 use crate::metrics::{collect_metrics, RunMetrics, SubmissionLog};
 use crate::workload::{market_plan, sequential_plan, MarketDriver, TimedStep};
@@ -91,6 +91,10 @@ pub struct ScenarioConfig {
     /// Extra simulated time after the last submission for the pool to
     /// drain.
     pub drain_ms: SimTime,
+    /// The isolation rung every node serves reads (and the miner orders)
+    /// at. READ-UNCOMMITTED — the paper's mode — by default; the
+    /// ISO-FRONTIER experiment sweeps the whole ladder.
+    pub isolation: IsolationLevel,
 }
 
 impl ScenarioConfig {
@@ -121,6 +125,7 @@ impl ScenarioConfig {
             topology: TopologyKind::Complete,
             hms: HmsConfig::default(),
             drain_ms: 8 * 15_000,
+            isolation: IsolationLevel::ReadUncommitted,
         }
     }
 
@@ -143,6 +148,13 @@ impl ScenarioConfig {
     /// dependency scheduler in the miner, unmodified clients everywhere.
     pub fn pwv_scheduler(num_buys: u64, num_sets: u64) -> Self {
         Self::base(ScenarioKind::PwvScheduler, num_buys, num_sets)
+    }
+
+    /// Moves every node (and the miner's ordering) to `level` — the
+    /// ISO-FRONTIER sweep's knob.
+    pub fn with_isolation(mut self, level: IsolationLevel) -> Self {
+        self.isolation = level;
+        self
     }
 
     /// The buy:set ratio of this configuration.
@@ -173,6 +185,25 @@ fn snapshot_chain(node: &NodeHandle) -> Vec<(sereth_types::Block, Vec<sereth_typ
     })
 }
 
+/// Node `i`'s configuration under `config`: node 0 mines with the
+/// scenario's policy, every node serves reads at the scenario's
+/// isolation rung.
+fn node_config(config: &ScenarioConfig, i: usize, contract: Address) -> NodeConfig {
+    let mut builder = NodeConfig::builder()
+        .kind(config.node_kinds[i])
+        .contract(contract)
+        .isolation(config.isolation)
+        .limits(BlockLimits { gas_limit: 8_000_000, max_txs: config.max_txs_per_block })
+        .hms(config.hms.clone());
+    if i == 0 {
+        builder = builder
+            .mining(config.miner_policy.clone())
+            .schedule(config.block_schedule.clone())
+            .coinbase(Address::from_low_u64(0xc0b0));
+    }
+    builder.build()
+}
+
 /// Runs one scenario instance; identical `(config, seed)` pairs produce
 /// identical results.
 pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
@@ -198,28 +229,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunOutput {
 
     // Nodes. Node 0 mines.
     let nodes: Vec<NodeHandle> = (0..config.num_nodes)
-        .map(|i| {
-            NodeHandle::new(
-                genesis.clone(),
-                NodeConfig {
-                    telemetry: Default::default(),
-                    pool: Default::default(),
-                    exec_mode: Default::default(),
-                    validation_mode: Default::default(),
-                    raa_backend: Default::default(),
-                    kind: config.node_kinds[i],
-                    contract,
-                    miner: (i == 0).then(|| MinerSetup {
-                        candidate_budget: None,
-                        policy: config.miner_policy.clone(),
-                        schedule: config.block_schedule.clone(),
-                        coinbase: Address::from_low_u64(0xc0b0),
-                    }),
-                    limits: BlockLimits { gas_limit: 8_000_000, max_txs: config.max_txs_per_block },
-                    hms: config.hms.clone(),
-                },
-            )
-        })
+        .map(|i| NodeHandle::new(genesis.clone(), node_config(config, i, contract)))
         .collect();
 
     // Gossip wiring among the nodes.
@@ -263,28 +273,7 @@ pub fn run_sequential_history(config: &ScenarioConfig, pairs: u64, seed: u64) ->
         )
         .build();
     let nodes: Vec<NodeHandle> = (0..config.num_nodes)
-        .map(|i| {
-            NodeHandle::new(
-                genesis.clone(),
-                NodeConfig {
-                    telemetry: Default::default(),
-                    pool: Default::default(),
-                    exec_mode: Default::default(),
-                    validation_mode: Default::default(),
-                    raa_backend: Default::default(),
-                    kind: config.node_kinds[i],
-                    contract,
-                    miner: (i == 0).then(|| MinerSetup {
-                        candidate_budget: None,
-                        policy: config.miner_policy.clone(),
-                        schedule: config.block_schedule.clone(),
-                        coinbase: Address::from_low_u64(0xc0b0),
-                    }),
-                    limits: BlockLimits { gas_limit: 8_000_000, max_txs: config.max_txs_per_block },
-                    hms: config.hms.clone(),
-                },
-            )
-        })
+        .map(|i| NodeHandle::new(genesis.clone(), node_config(config, i, contract)))
         .collect();
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x7090_7090);
     let node_topology = Topology::build(&config.topology, config.num_nodes, &mut topo_rng);
@@ -318,28 +307,7 @@ pub fn run_retry_scenario(config: &ScenarioConfig, seed: u64) -> (RunOutput, cra
         .build();
 
     let nodes: Vec<NodeHandle> = (0..config.num_nodes)
-        .map(|i| {
-            NodeHandle::new(
-                genesis.clone(),
-                NodeConfig {
-                    telemetry: Default::default(),
-                    pool: Default::default(),
-                    exec_mode: Default::default(),
-                    validation_mode: Default::default(),
-                    raa_backend: Default::default(),
-                    kind: config.node_kinds[i],
-                    contract,
-                    miner: (i == 0).then(|| MinerSetup {
-                        candidate_budget: None,
-                        policy: config.miner_policy.clone(),
-                        schedule: config.block_schedule.clone(),
-                        coinbase: Address::from_low_u64(0xc0b0),
-                    }),
-                    limits: BlockLimits { gas_limit: 8_000_000, max_txs: config.max_txs_per_block },
-                    hms: config.hms.clone(),
-                },
-            )
-        })
+        .map(|i| NodeHandle::new(genesis.clone(), node_config(config, i, contract)))
         .collect();
     let mut topo_rng = SmallRng::seed_from_u64(seed ^ 0x7090_7090);
     let node_topology = Topology::build(&config.topology, config.num_nodes, &mut topo_rng);

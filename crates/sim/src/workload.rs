@@ -14,6 +14,8 @@ use sereth_node::messages::Msg;
 use sereth_node::node::NodeHandle;
 use sereth_types::SimTime;
 
+use sereth_consistency::ReadRecord;
+
 use crate::metrics::{Submission, SubmissionLog};
 
 /// One step of the workload.
@@ -142,11 +144,24 @@ impl MarketDriver {
             }
             WorkloadStep::Buy { buyer } => {
                 let node = self.buyer_nodes[buyer].clone();
-                let tx = self.buyers[buyer].next_buy(&node);
-                self.log.lock().record(
+                // Observe and build the buy in two explicit steps so the
+                // observation itself is logged: the offline checker judges
+                // each read against the committed chain at the height that
+                // served it.
+                let observation = self.buyers[buyer].observe_recorded(&node);
+                let tx = self.buyers[buyer].next_buy_at(observation.mark, observation.value);
+                let mut log = self.log.lock();
+                log.record_read(ReadRecord {
+                    reader: tx.sender(),
+                    at_height: observation.height,
+                    observed_mark: observation.mark,
+                    observed_value: observation.value,
+                });
+                log.record(
                     tx.hash(),
                     Submission { call: SerethCall::Buy, submitted_at: ctx.now(), sender: tx.sender() },
                 );
+                drop(log);
                 ctx.send_to(self.buyer_node_ids[buyer], Msg::SubmitTx(tx));
             }
             WorkloadStep::OwnerBuy => {

@@ -1,0 +1,103 @@
+//! The isolation-level ladder (paper §II-C/§IV, made a first-class dial).
+//!
+//! The paper's entire argument is a trade: weaken read isolation (serve
+//! READ-UNCOMMITTED views of the pending pool) and throughput rises,
+//! because clients stop submitting doomed transactions against stale
+//! state. [`IsolationLevel`] turns that trade into a configuration knob a
+//! node enforces and an offline checker (`sereth-consistency`) audits:
+//! each rung *lowers read freshness in exchange for fewer anomalies*.
+//!
+//! Levels are ordered weakest-first, so `a <= b` means "`b` is at least
+//! as strong as `a`". An anomaly *forbidden at* level `L` is forbidden at
+//! every level `>= L`; the checker tags each violation with the weakest
+//! level that forbids it.
+
+/// One rung of the isolation ladder a node can run its read paths at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum IsolationLevel {
+    /// The paper's mode: RAA/HMS read-only queries see the pending pool
+    /// (speculative marks and values that may never commit). Weakest rung
+    /// — dirty reads are *allowed by design*; only dirty-*write* cycles
+    /// among committed transactions are forbidden.
+    #[default]
+    ReadUncommitted,
+    /// Read-only queries and miner ordering see only committed head
+    /// state: no pending-pool speculation, so dirty reads (G1a) are
+    /// additionally forbidden. Reads may still move between two queries
+    /// as blocks land.
+    ReadCommitted,
+    /// Strongest rung: queries are additionally pinned to a single
+    /// serialization point — a view at one height, refreshed only on
+    /// import — so repeated reads between imports are mutually
+    /// consistent. Lost updates and serialization breaks are forbidden
+    /// on top of everything below.
+    Sequential,
+}
+
+impl IsolationLevel {
+    /// Every level, weakest first — the sweep order of the ISO-FRONTIER
+    /// bench and the verdict table.
+    pub const ALL: [IsolationLevel; 3] =
+        [IsolationLevel::ReadUncommitted, IsolationLevel::ReadCommitted, IsolationLevel::Sequential];
+
+    /// Position on the ladder: 0 (weakest) ‥ 2 (strongest). Doubles as
+    /// the `size` key of `BENCH_iso.json` points.
+    pub fn ordinal(self) -> usize {
+        match self {
+            Self::ReadUncommitted => 0,
+            Self::ReadCommitted => 1,
+            Self::Sequential => 2,
+        }
+    }
+
+    /// Stable kebab-case label (telemetry counter suffixes, bench
+    /// artifacts, env parsing).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ReadUncommitted => "read-uncommitted",
+            Self::ReadCommitted => "read-committed",
+            Self::Sequential => "sequential",
+        }
+    }
+
+    /// Parses [`IsolationLevel::label`] output (also accepts the bare
+    /// ordinal), for bench/CLI env knobs.
+    pub fn parse(text: &str) -> Option<IsolationLevel> {
+        match text.trim() {
+            "read-uncommitted" | "ru" | "0" => Some(Self::ReadUncommitted),
+            "read-committed" | "rc" | "1" => Some(Self::ReadCommitted),
+            "sequential" | "seq" | "2" => Some(Self::Sequential),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_weakest_first() {
+        assert!(IsolationLevel::ReadUncommitted < IsolationLevel::ReadCommitted);
+        assert!(IsolationLevel::ReadCommitted < IsolationLevel::Sequential);
+        assert_eq!(IsolationLevel::default(), IsolationLevel::ReadUncommitted);
+        let ordinals: Vec<usize> = IsolationLevel::ALL.iter().map(|l| l.ordinal()).collect();
+        assert_eq!(ordinals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for level in IsolationLevel::ALL {
+            assert_eq!(IsolationLevel::parse(level.label()), Some(level));
+            assert_eq!(IsolationLevel::parse(&level.ordinal().to_string()), Some(level));
+        }
+        assert_eq!(IsolationLevel::parse("ru"), Some(IsolationLevel::ReadUncommitted));
+        assert_eq!(IsolationLevel::parse("serializable"), None);
+    }
+}

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod isolation;
 pub mod receipt;
 pub mod transaction;
 pub mod u256;
 
 pub use block::{Block, BlockHeader};
+pub use isolation::IsolationLevel;
 pub use receipt::{Log, Receipt, TxStatus};
 pub use transaction::{Transaction, TxPayload};
 pub use u256::{ParseU256Error, U256};

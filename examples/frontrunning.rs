@@ -15,11 +15,9 @@
 //! cargo run --example frontrunning
 //! ```
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::fpv::{Flag, Fpv};
-use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::{compute_mark, genesis_mark};
 use sereth::node::client::{Buyer, Owner};
 use sereth::node::contract::{
@@ -47,23 +45,10 @@ fn main() {
         .build();
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract,
-            miner: Some(sereth::node::node::MinerSetup {
-                candidate_budget: None,
-                policy: sereth::node::miner::MinerPolicy::Standard,
-                schedule: sereth::node::node::BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(contract, sereth::node::miner::MinerPolicy::Standard)
+            .kind(ClientKind::Sereth)
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(),
     );
 
     // --- The §V-B history: set(5), buy(5), set(7), set(5), buy(5). ---

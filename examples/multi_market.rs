@@ -11,7 +11,6 @@
 //! cargo run --example multi_market
 //! ```
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::executor::{call_readonly, BlockEnv};
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
@@ -22,7 +21,7 @@ use sereth::node::contract::{
     buy_ok_topic, get_selector, mark_selector, sereth_code, sereth_genesis_slots, ContractForm,
 };
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 use sereth::vm::abi;
 
@@ -87,23 +86,9 @@ fn main() {
 
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract: grain(),
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Semantic(HmsConfig::default()),
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(grain(), MinerPolicy::Semantic(HmsConfig::default()))
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(),
     );
     // One RAA provider serves any number of markets: enable the energy
     // market's view selectors too.

@@ -5,7 +5,6 @@
 //! cargo run --example quickstart
 //! ```
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::chain::parallel::ExecMode;
 use sereth::chain::validation::ValidationMode;
@@ -17,7 +16,7 @@ use sereth::node::contract::{
     buy_ok_topic, default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, ContractForm,
 };
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 
 fn main() {
@@ -40,26 +39,14 @@ fn main() {
     // --- 2. A mining Sereth node (HMS + RAA compiled in). ---
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
+        NodeConfig::miner(contract, MinerPolicy::Semantic(HmsConfig::default()))
+            .coinbase(Address::from_low_u64(0xc0b0))
             // `auto` picks the wave executor on multi-core hosts and the
             // sequential loop on single-CPU ones, for both the build and
             // the replay-validation side; results are identical either way.
-            exec_mode: ExecMode::auto(4),
-            validation_mode: ValidationMode::auto(4),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Semantic(HmsConfig::default()),
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+            .exec_mode(ExecMode::auto(4))
+            .validation_mode(ValidationMode::auto(4))
+            .build(),
     );
 
     // --- 3. The owner reprices twice; the buyer watches through RAA. ---

@@ -6,7 +6,6 @@
 //! cargo run --example semantic_mining
 //! ```
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::hms::HmsConfig;
@@ -17,7 +16,7 @@ use sereth::node::contract::{
     ContractForm,
 };
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 
 /// Builds a node, pools an adversarially-ordered batch of sets and buys,
@@ -40,23 +39,10 @@ fn run_with_policy(policy: MinerPolicy, label: &str) -> (u64, u64) {
 
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(contract, policy)
+            .kind(ClientKind::Sereth)
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(),
     );
 
     // The owner reprices three times; after each set, two buyers grab the

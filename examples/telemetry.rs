@@ -6,7 +6,6 @@
 //! cargo run --example telemetry
 //! ```
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::hms::HmsConfig;
@@ -14,7 +13,7 @@ use sereth::hms::mark::genesis_mark;
 use sereth::node::client::{Buyer, Owner};
 use sereth::node::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 
 fn main() {
@@ -34,23 +33,9 @@ fn main() {
     }
     let node = NodeHandle::new(
         genesis.build(),
-        NodeConfig {
-            telemetry: Default::default(), // enabled: true
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Semantic(HmsConfig::default()),
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(contract, MinerPolicy::Semantic(HmsConfig::default()))
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(), // telemetry stays at its default: enabled
     );
 
     // --- 2. Three blocks of market traffic: reprices racing buys. ---

@@ -8,19 +8,17 @@
 //! survive an extra call hop.
 
 use bytes::Bytes;
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::executor::read_slot;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::fpv::{Flag, Fpv};
-use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::{compute_mark, genesis_mark};
 use sereth::node::contract::{
     default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, set_selector, ContractForm,
     SLOT_N_SET, SLOT_VALUE,
 };
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{NodeConfig, NodeHandle};
 use sereth::types::{Transaction, TxPayload, U256};
 use sereth::vm::asm::assemble;
 use sereth::vm::ContractCode;
@@ -69,23 +67,7 @@ fn make_node(owner: &SecretKey, market_form: ContractForm) -> NodeHandle {
         .build();
     NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Geth,
-            contract: market,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Standard,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(market, MinerPolicy::Standard).coinbase(Address::from_low_u64(0xc0b0)).build(),
     )
 }
 

@@ -4,17 +4,15 @@
 //! "this logic mirrors that of the blockchain, in which branches are
 //! resolved by taking the longest branch").
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
-use sereth::hms::hms::HmsConfig;
 use sereth::net::latency::{FaultModel, LatencyModel};
 use sereth::net::sim::{Actor, NetworkConfig, Simulation};
 use sereth::net::topology::TopologyKind;
 use sereth::node::contract::{default_contract_address, sereth_code, sereth_genesis_slots, ContractForm};
 use sereth::node::messages::Msg;
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeActor, NodeConfig, NodeHandle};
+use sereth::node::node::{BlockSchedule, NodeActor, NodeConfig, NodeHandle};
 use sereth::types::U256;
 
 fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulation<Msg>) {
@@ -34,22 +32,12 @@ fn build_network(miner_intervals: &[Option<u64>]) -> (Vec<NodeHandle>, Simulatio
         .map(|(i, interval)| {
             NodeHandle::new(
                 genesis.clone(),
-                NodeConfig {
-                    telemetry: Default::default(),
-                    pool: Default::default(),
-                    exec_mode: Default::default(),
-                    validation_mode: Default::default(),
-                    raa_backend: Default::default(),
-                    kind: ClientKind::Geth,
-                    contract: default_contract_address(),
-                    miner: interval.map(|ms| MinerSetup {
-                        candidate_budget: None,
-                        policy: MinerPolicy::Standard,
-                        schedule: BlockSchedule::Fixed(ms),
-                        coinbase: Address::from_low_u64(0xc000 + i as u64),
-                    }),
-                    limits: BlockLimits::default(),
-                    hms: HmsConfig::default(),
+                match interval {
+                    Some(ms) => NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+                        .schedule(BlockSchedule::Fixed(*ms))
+                        .coinbase(Address::from_low_u64(0xc000 + i as u64))
+                        .build(),
+                    None => NodeConfig::geth(default_contract_address()).build(),
                 },
             )
         })
@@ -215,22 +203,12 @@ fn split_brain_partition_diverges_then_converges_on_heal() {
         .map(|(i, interval)| {
             NodeHandle::new(
                 genesis.clone(),
-                NodeConfig {
-                    telemetry: Default::default(),
-                    pool: Default::default(),
-                    exec_mode: Default::default(),
-                    validation_mode: Default::default(),
-                    raa_backend: Default::default(),
-                    kind: ClientKind::Geth,
-                    contract: default_contract_address(),
-                    miner: interval.map(|ms| MinerSetup {
-                        candidate_budget: None,
-                        policy: MinerPolicy::Standard,
-                        schedule: BlockSchedule::Fixed(ms),
-                        coinbase: Address::from_low_u64(0xc000 + i as u64),
-                    }),
-                    limits: BlockLimits::default(),
-                    hms: HmsConfig::default(),
+                match interval {
+                    Some(ms) => NodeConfig::miner(default_contract_address(), MinerPolicy::Standard)
+                        .schedule(BlockSchedule::Fixed(*ms))
+                        .coinbase(Address::from_low_u64(0xc000 + i as u64))
+                        .build(),
+                    None => NodeConfig::geth(default_contract_address()).build(),
                 },
             )
         })

@@ -3,18 +3,16 @@
 //! set(5), buy(5), a particular buy(5) can prove that it was sent during
 //! the first or the second interval the price was set to 5."
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::fpv::Fpv;
-use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::{compute_mark, genesis_mark};
 use sereth::node::client::{Buyer, Owner};
 use sereth::node::contract::{
     buy_ok_topic, default_contract_address, sereth_code, sereth_genesis_slots, set_ok_topic, ContractForm,
 };
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 
 struct Fixture {
@@ -41,23 +39,10 @@ fn fixture(policy: MinerPolicy) -> Fixture {
         .build();
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract,
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy,
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(contract, policy)
+            .kind(ClientKind::Sereth)
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(),
     );
     Fixture {
         node,

@@ -6,7 +6,6 @@
 //! "sharding … would need customization to address state throughput of
 //! individual smart contracts as does HMS".)
 
-use sereth::chain::builder::BlockLimits;
 use sereth::chain::genesis::GenesisBuilder;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::hms::HmsConfig;
@@ -14,7 +13,7 @@ use sereth::hms::mark::{compute_mark, genesis_mark};
 use sereth::node::client::{Buyer, Owner};
 use sereth::node::contract::{buy_ok_topic, sereth_code, sereth_genesis_slots, ContractForm};
 use sereth::node::miner::MinerPolicy;
-use sereth::node::node::{BlockSchedule, ClientKind, MinerSetup, NodeConfig, NodeHandle};
+use sereth::node::node::{ClientKind, NodeConfig, NodeHandle};
 use sereth::types::U256;
 use sereth::vm::abi;
 
@@ -49,23 +48,9 @@ fn setup() -> (NodeHandle, Owner, Owner) {
     // enabled additionally below.
     let node = NodeHandle::new(
         genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode: Default::default(),
-            raa_backend: Default::default(),
-            kind: ClientKind::Sereth,
-            contract: market_a(),
-            miner: Some(MinerSetup {
-                candidate_budget: None,
-                policy: MinerPolicy::Semantic(HmsConfig::default()),
-                schedule: BlockSchedule::Fixed(15_000),
-                coinbase: Address::from_low_u64(0xc0b0),
-            }),
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
+        NodeConfig::miner(market_a(), MinerPolicy::Semantic(HmsConfig::default()))
+            .coinbase(Address::from_low_u64(0xc0b0))
+            .build(),
     );
     // Enable RAA for market B too — one provider, many markets.
     node.with_inner_mut(|inner| {

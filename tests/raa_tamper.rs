@@ -10,12 +10,11 @@ use sereth::chain::genesis::GenesisBuilder;
 use sereth::chain::validation::ValidationMode;
 use sereth::crypto::{Address, SecretKey, H256};
 use sereth::hms::fpv::{Flag, Fpv};
-use sereth::hms::hms::HmsConfig;
 use sereth::hms::mark::genesis_mark;
 use sereth::node::contract::{
     default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
 };
-use sereth::node::node::{BlockReceipt, ClientKind, NodeConfig, NodeHandle};
+use sereth::node::node::{BlockReceipt, NodeConfig, NodeHandle};
 use sereth::types::{Block, Transaction, TxPayload, U256};
 
 fn make_node(owner: &SecretKey) -> NodeHandle {
@@ -32,21 +31,7 @@ fn make_node_validating(owner: &SecretKey, validation_mode: ValidationMode) -> N
             sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
         )
         .build();
-    NodeHandle::new(
-        genesis,
-        NodeConfig {
-            telemetry: Default::default(),
-            pool: Default::default(),
-            exec_mode: Default::default(),
-            validation_mode,
-            raa_backend: Default::default(),
-            kind: ClientKind::Geth,
-            contract,
-            miner: None,
-            limits: BlockLimits::default(),
-            hms: HmsConfig::default(),
-        },
-    )
+    NodeHandle::new(genesis, NodeConfig::geth(contract).validation_mode(validation_mode).build())
 }
 
 fn signed_set(owner: &SecretKey, value: u64) -> Transaction {
