@@ -71,7 +71,7 @@ impl std::error::Error for TxApplyError {}
 /// the live state) and the parallel executor's speculative overlay
 /// ([`crate::parallel`]), which journals the same operations over a frozen
 /// [`StateView`] while recording the access set. Both run the *identical*
-/// transaction algorithm ([`apply_tx_inner`]), so the two execution modes
+/// transaction algorithm (`apply_tx_inner`), so the two execution modes
 /// cannot drift semantically.
 pub trait TxState: sereth_vm::exec::Storage {
     /// The account's nonce (0 if absent).

@@ -11,10 +11,10 @@
 //!    footprint ([`AccessKey`] sets) collides with an earlier window-mate
 //!    are serialized up front instead of wasting a speculation.
 //! 2. **Speculate.** Every planned transaction executes on its own
-//!    journaled overlay ([`SpecStorage`]) over one shared, frozen
+//!    journaled overlay (`SpecStorage`) over one shared, frozen
 //!    [`StateView`] of the wave base, concurrently under
 //!    [`std::thread::scope`]. Execution runs the *same* algorithm as the
-//!    sequential path ([`apply_tx_inner`]) and records the exact
+//!    sequential path (`apply_tx_inner`) and records the exact
 //!    read/write [`AccessSet`] it observed — the same footprint
 //!    vocabulary `sereth_vm::access` exposes (and that
 //!    [`sereth_vm::trace::trace_access`] derives from the tracing
@@ -30,7 +30,7 @@
 //!
 //! Miner fees are the one deliberate departure from literal replay: every
 //! transaction credits the miner, which would serialize everything on one
-//! balance. [`apply_tx_inner`] defers the fee, the merge applies it in
+//! balance. `apply_tx_inner` defers the fee, the merge applies it in
 //! canonical order (credits commute into an identical sum), and the
 //! miner's balance key is marked dirty so any transaction that genuinely
 //! *reads* it falls back.
@@ -40,8 +40,8 @@
 //! windows run sequentially, with exponentially backed-off probe waves to
 //! detect when parallelism starts paying again.
 //!
-//! The wave loop itself is policy-free: [`run_waves`] drives planning,
-//! speculation, and in-order merging against a [`WaveSink`] that decides
+//! The wave loop itself is policy-free: `run_waves` drives planning,
+//! speculation, and in-order merging against a `WaveSink` that decides
 //! what *inclusion* means. The block builder's sink admits against block
 //! limits and counts skips; replay validation's sink
 //! ([`crate::validation`]) admits everything and aborts on the first

@@ -406,7 +406,7 @@ impl StateDb {
         self.journal.clear();
     }
 
-    /// The [`AccessKey`](sereth_vm::access::AccessKey)s of every mutation
+    /// The [`AccessKey`]s of every mutation
     /// journaled at or after `checkpoint` — the exact write set of
     /// whatever executed since. The parallel executor's merge loop uses
     /// this to keep validating speculations after a sequential fallback

@@ -21,7 +21,7 @@
 //!   internally). This is the only cross-shard serialization point of
 //!   the write path, and its hold is a counter bump plus one push.
 //! * **candidate index** — fee-priority ready chains and per-contract
-//!   pre-parsed market entries (see [`index`]), maintained by draining
+//!   pre-parsed market entries (see the `index` module), maintained by draining
 //!   the event stream lazily under its own lock. Ordering reads are
 //!   `O(k)` in the number of returned candidates instead of `O(pool)`
 //!   rescans; a cursor that falls out of the bounded event buffer

@@ -11,7 +11,7 @@
 //! Because *every* peer replays *every* block, validation — not block
 //! building — dominates network-wide compute. [`ValidationMode::Parallel`]
 //! replays the block's fixed transaction order on the same conflict-aware
-//! wave executor the builder uses ([`crate::parallel::run_waves`]):
+//! wave executor the builder uses (`crate::parallel::run_waves`):
 //! speculate over a frozen COW [`StateView`](crate::state::StateView),
 //! merge in canonical order with dirty-key validation, fall back to
 //! sequential re-execution on mis-speculation. The two modes are

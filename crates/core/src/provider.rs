@@ -4,7 +4,7 @@
 //! When a Sereth client issues a read-only `get`/`mark` call, the
 //! interpreter hands the call to this provider, which snapshots the node's
 //! TxPool and committed contract state through [`HmsDataSource`], runs
-//! [`hash_mark_set`], and writes the resulting view into the call's
+//! [`crate::hms::hash_mark_set`], and writes the resulting view into the call's
 //! argument words. The contract then merely returns its (augmented)
 //! arguments — exactly Listing 1's `pure` functions.
 

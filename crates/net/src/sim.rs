@@ -53,28 +53,23 @@ impl<'a, M: Clone> Context<'a, M> {
         self.rng
     }
 
-    /// Sends `msg` to `to` over the network: latency is sampled, and the
-    /// fault model may drop, duplicate, or partition it away.
+    /// Sends `msg` to `to` over the network: latency is sampled (plus any
+    /// straggler penalty on the link), and the fault model may drop,
+    /// duplicate, or partition it away.
     pub fn send_to(&mut self, to: ActorId, msg: M) {
-        if self.faults.severs(self.now, self.self_id, to) {
-            return;
-        }
-        if self.faults.should_drop(self.rng) {
-            return;
-        }
-        let delay = self.latency.sample(self.rng);
-        self.outbox.push((self.now + delay, to, msg.clone()));
-        if self.faults.should_duplicate(self.rng) {
-            let delay = self.latency.sample(self.rng);
-            self.outbox.push((self.now + delay, to, msg));
-        }
+        send_one(self.now, self.self_id, to, self.latency, self.faults, self.rng, &mut self.outbox, msg);
     }
 
     /// Broadcasts `msg` to every neighbor (flood gossip's one hop).
+    ///
+    /// Equivalent to calling [`Context::send_to`] once per neighbor in
+    /// neighbor order — same RNG draws, same outbox order, so delivery is
+    /// deterministic — but iterating the topology's slice directly
+    /// instead of cloning the neighbor list into a fresh `Vec` per call.
     pub fn broadcast(&mut self, msg: M) {
-        let neighbors: Vec<ActorId> = self.neighbors().to_vec();
-        for peer in neighbors {
-            self.send_to(peer, msg.clone());
+        let Self { now, self_id, topology, latency, faults, rng, outbox } = self;
+        for &peer in topology.neighbors_of(*self_id) {
+            send_one(*now, *self_id, peer, latency, faults, rng, outbox, msg.clone());
         }
     }
 
@@ -82,6 +77,37 @@ impl<'a, M: Clone> Context<'a, M> {
     /// milliseconds — a reliable local timer (no loss, no jitter).
     pub fn wake_self(&mut self, delay: SimTime, msg: M) {
         self.outbox.push((self.now + delay, self.self_id, msg));
+    }
+}
+
+/// One network send: the shared core of [`Context::send_to`] and
+/// [`Context::broadcast`], free-standing so `broadcast` can borrow the
+/// topology's neighbor slice while mutating the RNG and outbox.
+#[allow(clippy::too_many_arguments)]
+fn send_one<M: Clone>(
+    now: SimTime,
+    from: ActorId,
+    to: ActorId,
+    latency: &LatencyModel,
+    faults: &FaultModel,
+    rng: &mut SmallRng,
+    outbox: &mut Vec<(SimTime, ActorId, M)>,
+    msg: M,
+) {
+    if faults.severs(now, from, to) {
+        return;
+    }
+    if faults.should_drop(rng) {
+        return;
+    }
+    let extra = faults.extra_delay(from, to);
+    let delay = latency.sample(rng) + extra;
+    if faults.should_duplicate(rng) {
+        outbox.push((now + delay, to, msg.clone()));
+        let delay = latency.sample(rng) + extra;
+        outbox.push((now + delay, to, msg));
+    } else {
+        outbox.push((now + delay, to, msg));
     }
 }
 
@@ -430,6 +456,102 @@ mod tests {
         // only cross-cut traffic.
         let times = deliveries.lock().unwrap().clone();
         assert_eq!(times, vec![101, 201, 701, 801, 901, 1001]);
+    }
+
+    #[test]
+    fn broadcast_matches_per_neighbor_sends_and_is_deterministic() {
+        // `broadcast` must be observationally identical to the hand-rolled
+        // per-neighbor `send_to` loop it replaced (which cloned the
+        // neighbor list per call): same RNG draws, same outbox order, so
+        // two sims — one broadcasting, one looping — produce the same
+        // delivery history under jittery latency, duplication, and loss.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mode {
+            Broadcast,
+            Loop,
+        }
+        struct Flooder {
+            mode: Mode,
+            log: std::sync::Arc<std::sync::Mutex<Vec<(SimTime, ActorId, u32)>>>,
+        }
+        impl Actor<TestMsg> for Flooder {
+            fn on_message(&mut self, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                let TestMsg::Ping(n) = msg else { return };
+                self.log.lock().unwrap().push((ctx.now(), ctx.self_id(), n));
+                if n >= 3 {
+                    return;
+                }
+                match self.mode {
+                    Mode::Broadcast => ctx.broadcast(TestMsg::Ping(n + 1)),
+                    Mode::Loop => {
+                        let neighbors: Vec<ActorId> = ctx.neighbors().to_vec();
+                        for peer in neighbors {
+                            ctx.send_to(peer, TestMsg::Ping(n + 1));
+                        }
+                    }
+                }
+            }
+        }
+        let run = |mode: Mode| {
+            let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let actors: Vec<Box<dyn Actor<TestMsg>>> = (0..5)
+                .map(|_| Box::new(Flooder { mode, log: log.clone() }) as Box<dyn Actor<TestMsg>>)
+                .collect();
+            let config = NetworkConfig {
+                topology: TopologyKind::Ring,
+                latency: LatencyModel::Uniform { min: 5, max: 500 },
+                faults: FaultModel {
+                    drop_probability: 0.1,
+                    duplicate_probability: 0.2,
+                    ..FaultModel::none()
+                },
+            };
+            let mut sim = Simulation::new(actors, &config, 99);
+            sim.schedule(0, 0, TestMsg::Ping(0));
+            sim.run_until(100_000);
+            let history = log.lock().unwrap().clone();
+            (history, sim.events_processed())
+        };
+        let (broadcast_history, broadcast_events) = run(Mode::Broadcast);
+        let (loop_history, loop_events) = run(Mode::Loop);
+        assert!(broadcast_events > 1, "the flood must actually fan out");
+        assert_eq!(broadcast_events, loop_events);
+        assert_eq!(broadcast_history, loop_history, "delivery order must be identical");
+        // And the whole thing is a pure function of the seed.
+        let (again, _) = run(Mode::Broadcast);
+        assert_eq!(broadcast_history, again);
+    }
+
+    #[test]
+    fn straggler_links_delay_but_deliver() {
+        use crate::latency::Straggler;
+        struct TimeLogger {
+            times: std::sync::Arc<std::sync::Mutex<Vec<SimTime>>>,
+        }
+        impl Actor<TestMsg> for TimeLogger {
+            fn on_message(&mut self, _msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.times.lock().unwrap().push(ctx.now());
+            }
+        }
+        let times = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let actors: Vec<Box<dyn Actor<TestMsg>>> = vec![
+            Box::new(Recorder { received: vec![], reply_to: Some(1) }),
+            Box::new(TimeLogger { times: times.clone() }),
+        ];
+        let config = NetworkConfig {
+            topology: TopologyKind::Complete,
+            latency: LatencyModel::Constant(1),
+            faults: FaultModel {
+                stragglers: vec![Straggler { actors: vec![1], extra_ms: 250 }],
+                ..FaultModel::none()
+            },
+        };
+        let mut sim = Simulation::new(actors, &config, 1);
+        sim.schedule(0, 0, TestMsg::Ping(0));
+        sim.run_until(10_000);
+        // External delivery at t=0; the reply to actor 1 pays 1 + 250.
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(times.lock().unwrap().clone(), vec![251]);
     }
 
     #[test]

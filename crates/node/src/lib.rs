@@ -11,6 +11,9 @@
 //!   (committed vs. HMS tail) is exactly what the three experimental
 //!   scenarios vary;
 //! * [`messages`] — the simulation's message vocabulary;
+//! * [`netnode`] — [`netnode::NetNode`], the topology-driven gossip actor
+//!   with anti-entropy (head announcements, parent pulls, pending
+//!   re-offers), the substrate of the multi-node cluster scenarios;
 //! * [`pipeline`] — cross-block pipelined mining: block `N + 1`'s
 //!   candidates speculate against `N`'s predicted post-state while `N`'s
 //!   import holds the node lock.
@@ -22,6 +25,7 @@ pub mod client;
 pub mod contract;
 pub mod messages;
 pub mod miner;
+pub mod netnode;
 pub mod node;
 pub mod pipeline;
 
@@ -33,6 +37,7 @@ pub use contract::{
 };
 pub use messages::Msg;
 pub use miner::{committed_amv, enforce_nonce_order, order_candidates, pending_view, MinerPolicy};
+pub use netnode::NetNode;
 pub use node::{
     BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeActor, NodeConfig, NodeHandle, NodeInner,
     TxCommitStatus,

@@ -23,6 +23,22 @@ pub enum Msg {
         /// Who is asking (the reply goes straight back).
         requester: ActorId,
     },
+    /// Anti-entropy: a node's canonical head, broadcast periodically by
+    /// [`crate::netnode::NetNode`] so peers that missed the `NewBlock`
+    /// gossip (loss, partition) discover they are behind and pull the
+    /// missing blocks with [`Msg::GetBlock`].
+    Announce {
+        /// The announcer's head hash.
+        hash: H256,
+        /// The announcer's head height.
+        number: u64,
+        /// Who announced (the pull request goes straight back).
+        from: ActorId,
+    },
+    /// Timer: a [`crate::netnode::NetNode`] should run its periodic
+    /// anti-entropy pass (re-request orphan parents, re-gossip a bounded
+    /// slice of its pending pool, announce its head).
+    SyncTick,
     /// Timer: a mining node should attempt to seal a block now.
     MineTick,
     /// Timer: a workload driver should perform its next submission.

@@ -92,7 +92,8 @@ pub fn pending_view(pool: &TxPool) -> Vec<PendingTx> {
 }
 
 /// Reads the committed `(mark, value)` of the Sereth contract from an
-/// immutable state view (taken in O(1) via [`StateDb::view`] or
+/// immutable state view (taken in O(1) via
+/// [`sereth_chain::state::StateDb::view`] or
 /// `ChainStore::head_state_view`).
 pub fn committed_amv(state: &StateView, contract: &Address) -> (H256, H256) {
     (state.storage_get(contract, &SLOT_MARK), state.storage_get(contract, &SLOT_VALUE))

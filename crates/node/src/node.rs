@@ -673,6 +673,48 @@ impl NodeHandle {
         self.lock().chain.head_number()
     }
 
+    /// Canonical head hash, with the height it was read at — one lock
+    /// acquisition, so the pair is consistent (gossip can move the head
+    /// between two separate calls).
+    pub fn head_id(&self) -> (u64, H256) {
+        let inner = self.lock();
+        (inner.chain.head_number(), inner.chain.head_hash())
+    }
+
+    /// Canonical head hash.
+    pub fn head_hash(&self) -> H256 {
+        self.lock().chain.head_hash()
+    }
+
+    /// The state root at the canonical head — what cluster convergence
+    /// checks compare byte-for-byte across nodes.
+    pub fn head_state_root(&self) -> H256 {
+        self.lock().chain.head_state().state_root()
+    }
+
+    /// The parent hashes this node is still missing for its stashed
+    /// orphans (deduplicated, in stash order) — what an anti-entropy
+    /// pass re-requests from peers, since the original `GetBlock` may
+    /// have been dropped by the network.
+    pub fn orphan_parents(&self) -> Vec<H256> {
+        let inner = self.lock();
+        let mut parents = Vec::new();
+        for block in &inner.orphans {
+            let parent = block.header.parent_hash;
+            if inner.chain.get(&parent).is_none() && !parents.contains(&parent) {
+                parents.push(parent);
+            }
+        }
+        parents
+    }
+
+    /// Total blocks this node stores, side chains included. Exceeding the
+    /// canonical length proves the node held (and abandoned) a competing
+    /// branch — the observable trace of a reorg.
+    pub fn stored_blocks(&self) -> usize {
+        self.lock().chain.len()
+    }
+
     /// Number of pooled transactions.
     pub fn pool_len(&self) -> usize {
         self.lock().pool.len()
@@ -1166,6 +1208,11 @@ impl Actor<Msg> for NodeActor {
                     let delay = schedule.next_delay(ctx.rng());
                     ctx.wake_self(delay, Msg::MineTick);
                 }
+            }
+            Msg::Announce { .. } | Msg::SyncTick => {
+                // Anti-entropy belongs to the topology-driven
+                // [`crate::netnode::NetNode`]; this explicit-peer actor
+                // relies on reliable-enough flood gossip.
             }
             Msg::WorkloadTick(_) => {
                 // Workload ticks belong to driver actors.

@@ -7,6 +7,9 @@
 //!   validation;
 //! * [`many_markets`] — the read-storm scenario exercising the
 //!   incremental `sereth-raa` view service across dozens of markets;
+//! * [`cluster`] — N full nodes behind `NetNode` on a real topology with
+//!   loss, duplication, and partitions, with a post-quiescence
+//!   convergence check (all heads agree, byte-equal state roots);
 //! * [`contended`] — a 100 %-conflicting single-market scenario mined
 //!   with the parallel executor against a sequential oracle twin;
 //! * [`pool_feed`] — many submitters feeding a sharded, incrementally
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cluster;
 pub mod contended;
 pub mod experiment;
 pub mod many_markets;
@@ -47,6 +51,7 @@ pub mod stats;
 pub mod workload;
 
 pub use audit::{audit_run, market_spec, run_history};
+pub use cluster::{run_cluster, ClusterConfig, ClusterOutput, Injection};
 pub use contended::{run_contended_market, ContendedConfig, ContendedReport};
 pub use experiment::{paper_scenarios, run_point, sweep, SweepPoint, PAPER_SET_COUNTS};
 pub use many_markets::{

@@ -179,7 +179,7 @@ pub struct RunOutput {
 }
 
 /// Snapshots the canonical chain of `node` for [`RunOutput::chain`].
-fn snapshot_chain(node: &NodeHandle) -> Vec<(sereth_types::Block, Vec<sereth_types::Receipt>)> {
+pub(crate) fn snapshot_chain(node: &NodeHandle) -> Vec<(sereth_types::Block, Vec<sereth_types::Receipt>)> {
     node.with_inner(|inner| {
         inner.chain.canonical_chain().map(|stored| (stored.block.clone(), stored.receipts.clone())).collect()
     })

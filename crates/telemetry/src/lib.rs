@@ -34,6 +34,20 @@
 //! Snapshot consistency is *per-cell*: counters are monotone and a
 //! histogram's derived count always equals the sum of its bucket
 //! counts (the count is not stored separately, so it cannot tear).
+//!
+//! # Examples
+//!
+//! ```
+//! use sereth_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::enabled();
+//! let imported = telemetry.counter("node.blocks_imported");
+//! imported.inc();
+//! imported.add(2);
+//!
+//! let snapshot = telemetry.snapshot();
+//! assert_eq!(snapshot.counters.get("node.blocks_imported"), Some(&3));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
