@@ -18,7 +18,6 @@ use sereth_node::contract::{buy_selector, default_contract_address, sereth_genes
 use sereth_node::miner::{order_candidates, MinerPolicy};
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
-use sereth_vm::exec::Storage as _;
 
 fn bench_spec() -> MarketSpec {
     MarketSpec {
@@ -87,11 +86,14 @@ fn bench_checkers(c: &mut Criterion) {
 fn pwv_fixture(sets: usize, buys: usize) -> (TxPool, StateDb, Address) {
     let contract = default_contract_address();
     let owner = SecretKey::from_label(1);
-    let mut state = StateDb::new();
-    for (k, v) in sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)) {
-        state.storage_set(&contract, k, v);
-    }
-    state.clear_journal();
+    let state = sereth_chain::genesis::GenesisBuilder::new()
+        .contract_with_storage(
+            contract,
+            sereth_vm::exec::ContractCode::None,
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+        )
+        .build()
+        .state;
 
     let pool = TxPool::new();
     let mut arrival = 0u64;

@@ -5,7 +5,6 @@
 
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sereth_chain::state::StateDb;
 use sereth_chain::txpool::TxPool;
 use sereth_core::fpv::{Flag, Fpv};
 use sereth_core::mark::genesis_mark;
@@ -103,13 +102,16 @@ fn bench_txpool(c: &mut Criterion) {
 fn bench_state_root(c: &mut Criterion) {
     let mut group = c.benchmark_group("state_root");
     for &accounts in &[16usize, 128, 1_024] {
-        let mut state = StateDb::new();
+        let mut builder = sereth_chain::genesis::GenesisBuilder::new();
         for i in 0..accounts {
             let addr = Address::from_low_u64(i as u64);
-            state.set_balance(&addr, U256::from(i as u64));
-            state.storage_set(&addr, H256::from_low_u64(1), H256::from_low_u64(i as u64));
+            builder = builder.fund(addr, U256::from(i as u64)).contract_with_storage(
+                addr,
+                sereth_vm::exec::ContractCode::None,
+                [(H256::from_low_u64(1), H256::from_low_u64(i as u64))],
+            );
         }
-        state.clear_journal();
+        let state = builder.build().state;
         group.bench_with_input(BenchmarkId::from_parameter(accounts), &state, |b, state| {
             b.iter(|| black_box(state).state_root())
         });

@@ -122,14 +122,14 @@ fn build_pool(size: usize) -> TxPool {
 }
 
 fn market_state() -> StateDb {
-    let mut state = StateDb::new();
-    let contract = default_contract_address();
-    for (k, v) in sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)) {
-        use sereth_vm::exec::Storage;
-        state.storage_set(&contract, k, v);
-    }
-    state.clear_journal();
-    state
+    sereth_chain::genesis::GenesisBuilder::new()
+        .contract_with_storage(
+            default_contract_address(),
+            sereth_vm::exec::ContractCode::None,
+            sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)),
+        )
+        .build()
+        .state
 }
 
 /// One round of churn: remove what the previous round inserted, insert a

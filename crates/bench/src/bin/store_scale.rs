@@ -1,0 +1,189 @@
+//! STORE-SCALE: the durable state backend vs the in-memory one as genesis
+//! account count grows — cold start, crash recovery, and committed-read
+//! latency.
+//!
+//! Per account count the bench builds twin miner nodes over the same
+//! market genesis (one in-memory, one durable on a scratch directory),
+//! mines the same chained `set` workload on both, then measures:
+//!
+//! * **cold start** — opening the fresh durable directory, which writes
+//!   the genesis snapshot of N accounts;
+//! * **recovery** — dropping the durable node mid-run (`kill -9` model:
+//!   no shutdown path) and reopening the directory, which replays the
+//!   journal; the recovered state root must be byte-equal to the root
+//!   the in-memory twin holds, or the bench exits nonzero;
+//! * **committed reads** — the full two-call `mark()`/`get()` query per
+//!   node. Both paths ride the same O(1) epoch-pinned `StateView`, so
+//!   the headline artifact (`BENCH_store.json`, gated by `bench_trend`)
+//!   pins their *parity*: `base_us` is the in-memory read, `fast_us`
+//!   the durable read, speedup ≈ 1.0. A durable-side regression (e.g. a
+//!   deep copy or disk touch sneaking into the read path) drags the
+//!   speedup toward zero and trips the gate.
+//!
+//! Knobs (env): `STORE_ACCOUNTS` (comma list; default `256,2048,16384`),
+//! `STORE_BLOCKS` (blocks mined before the crash; default 8),
+//! `STORE_READS` (committed reads per node; default 500),
+//! `STORE_MAX_READ_OVERHEAD` (if > 0, exit nonzero when the durable
+//! committed read costs more than this factor over the in-memory read at
+//! the largest size — the CI parity gate).
+
+use std::time::{Duration, Instant};
+
+use sereth_bench::{env_list_or, env_or, write_bench_artifact, BenchPoint};
+use sereth_chain::genesis::{Genesis, GenesisBuilder};
+use sereth_core::fpv::{Flag, Fpv};
+use sereth_core::mark::{compute_mark, genesis_mark};
+use sereth_crypto::address::Address;
+use sereth_crypto::hash::H256;
+use sereth_crypto::sig::SecretKey;
+use sereth_node::contract::{
+    default_contract_address, sereth_code, sereth_genesis_slots, set_selector, ContractForm,
+};
+use sereth_node::miner::MinerPolicy;
+use sereth_node::node::{NodeConfig, NodeHandle};
+use sereth_store::scratch_dir;
+use sereth_types::transaction::{Transaction, TxPayload};
+use sereth_types::u256::U256;
+
+fn market_genesis(owner: &SecretKey, accounts: u64) -> Genesis {
+    let mut builder =
+        GenesisBuilder::new().fund(owner.address(), U256::from(1_000_000_000u64)).contract_with_storage(
+            default_contract_address(),
+            sereth_code(ContractForm::Native),
+            sereth_genesis_slots(&owner.address(), H256::from_low_u64(50)),
+        );
+    for i in 0..accounts {
+        builder = builder.fund(Address::from_low_u64(0x1_0000_0000 + i), U256::from(1u64));
+    }
+    builder.build()
+}
+
+fn set_tx(owner: &SecretKey, nonce: u64, prev: H256, value: H256) -> Transaction {
+    let flag = if nonce == 0 { Flag::Head } else { Flag::Success };
+    Transaction::sign(
+        TxPayload {
+            nonce,
+            gas_price: 2,
+            gas_limit: 100_000,
+            to: Some(default_contract_address()),
+            value: U256::ZERO,
+            input: Fpv::new(flag, prev, value).to_calldata(set_selector()),
+        },
+        owner,
+    )
+}
+
+/// Mines `blocks` chained sets; the same sequence on every node keeps the
+/// twins byte-identical.
+fn mine_sets(node: &NodeHandle, owner: &SecretKey, blocks: u64) {
+    let mut mark = genesis_mark();
+    for nonce in 0..blocks {
+        let value = H256::from_low_u64(1_000 + nonce);
+        let now = (nonce + 1) * 15_000;
+        assert!(node.receive_tx(set_tx(owner, nonce, mark, value), now), "set accepted");
+        node.mine(now).expect("miner seals");
+        mark = compute_mark(&mark, &value);
+    }
+}
+
+/// Mean committed-read latency: the full `mark()`/`get()` query.
+fn read_latency(node: &NodeHandle, caller: Address, reads: usize) -> Duration {
+    let expected = node.query_view(caller).expect("sereth node answers");
+    std::hint::black_box(node.query_view(caller));
+    let start = Instant::now();
+    for _ in 0..reads {
+        assert_eq!(std::hint::black_box(node.query_view(caller)).expect("answers"), expected);
+    }
+    start.elapsed() / reads.max(1) as u32
+}
+
+fn main() {
+    let account_counts = env_list_or("STORE_ACCOUNTS", &[256, 2_048, 16_384]);
+    let blocks = env_or("STORE_BLOCKS", 8u64);
+    let reads = env_or("STORE_READS", 500usize);
+    let max_read_overhead = env_or("STORE_MAX_READ_OVERHEAD", 0.0f64);
+    let owner = SecretKey::from_label(1);
+    let contract = default_contract_address();
+    let caller = Address::from_low_u64(0x11);
+
+    println!("Durable backend vs in-memory: cold start, recovery, committed reads ({blocks} blocks mined)");
+    println!("| accounts | cold start | recovery | mem-read | durable-read | overhead |");
+    println!("|----------|------------|----------|----------|--------------|----------|");
+
+    let mut points: Vec<BenchPoint> = Vec::new();
+    let mut recovery_meta: Vec<String> = Vec::new();
+    let mut last_overhead = 0.0f64;
+    for &accounts in &account_counts {
+        let genesis = market_genesis(&owner, accounts);
+        let dir = scratch_dir("store-scale");
+
+        let mem =
+            NodeHandle::new(genesis.clone(), NodeConfig::miner(contract, MinerPolicy::Standard).build());
+        let start = Instant::now();
+        let durable = NodeHandle::open(
+            genesis.clone(),
+            NodeConfig::miner(contract, MinerPolicy::Standard).durable_store(&dir).build(),
+        )
+        .expect("fresh durable dir opens");
+        let cold_start = start.elapsed();
+
+        mine_sets(&mem, &owner, blocks);
+        mine_sets(&durable, &owner, blocks);
+        let committed_root = mem.head_state_root();
+        assert_eq!(durable.head_state_root(), committed_root, "twins diverged before the crash");
+        drop(durable);
+
+        // The crash model: no shutdown path ran; reopen replays the journal.
+        let start = Instant::now();
+        let recovered = NodeHandle::open(
+            genesis,
+            NodeConfig::miner(contract, MinerPolicy::Standard).durable_store(&dir).build(),
+        )
+        .expect("recovery succeeds");
+        let recovery = start.elapsed();
+        assert_eq!(recovered.head_number(), blocks, "recovered chain height");
+        assert_eq!(recovered.head_state_root(), committed_root, "recovered root must be byte-equal");
+
+        let mem_read = read_latency(&mem, caller, reads);
+        let durable_read = read_latency(&recovered, caller, reads);
+        let overhead = durable_read.as_nanos() as f64 / mem_read.as_nanos().max(1) as f64;
+        last_overhead = overhead;
+        points.push(BenchPoint::from_durations(accounts, mem_read, durable_read));
+        recovery_meta.push(format!("{accounts}:{:.1}ms", recovery.as_secs_f64() * 1e3));
+        println!(
+            "| {accounts:>8} | {:>7.1} ms | {:>5.1} ms | {:>5.2} µs | {:>9.2} µs | {overhead:>7.2}x |",
+            cold_start.as_secs_f64() * 1e3,
+            recovery.as_secs_f64() * 1e3,
+            mem_read.as_nanos() as f64 / 1e3,
+            durable_read.as_nanos() as f64 / 1e3,
+        );
+
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    match write_bench_artifact(
+        "store",
+        "store_scale",
+        &[
+            ("blocks", blocks.to_string()),
+            ("reads", reads.to_string()),
+            ("recovery", recovery_meta.join(",")),
+        ],
+        &points,
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(error) => eprintln!("\nfailed to write BENCH_store.json: {error}"),
+    }
+
+    // The parity gate: both read paths are O(1) views off the same COW
+    // map; if the durable side ever grows a per-read disk or copy cost,
+    // its overhead factor explodes and this fails.
+    if max_read_overhead > 0.0 {
+        assert!(
+            last_overhead <= max_read_overhead,
+            "durable committed read regressed: {last_overhead:.2}x > allowed {max_read_overhead:.2}x \
+             over the in-memory read at the largest size"
+        );
+    }
+}

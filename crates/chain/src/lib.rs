@@ -37,7 +37,10 @@ pub use executor::{apply_transaction, call_readonly, read_slot, BlockEnv, TxAppl
 pub use genesis::{Genesis, GenesisBuilder};
 pub use parallel::{ExecMode, ExecStats, ExecStatsCells, PipelineSink};
 pub use state::{Account, Snapshot, StateDb, StateView};
-pub use store::{ChainStore, ImportError, ImportOutcome, StoredBlock};
+pub use store::{ChainStore, ImportError, ImportOutcome, StateBackendConfig, StoreConfig, StoredBlock};
+// Downstream crates (node, sim, bench) configure and observe the durable
+// backend through the chain API without depending on `sereth-store`.
+pub use sereth_store::{DurableOptions, EpochGuard, EpochPins, StoreError};
 pub use txpool::{PoolConfig, PoolEntry, PoolError, TxPool};
 pub use validation::{
     validate_block, validate_block_accounted, validate_block_traced, validate_block_with_mode, Validated,

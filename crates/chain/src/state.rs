@@ -11,6 +11,7 @@ use sereth_crypto::address::Address;
 use sereth_crypto::hash::H256;
 use sereth_crypto::merkle::merkle_root;
 use sereth_crypto::rlp::RlpStream;
+use sereth_store::EpochGuard;
 use sereth_types::u256::U256;
 use sereth_vm::access::AccessKey;
 use sereth_vm::exec::{ContractCode, Storage};
@@ -107,12 +108,31 @@ pub struct StateDb {
 /// threads, and survive arbitrary mutation of the live state. This is what
 /// every read-only consumer (node queries, miner pre-execution reads, sim
 /// oracles) works against.
+///
+/// Views handed out by a `ChainStore` read surface additionally *pin*
+/// their epoch (canonical height): garbage collection never prunes a
+/// pinned epoch, in memory or on disk, so the view stays both byte-frozen
+/// (copy-on-write guarantees that part) and re-servable until the last
+/// clone drops. Views taken directly from a [`StateDb`] carry no pin.
 #[derive(Debug, Clone, Default)]
 pub struct StateView {
     accounts: Arc<Accounts>,
+    pin: Option<EpochGuard>,
 }
 
 impl StateView {
+    /// The epoch this view holds against garbage collection, when it was
+    /// taken through an epoch-pinning read surface.
+    pub fn pinned_epoch(&self) -> Option<u64> {
+        self.pin.as_ref().map(EpochGuard::epoch)
+    }
+
+    /// Attaches an epoch pin (the `ChainStore` read path does this; the
+    /// guard travels with every clone of the view).
+    pub(crate) fn with_pin(mut self, pin: EpochGuard) -> Self {
+        self.pin = Some(pin);
+        self
+    }
     /// Read-only view of an account, if it exists.
     pub fn account(&self, address: &Address) -> Option<&Account> {
         self.accounts.get(address).map(Arc::as_ref)
@@ -232,6 +252,54 @@ impl StateView {
         }
         dirty
     }
+
+    /// Account-granular diff: the post-image in `other` of every account
+    /// whose content differs from `self`, address-ordered (`None` = the
+    /// account is absent in `other` — a tombstone). This is the write-set
+    /// the durable journal records per block, taken as
+    /// `parent_view.diff_accounts(&child_view)`.
+    ///
+    /// Like [`StateView::diff_access_keys`], accounts whose `Arc`s are
+    /// still shared are skipped without comparison, so the diff costs only
+    /// the accounts a block actually touched.
+    pub fn diff_accounts(&self, other: &StateView) -> Vec<(Address, Option<Account>)> {
+        let mut writes = Vec::new();
+        let mut left_iter = self.accounts.iter();
+        let mut right_iter = other.accounts.iter();
+        let mut left = left_iter.next();
+        let mut right = right_iter.next();
+        loop {
+            match (left, right) {
+                (Some((la, lacc)), Some((ra, racc))) => match la.cmp(ra) {
+                    Ordering::Equal => {
+                        if !Arc::ptr_eq(lacc, racc) && lacc != racc {
+                            writes.push((*la, Some(Account::clone(racc))));
+                        }
+                        left = left_iter.next();
+                        right = right_iter.next();
+                    }
+                    Ordering::Less => {
+                        writes.push((*la, None));
+                        left = left_iter.next();
+                    }
+                    Ordering::Greater => {
+                        writes.push((*ra, Some(Account::clone(racc))));
+                        right = right_iter.next();
+                    }
+                },
+                (Some((la, _)), None) => {
+                    writes.push((*la, None));
+                    left = left_iter.next();
+                }
+                (None, Some((ra, racc))) => {
+                    writes.push((*ra, Some(Account::clone(racc))));
+                    right = right_iter.next();
+                }
+                (None, None) => break,
+            }
+        }
+        writes
+    }
 }
 
 impl sereth_vm::exec::ReadStorage for StateView {
@@ -257,7 +325,7 @@ impl StateDb {
     /// Takes an immutable O(1) snapshot of the current accounts. The view
     /// is unaffected by any later mutation of `self` (writes unshare).
     pub fn view(&self) -> StateView {
-        StateView { accounts: Arc::clone(&self.accounts) }
+        StateView { accounts: Arc::clone(&self.accounts), pin: None }
     }
 
     /// A structurally independent copy: every account duplicated, nothing
@@ -271,6 +339,29 @@ impl StateDb {
             .map(|(address, account)| (*address, Arc::new(Account::clone(account))))
             .collect();
         StateDb { accounts: Arc::new(accounts), journal: self.journal.clone() }
+    }
+
+    /// Rebuilds a state wholesale from recovered account images — the
+    /// durable store's snapshot-restore path. The journal starts empty.
+    pub(crate) fn from_accounts(accounts: impl IntoIterator<Item = (Address, Account)>) -> Self {
+        let accounts: Accounts =
+            accounts.into_iter().map(|(address, account)| (address, Arc::new(account))).collect();
+        Self { accounts: Arc::new(accounts), journal: Vec::new() }
+    }
+
+    /// Installs (or, on `None`, deletes) an account post-image without
+    /// journaling — recovery replay only, where write-sets are applied
+    /// wholesale and rollback never happens. Copy-on-write still applies:
+    /// views taken before the call stay frozen.
+    pub(crate) fn replace_account(&mut self, address: Address, account: Option<Account>) {
+        match account {
+            Some(account) => {
+                self.accounts_mut().insert(address, Arc::new(account));
+            }
+            None => {
+                self.accounts_mut().remove(&address);
+            }
+        }
     }
 
     /// The mutable account map, unsharing it first if any view or clone
@@ -710,5 +801,47 @@ mod tests {
         assert_eq!(after.diff_access_keys(&before), expect);
         // Unshared-but-equal maps (deep clone) still diff to empty.
         assert!(a.deep_clone().view().diff_access_keys(&before).is_empty());
+    }
+
+    #[test]
+    fn diff_accounts_yields_post_images_and_tombstones() {
+        let mut a = StateDb::new();
+        a.credit(&addr(1), U256::from(10u64));
+        a.credit(&addr(2), U256::from(20u64));
+        a.credit(&addr(4), U256::from(40u64));
+        a.clear_journal();
+        let before = a.view();
+        assert!(before.diff_accounts(&before).is_empty());
+
+        let mut b = a.clone();
+        b.credit(&addr(2), U256::from(1u64)); // changed
+        b.credit(&addr(3), U256::from(30u64)); // created
+        b.clear_journal();
+        // Delete addr(4) via the recovery-only path to exercise tombstones.
+        b.replace_account(addr(4), None);
+        let after = b.view();
+
+        let writes = before.diff_accounts(&after);
+        assert_eq!(
+            writes.iter().map(|(address, post)| (*address, post.is_some())).collect::<Vec<_>>(),
+            vec![(addr(2), true), (addr(3), true), (addr(4), false)],
+            "address-ordered post-images with a tombstone for the deletion"
+        );
+        assert_eq!(writes[0].1.as_ref().unwrap().balance, U256::from(21u64));
+
+        // Applying the write-set onto the old state reproduces the new one.
+        let mut replayed = StateDb::from_accounts(before.iter().map(|(ad, acc)| (*ad, acc.clone())));
+        for (address, post) in writes {
+            replayed.replace_account(address, post);
+        }
+        assert_eq!(replayed.state_root(), after.state_root());
+        // Unshared-but-equal maps (deep clone) still diff to empty.
+        assert!(a.deep_clone().view().diff_accounts(&before).is_empty());
+    }
+
+    #[test]
+    fn plain_statedb_views_carry_no_pin() {
+        let state = StateDb::new();
+        assert_eq!(state.view().pinned_epoch(), None);
     }
 }

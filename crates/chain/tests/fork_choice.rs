@@ -6,7 +6,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use sereth_chain::builder::{build_block, BlockLimits};
 use sereth_chain::genesis::{Genesis, GenesisBuilder};
-use sereth_chain::store::ChainStore;
+use sereth_chain::store::{ChainStore, StoreConfig};
 use sereth_crypto::address::Address;
 use sereth_crypto::sig::SecretKey;
 use sereth_types::block::Block;
@@ -91,7 +91,7 @@ proptest! {
             cursors[pick] += 1;
         }
 
-        let mut store = ChainStore::new(genesis.clone());
+        let mut store = ChainStore::open(StoreConfig::in_memory(genesis.clone())).unwrap();
         for (which, index) in order {
             store.import(branches[which][index].clone()).unwrap();
         }
@@ -119,7 +119,7 @@ proptest! {
         let genesis = genesis(&key);
         let a = branch(&genesis, &key, len_a, 1);
         let b = branch(&genesis, &key, len_b, 2);
-        let mut store = ChainStore::new(genesis);
+        let mut store = ChainStore::open(StoreConfig::in_memory(genesis)).unwrap();
         for block in a.iter().chain(b.iter()) {
             store.import(block.clone()).unwrap();
         }

@@ -89,6 +89,13 @@ impl fmt::Debug for SecretKey {
 pub struct PublicKey(H256);
 
 impl PublicKey {
+    /// Wraps raw key bytes (used by decoders reassembling gossiped or
+    /// persisted signatures; validity is established by
+    /// [`Signature::verify`], never by construction).
+    pub fn from_h256(key: H256) -> Self {
+        Self(key)
+    }
+
     /// The raw key bytes.
     pub fn as_h256(&self) -> &H256 {
         &self.0
@@ -109,6 +116,14 @@ pub struct Signature {
 }
 
 impl Signature {
+    /// Reassembles a signature from its three components (used by decoders
+    /// for persisted or gossiped transactions). Carries no validity of its
+    /// own: a reassembled signature still has to pass [`Signature::verify`]
+    /// against the sender and payload digest, exactly like a received one.
+    pub fn from_parts(pubkey: PublicKey, signed_digest: H256, tag: H256) -> Self {
+        Self { pubkey, signed_digest, tag }
+    }
+
     /// The signer's public key.
     pub fn pubkey(&self) -> &PublicKey {
         &self.pubkey

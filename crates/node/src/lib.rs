@@ -40,6 +40,6 @@ pub use miner::{committed_amv, enforce_nonce_order, order_candidates, pending_vi
 pub use netnode::NetNode;
 pub use node::{
     BlockReceipt, BlockSchedule, ClientKind, MinerSetup, NodeActor, NodeConfig, NodeHandle, NodeInner,
-    TxCommitStatus,
+    StateReader, TxCommitStatus,
 };
 pub use pipeline::PipelinedMiner;

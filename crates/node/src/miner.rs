@@ -369,12 +369,15 @@ mod tests {
     use sereth_vm::exec::Storage;
 
     fn state_with_contract() -> (StateDb, Address) {
-        let mut state = StateDb::new();
         let contract = default_contract_address();
-        for (k, v) in sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)) {
-            state.storage_set(&contract, k, v);
-        }
-        state.clear_journal();
+        let state = sereth_chain::genesis::GenesisBuilder::new()
+            .contract_with_storage(
+                contract,
+                sereth_vm::exec::ContractCode::None,
+                sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)),
+            )
+            .build()
+            .state;
         (state, contract)
     }
 

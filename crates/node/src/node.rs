@@ -20,9 +20,11 @@ use sereth_chain::builder::{build_block_traced, BlockLimits};
 use sereth_chain::executor::{call_readonly, BlockEnv};
 use sereth_chain::genesis::Genesis;
 use sereth_chain::parallel::{ExecMode, ExecStats, ExecStatsCells};
-use sereth_chain::store::{ChainStore, ImportError, ImportOutcome};
+use sereth_chain::state::StateView;
+use sereth_chain::store::{ChainStore, ImportError, ImportOutcome, StateBackendConfig, StoreConfig};
 use sereth_chain::txpool::{PoolConfig, PoolStats, TxPool};
 use sereth_chain::validation::ValidationMode;
+use sereth_chain::StoreError;
 use sereth_core::hms::HmsConfig;
 use sereth_core::process::PendingTx;
 use sereth_core::provider::{HmsDataSource, HmsRaaProvider};
@@ -184,6 +186,11 @@ pub struct NodeConfig {
     ///   the last import — one serialization point between blocks, no
     ///   speculative answers.
     pub isolation: IsolationLevel,
+    /// Which state backend the chain store opens on: in-memory (the
+    /// default) or the durable snapshot + journal directory. Durable
+    /// nodes must be built with [`NodeHandle::open`] so recovery errors
+    /// surface instead of panicking.
+    pub store: StateBackendConfig,
 }
 
 impl Default for NodeConfig {
@@ -202,6 +209,7 @@ impl Default for NodeConfig {
             pool: PoolConfig::default(),
             telemetry: TelemetryConfig::default(),
             isolation: IsolationLevel::default(),
+            store: StateBackendConfig::InMemory,
         }
     }
 }
@@ -260,6 +268,23 @@ impl NodeConfigBuilder {
     pub fn isolation(mut self, level: IsolationLevel) -> Self {
         self.config.isolation = level;
         self
+    }
+
+    /// Selects the chain-store backend (in-memory by default). Pair a
+    /// durable choice with [`NodeHandle::open`] so recovery errors
+    /// surface as `Result` instead of a panic.
+    pub fn store(mut self, store: StateBackendConfig) -> Self {
+        self.config.store = store;
+        self
+    }
+
+    /// Shorthand for a durable store under `dir` with default
+    /// [`sereth_chain::DurableOptions`].
+    pub fn durable_store(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store(StateBackendConfig::Durable {
+            dir: dir.into(),
+            options: sereth_chain::DurableOptions::default(),
+        })
     }
 
     /// Installs a fully specified mining setup.
@@ -400,6 +425,57 @@ pub struct NodeInner {
     /// a head that moved mid-conversation — so every read between two
     /// imports observes one consistent height.
     pinned_view: (u64, sereth_chain::state::StateView),
+}
+
+impl NodeInner {
+    /// The head read transaction: height and epoch-pinned view captured
+    /// together under the lock already held. Every committed read path
+    /// goes through this (or [`NodeInner::pinned_reader`]) so height and
+    /// view can never disagree.
+    pub fn head_reader(&self) -> StateReader {
+        StateReader { height: self.chain.head_number(), view: self.chain.head_state_view() }
+    }
+
+    /// The SEQUENTIAL-rung read transaction: the view pinned at the last
+    /// import (its epoch pin travels with the stored view).
+    pub fn pinned_reader(&self) -> StateReader {
+        let (height, view) = self.pinned_view.clone();
+        StateReader { height, view }
+    }
+}
+
+/// An epoch-pinned read transaction over a node's committed state: an
+/// O(1) [`StateView`] stamped with the height it was captured at, taken
+/// in a single lock acquisition. While any clone is alive, garbage
+/// collection keeps that epoch servable (durable backends included), and
+/// copy-on-write keeps the bytes frozen — reads through a reader are
+/// repeatable no matter how far the chain advances.
+#[derive(Debug, Clone)]
+pub struct StateReader {
+    height: u64,
+    view: StateView,
+}
+
+impl StateReader {
+    /// The canonical height this reader was captured at.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// The frozen state view.
+    pub fn view(&self) -> &StateView {
+        &self.view
+    }
+
+    /// Consumes the reader into its view (the pin travels along).
+    pub fn into_view(self) -> StateView {
+        self.view
+    }
+
+    /// Commitment to the viewed state.
+    pub fn state_root(&self) -> H256 {
+        self.view.state_root()
+    }
 }
 
 /// Outcome of [`NodeHandle::receive_block`].
@@ -581,13 +657,33 @@ impl RaaDataSource for NodeSource {
 }
 
 impl NodeHandle {
-    /// Builds a node from `genesis` with the given configuration. Sereth
-    /// nodes get the HMS RAA provider installed for the contract's
-    /// `get`/`mark` selectors.
+    /// Builds a node from `genesis` with the given configuration,
+    /// panicking if the store cannot open. In-memory opens are
+    /// infallible, so this stays the ergonomic constructor for
+    /// simulations and tests; durable nodes should prefer
+    /// [`NodeHandle::open`].
     pub fn new(genesis: Genesis, config: NodeConfig) -> Self {
+        Self::open(genesis, config).expect("store opens")
+    }
+
+    /// Builds a node from `genesis` with the given configuration,
+    /// opening (and, for a durable backend, recovering) the chain store.
+    /// Sereth nodes get the HMS RAA provider installed for the
+    /// contract's `get`/`mark` selectors.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ChainStore::open`] reports: I/O failure, corrupt
+    /// on-disk data, or a directory from a different genesis.
+    pub fn open(genesis: Genesis, config: NodeConfig) -> Result<Self, StoreError> {
         let telemetry = Arc::new(Telemetry::new(config.telemetry));
         let pool_config = PoolConfig { market: Some(market_spec()), ..config.pool.clone() };
-        let chain = ChainStore::with_telemetry(genesis, config.validation_mode, telemetry.clone());
+        let chain = ChainStore::open(
+            StoreConfig::in_memory(genesis)
+                .with_backend(config.store.clone())
+                .validation_mode(config.validation_mode)
+                .telemetry(telemetry.clone()),
+        )?;
         let pinned_view = (chain.head_number(), chain.head_state_view());
         let inner = NodeInner {
             chain,
@@ -643,7 +739,7 @@ impl NodeHandle {
                 inner.raa.set_provider(provider);
             }
         }
-        handle
+        Ok(handle)
     }
 
     /// The incremental RAA service's counters, when the node runs the
@@ -737,12 +833,12 @@ impl NodeHandle {
     /// read at, in the same single lock acquisition. This is the
     /// observation clients log for the offline dirty-read audit.
     pub fn committed_observed(&self) -> IsoObservation {
-        let (height, view, contract) = {
+        let (reader, contract) = {
             let inner = self.lock();
-            (inner.chain.head_number(), inner.chain.head_state_view(), inner.config.contract)
+            (inner.head_reader(), inner.config.contract)
         };
-        let (mark, value) = committed_amv(&view, &contract);
-        IsoObservation { level: IsolationLevel::ReadCommitted, height, mark, value }
+        let (mark, value) = committed_amv(reader.view(), &contract);
+        IsoObservation { level: IsolationLevel::ReadCommitted, height: reader.height(), mark, value }
     }
 
     /// Account nonce at the canonical head.
@@ -752,10 +848,25 @@ impl NodeHandle {
 
     /// An O(1) immutable snapshot of the canonical head state, plus the
     /// height it was taken at. The view can be held across blocks: it
-    /// stays frozen while the node keeps sealing.
+    /// stays frozen while the node keeps sealing. Sugar over
+    /// [`NodeHandle::state_reader`].
     pub fn head_state_view(&self) -> (u64, sereth_chain::state::StateView) {
-        let inner = self.lock();
-        (inner.chain.head_number(), inner.chain.head_state_view())
+        let reader = self.state_reader();
+        (reader.height(), reader.into_view())
+    }
+
+    /// Opens an epoch-pinned read transaction at the canonical head —
+    /// one lock acquisition, O(1), frozen and GC-protected until the
+    /// last clone drops.
+    pub fn state_reader(&self) -> StateReader {
+        self.lock().head_reader()
+    }
+
+    /// Opens an epoch-pinned read transaction at a historical canonical
+    /// `height` — `None` when the height does not exist or was pruned
+    /// below the durable backend's retention floor.
+    pub fn state_reader_at(&self, height: u64) -> Option<StateReader> {
+        self.lock().chain.state_view_at(height).map(|view| StateReader { height, view })
     }
 
     /// Issues the two read-only calls `mark(...)` and `get(...)` against
@@ -826,12 +937,12 @@ impl NodeHandle {
                     (level, contract, head.number, inner.chain.head_state_view(), mode)
                 }
                 IsolationLevel::ReadCommitted => {
-                    let height = inner.chain.head_number();
-                    (level, contract, height, inner.chain.head_state_view(), ReadMode::Committed)
+                    let reader = inner.head_reader();
+                    (level, contract, reader.height(), reader.into_view(), ReadMode::Committed)
                 }
                 IsolationLevel::Sequential => {
-                    let (height, view) = inner.pinned_view.clone();
-                    (level, contract, height, view, ReadMode::Committed)
+                    let reader = inner.pinned_reader();
+                    (level, contract, reader.height(), reader.into_view(), ReadMode::Committed)
                 }
             }
         };
@@ -923,6 +1034,16 @@ impl NodeHandle {
                 BlockReceipt::Orphaned
             }
             Err(ImportError::Invalid(_)) => BlockReceipt::Rejected,
+            // The block entered the in-memory chain; only the journal
+            // append failed. Keep serving (and forwarding) from memory,
+            // but make the persistence fault observable.
+            Err(ImportError::Store(_)) => {
+                Self::after_import(&mut inner, &block);
+                Self::retry_orphans(&mut inner);
+                drop(inner);
+                self.telemetry.counter("node.store_failed").inc();
+                BlockReceipt::Imported
+            }
         }
     }
 
@@ -948,7 +1069,9 @@ impl NodeHandle {
                 }
                 match inner.chain.import(block.clone()) {
                     Ok(ImportOutcome::AlreadyKnown) => {}
-                    Ok(_) => {
+                    // A Store error still imported in memory — same as Ok
+                    // here; receive_block surfaces persistence faults.
+                    Ok(_) | Err(ImportError::Store(_)) => {
                         Self::after_import(inner, &block);
                         progressed = true;
                     }
@@ -1072,6 +1195,14 @@ impl NodeHandle {
             // the next attempt (before the pool feed, building happened
             // under the node lock and this race could not exist).
             Ok(ImportOutcome::SideChain) | Ok(ImportOutcome::AlreadyKnown) => Some(block),
+            // The sealed block is canonical in memory; only persistence
+            // failed. The block stands — surface the fault separately.
+            Err(ImportError::Store(_)) => {
+                Self::after_import(&mut inner, &block);
+                drop(inner);
+                self.telemetry.counter("node.store_failed").inc();
+                Some(block)
+            }
             // A block this node sealed failing its own import is a real
             // fault (a reorg mid-build can orphan the parent; anything
             // else is a bug) — count it by kind instead of swallowing it.
@@ -1081,6 +1212,7 @@ impl NodeHandle {
                 let kind = match error {
                     ImportError::UnknownParent => "node.self_import_failed.unknown_parent",
                     ImportError::Invalid(_) => "node.self_import_failed.invalid",
+                    ImportError::Store(_) => "node.self_import_failed.store",
                 };
                 self.telemetry.counter(kind).inc();
                 None
@@ -1340,6 +1472,32 @@ mod tests {
         node.account_nonce(&owner.address());
         node.head_state_view();
         assert_eq!(node.lock_acquisitions() - before, 3, "one acquisition per read API call");
+    }
+
+    #[test]
+    fn state_readers_cost_one_lock_and_pin_their_epoch() {
+        // The unified `StateReader` surface must keep the PR 8 lock
+        // discipline: one handle-lock round-trip per read transaction,
+        // and the returned view pins its epoch so durable-backend GC can
+        // never reclaim the snapshot under the reader.
+        let owner = SecretKey::from_label(1);
+        let node = node(ClientKind::Geth, &owner, true);
+        node.receive_tx(set_tx(&owner, 0, genesis_mark(), 75), 100);
+        node.mine(15_000).expect("miner seals");
+        assert_eq!(node.head_number(), 1);
+
+        let before = node.lock_acquisitions();
+        let reader = node.state_reader();
+        assert_eq!(node.lock_acquisitions() - before, 1, "state_reader is one lock");
+        assert_eq!(reader.height(), 1);
+        assert_eq!(reader.view().pinned_epoch(), Some(1), "head reader pins the head epoch");
+
+        let before = node.lock_acquisitions();
+        let at_genesis = node.state_reader_at(0).expect("genesis is canonical");
+        assert_eq!(node.lock_acquisitions() - before, 1, "state_reader_at is one lock");
+        assert_eq!(at_genesis.height(), 0);
+        assert_eq!(at_genesis.view().pinned_epoch(), Some(0), "historical reader pins its epoch");
+        assert_eq!(at_genesis.view().nonce_of(&owner.address()), 0, "reader is frozen at its epoch");
     }
 
     #[test]

@@ -35,7 +35,6 @@ use sereth_node::miner::{
 };
 use sereth_types::transaction::{Transaction, TxPayload};
 use sereth_types::u256::U256;
-use sereth_vm::exec::Storage;
 
 mod common;
 use common::cases;
@@ -180,13 +179,14 @@ fn apply(pool: &TxPool, op: &Op, log: &mut Vec<Transaction>, now: &mut u64) {
 }
 
 fn market_state() -> StateDb {
-    let mut state = StateDb::new();
-    let contract = default_contract_address();
-    for (k, v) in sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)) {
-        state.storage_set(&contract, k, v);
-    }
-    state.clear_journal();
-    state
+    sereth_chain::genesis::GenesisBuilder::new()
+        .contract_with_storage(
+            default_contract_address(),
+            sereth_vm::exec::ContractCode::None,
+            sereth_genesis_slots(&Address::from_low_u64(1), H256::from_low_u64(50)),
+        )
+        .build()
+        .state
 }
 
 fn hashes(txs: &[Transaction]) -> Vec<H256> {

@@ -14,6 +14,8 @@
 //!   with the parallel executor against a sequential oracle twin;
 //! * [`pool_feed`] — many submitters feeding a sharded, incrementally
 //!   indexed TxPool, hash-checked against an unsharded oracle twin;
+//! * [`restart`] — a durable miner killed mid-run, reopened byte-equal,
+//!   and resynced from by a fresh in-memory peer;
 //! * [`metrics`] — state throughput and transaction efficiency η (§III-A);
 //! * [`audit`] — post-hoc isolation-ladder auditing of a run's committed
 //!   chain + read log through the unified `sereth-consistency` checker;
@@ -45,6 +47,7 @@ pub mod many_markets;
 pub mod metrics;
 pub mod pool_feed;
 pub mod report;
+pub mod restart;
 pub mod retry;
 pub mod scenario;
 pub mod stats;
@@ -60,6 +63,7 @@ pub use many_markets::{
 };
 pub use metrics::{collect_metrics, RunMetrics, Submission, SubmissionLog};
 pub use pool_feed::{run_pool_feed, PoolFeedConfig, PoolFeedReport};
+pub use restart::{run_restart, RestartConfig, RestartOutput};
 pub use retry::{RetryDriver, RetryStats};
 pub use scenario::{
     run_retry_scenario, run_scenario, run_sequential_history, RunOutput, ScenarioConfig, ScenarioKind,

@@ -1,0 +1,90 @@
+//! The redesigned storage seam: [`StateBackend`] is what `ChainStore`
+//! persists through, selected by `StoreConfig` at `ChainStore::open`.
+//!
+//! Two implementations ship: [`InMemoryBackend`] (today's COW map —
+//! nothing persisted, nothing pruned) and
+//! [`DurableStore`](crate::DurableStore) (snapshot + journal). Both expose
+//! the same [`EpochPins`] table, so epoch-pinned reads behave identically
+//! whichever backend a node runs on.
+
+use crate::codec::{BlockRecord, SnapshotRecord};
+use crate::pins::EpochPins;
+use crate::StoreError;
+
+/// Where imported blocks and their write-sets go.
+///
+/// The chain store drives this after every import: [`record_block`] for
+/// each newly stored block, then — if [`wants_snapshot`] says the cadence
+/// is due — [`apply_snapshot`] with a freshly built checkpoint, whose
+/// return value is the epoch floor the caller may prune its in-memory
+/// versions down to (GC already honoured the pin table below it).
+///
+/// [`record_block`]: StateBackend::record_block
+/// [`wants_snapshot`]: StateBackend::wants_snapshot
+/// [`apply_snapshot`]: StateBackend::apply_snapshot
+pub trait StateBackend: std::fmt::Debug + Send {
+    /// Persists one imported block and its account write-set.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the journal append fails.
+    fn record_block(&mut self, record: &BlockRecord) -> Result<(), StoreError>;
+
+    /// `true` when the backend wants a snapshot at `head_epoch` (cadence
+    /// due, or nothing checkpointed yet).
+    fn wants_snapshot(&self, head_epoch: u64) -> bool;
+
+    /// Checkpoints `snapshot` and garbage-collects, returning the epoch
+    /// floor below which the caller may prune in-memory state (`None` when
+    /// the backend retains everything).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when writing the snapshot fails.
+    fn apply_snapshot(&mut self, snapshot: SnapshotRecord) -> Result<Option<u64>, StoreError>;
+
+    /// The epoch-pin table GC consults — shared with every
+    /// [`EpochGuard`](crate::EpochGuard) handed out for this store.
+    fn pins(&self) -> &EpochPins;
+
+    /// `true` when the backend persists to disk (drives whether the chain
+    /// store extracts write-sets at import time).
+    fn is_durable(&self) -> bool;
+}
+
+/// The non-persistent backend: state lives purely in the COW account map,
+/// exactly as before the durable store existed. Recording is a no-op and
+/// no snapshot is ever requested, so nothing is ever pruned.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    pins: EpochPins,
+}
+
+impl InMemoryBackend {
+    /// A fresh in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateBackend for InMemoryBackend {
+    fn record_block(&mut self, _record: &BlockRecord) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn wants_snapshot(&self, _head_epoch: u64) -> bool {
+        false
+    }
+
+    fn apply_snapshot(&mut self, _snapshot: SnapshotRecord) -> Result<Option<u64>, StoreError> {
+        Ok(None)
+    }
+
+    fn pins(&self) -> &EpochPins {
+        &self.pins
+    }
+
+    fn is_durable(&self) -> bool {
+        false
+    }
+}

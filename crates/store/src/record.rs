@@ -1,0 +1,231 @@
+//! Length-prefixed, checksummed record framing for journal segments and
+//! snapshot files.
+//!
+//! Every record is written as
+//!
+//! ```text
+//! [len: u32 LE] [checksum: u64 LE = fnv1a_64(payload)] [payload: len bytes]
+//! ```
+//!
+//! A crash can stop a write at *any* byte: a torn tail shows up either as a
+//! header that runs past the end of the file, a payload shorter than its
+//! length prefix, or a checksum mismatch. [`RecordScanner`] treats the
+//! first such defect as the end of the durable prefix — everything before
+//! it is intact (checksum-verified), everything at and after it is
+//! discarded. The crash-recovery property suite exercises every byte
+//! boundary of this format.
+
+use std::io::{self, Write};
+
+use sereth_crypto::hash::fnv1a_64;
+
+/// Bytes of framing that precede every payload.
+pub const RECORD_HEADER_BYTES: usize = 4 + 8;
+
+/// Largest payload a single record may carry (guards the scanner against
+/// reading a garbage length as a multi-gigabyte allocation).
+pub const MAX_RECORD_BYTES: usize = 1 << 31;
+
+/// Frames `payload` onto `writer` as one record.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_record<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "record payload too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&fnv1a_64(payload).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Frames `payload` into a fresh buffer (header + payload).
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    write_record(&mut out, payload).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Iterates the intact record payloads at the front of `data`, stopping at
+/// the first torn or corrupt record.
+#[derive(Debug)]
+pub struct RecordScanner<'a> {
+    data: &'a [u8],
+    clean: usize,
+    torn: bool,
+}
+
+impl<'a> RecordScanner<'a> {
+    /// Scans `data` (typically one whole segment file).
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, clean: 0, torn: false }
+    }
+
+    /// Bytes covered by the intact records yielded so far — after the
+    /// scanner is exhausted, the offset a torn file should be truncated to.
+    pub fn clean_len(&self) -> usize {
+        self.clean
+    }
+
+    /// `true` once the scanner has hit a torn or corrupt tail (as opposed
+    /// to a clean end of input).
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+}
+
+impl<'a> Iterator for RecordScanner<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.torn || self.clean == self.data.len() {
+            return None;
+        }
+        let rest = &self.data[self.clean..];
+        if rest.len() < RECORD_HEADER_BYTES {
+            self.torn = true;
+            return None;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("length checked")) as usize;
+        let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("length checked"));
+        if len > MAX_RECORD_BYTES || rest.len() < RECORD_HEADER_BYTES + len {
+            self.torn = true;
+            return None;
+        }
+        let payload = &rest[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + len];
+        if fnv1a_64(payload) != checksum {
+            self.torn = true;
+            return None;
+        }
+        self.clean += RECORD_HEADER_BYTES + len;
+        Some(payload)
+    }
+}
+
+/// A fault-injecting [`std::io::Write`] wrapper that persists only the
+/// first `limit` bytes and silently drops the rest — the crash model the
+/// recovery property suite uses for kill-at-any-write-point: a process
+/// dying mid-`write` leaves exactly some byte-prefix of the attempted
+/// record on disk.
+#[derive(Debug)]
+pub struct FaultWriter<W> {
+    inner: W,
+    limit: usize,
+    written: usize,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner`, cutting persistence off after `limit` bytes.
+    pub fn new(inner: W, limit: usize) -> Self {
+        Self { inner, limit, written: 0 }
+    }
+
+    /// Bytes actually forwarded to the underlying writer.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.limit.saturating_sub(self.written);
+        let take = room.min(buf.len());
+        if take > 0 {
+            self.inner.write_all(&buf[..take])?;
+            self.written += take;
+        }
+        // Claim the whole buffer was accepted: the caller (like a process
+        // about to be killed) believes the write succeeded.
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_multiple_records() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha").unwrap();
+        write_record(&mut buf, b"").unwrap();
+        write_record(&mut buf, b"gamma-gamma").unwrap();
+        let mut scanner = RecordScanner::new(&buf);
+        assert_eq!(scanner.next(), Some(&b"alpha"[..]));
+        assert_eq!(scanner.next(), Some(&b""[..]));
+        assert_eq!(scanner.next(), Some(&b"gamma-gamma"[..]));
+        assert_eq!(scanner.next(), None);
+        assert_eq!(scanner.clean_len(), buf.len());
+        assert!(!scanner.torn());
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_the_longest_intact_prefix() {
+        let payloads: &[&[u8]] = &[b"one", b"two-two", b"", b"four4"];
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for payload in payloads {
+            write_record(&mut buf, payload).unwrap();
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let truncated = &buf[..cut];
+            let mut scanner = RecordScanner::new(truncated);
+            let recovered: Vec<&[u8]> = scanner.by_ref().collect();
+            let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(recovered.len(), intact, "cut at byte {cut}");
+            assert_eq!(recovered, &payloads[..intact]);
+            assert_eq!(scanner.clean_len(), boundaries[intact]);
+            assert_eq!(scanner.torn(), cut != boundaries[intact]);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_anywhere_stops_the_scan_at_the_previous_record() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"first").unwrap();
+        let first_end = buf.len();
+        write_record(&mut buf, b"second").unwrap();
+        for position in first_end..buf.len() {
+            let mut copy = buf.clone();
+            copy[position] ^= 0x40;
+            let mut scanner = RecordScanner::new(&copy);
+            let recovered: Vec<&[u8]> = scanner.by_ref().collect();
+            // Flipping a bit in the second record's framing or payload must
+            // never surface a wrong payload: either the record vanishes, or
+            // (for a length-prefix flip that still frames a checksummed
+            // record — impossible here) it would have to checksum-match.
+            assert_eq!(recovered, vec![&b"first"[..]], "flip at byte {position}");
+            assert!(scanner.torn());
+        }
+    }
+
+    #[test]
+    fn fault_writer_persists_exactly_the_prefix() {
+        for limit in 0..40 {
+            let mut fault = FaultWriter::new(Vec::new(), limit);
+            write_record(&mut fault, b"payload-one").unwrap();
+            write_record(&mut fault, b"payload-two").unwrap();
+            let written = fault.written();
+            let disk = fault.into_inner();
+            assert_eq!(disk.len(), written);
+            assert_eq!(written, limit.min(2 * (RECORD_HEADER_BYTES + 11)));
+            // Whatever survived is a clean prefix plus possibly a torn tail
+            // the scanner refuses to yield.
+            let mut scanner = RecordScanner::new(&disk);
+            for payload in scanner.by_ref() {
+                assert!(payload == b"payload-one" || payload == b"payload-two");
+            }
+            assert!(scanner.clean_len() <= disk.len());
+        }
+    }
+}
